@@ -1,0 +1,260 @@
+// Package backlog is a log-structured back-reference database for
+// write-anywhere (no-overwrite) file systems, reproducing "Tracking Back
+// References in a Write-Anywhere File System" (Macko, Seltzer, Smith;
+// FAST 2010).
+//
+// Back references are the inverted index of file system metadata: they map
+// a physical block number to every (inode, offset, snapshot line) that
+// references it, across live file systems, snapshots, and writable clones.
+// They make block-relocation maintenance — defragmentation, volume
+// shrinking, data migration between storage tiers — practical in the
+// presence of block sharing from snapshots and deduplication.
+//
+// The design is write-optimized: reference additions and removals are
+// buffered in memory and written as sorted, immutable runs at every
+// consistency point, with no disk reads on the update path. Queries join
+// the From and To tables lazily; periodic compaction precomputes the join,
+// purges records of deleted snapshots, and keeps query performance stable.
+// Writable clones are represented implicitly through structural
+// inheritance, so cloning a snapshot writes no back-reference records at
+// all.
+//
+// # Quick start
+//
+//	db, err := backlog.Open(backlog.Config{Dir: "/tmp/backrefs"})
+//	if err != nil { ... }
+//	defer db.Close()
+//
+//	// The file system reports reference changes as they happen.
+//	db.AddRef(backlog.Ref{Block: 100, Inode: 2, Offset: 0, Line: 0}, cp)
+//	db.RemoveRef(backlog.Ref{Block: 101, Inode: 2, Offset: 1, Line: 0}, cp)
+//
+//	// Make everything up to cp durable (call at each consistency point).
+//	if err := db.Checkpoint(cp); err != nil { ... }
+//
+//	// Who references block 100?
+//	owners, err := db.Query(100)
+//
+// See the examples directory for share-aware defragmentation, volume
+// shrinking, and deduplication analytics built on this API.
+package backlog
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"github.com/backlogfs/backlog/internal/core"
+	"github.com/backlogfs/backlog/internal/storage"
+)
+
+// Ref identifies one logical reference to a physical extent. Length is in
+// blocks; zero means 1 (single-block reference).
+type Ref = core.Ref
+
+// Owner is one query result: a logical owner of a block together with the
+// consistency-point interval and the retained snapshot versions in which
+// the reference exists.
+type Owner = core.Owner
+
+// Stats are cumulative engine counters.
+type Stats = core.Stats
+
+// Infinity is the To value of a still-live reference.
+const Infinity = core.Infinity
+
+// Config configures Open.
+type Config struct {
+	// Dir is the directory holding the database. Ignored when InMemory is
+	// set.
+	Dir string
+	// InMemory keeps the database in RAM (useful for tests and
+	// simulation).
+	InMemory bool
+	// CacheBytes sizes the page cache (default 32 MB).
+	CacheBytes int64
+	// Partitions horizontally partitions the read stores by block number
+	// (default 1). PartitionSpan gives the blocks per partition and is
+	// required when Partitions > 1.
+	Partitions    int
+	PartitionSpan uint64
+}
+
+// DB is a back-reference database.
+type DB struct {
+	vfs    storage.VFS
+	cat    *core.MemCatalog
+	eng    *core.Engine
+	closed bool
+}
+
+const catalogFile = "CATALOG"
+
+// Open opens or creates a database.
+func Open(cfg Config) (*DB, error) {
+	var vfs storage.VFS
+	if cfg.InMemory {
+		vfs = storage.NewMemFS()
+	} else {
+		if cfg.Dir == "" {
+			return nil, errors.New("backlog: Config.Dir is required (or set InMemory)")
+		}
+		d, err := storage.NewDirFS(cfg.Dir)
+		if err != nil {
+			return nil, err
+		}
+		vfs = d
+	}
+	cat := core.NewMemCatalog()
+	if err := loadCatalog(vfs, cat); err != nil {
+		return nil, err
+	}
+	eng, err := core.Open(core.Options{
+		VFS:           vfs,
+		Catalog:       cat,
+		CacheBytes:    cfg.CacheBytes,
+		Partitions:    cfg.Partitions,
+		PartitionSpan: cfg.PartitionSpan,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &DB{vfs: vfs, cat: cat, eng: eng}, nil
+}
+
+func loadCatalog(vfs storage.VFS, cat *core.MemCatalog) error {
+	f, err := vfs.Open(catalogFile)
+	if errors.Is(err, storage.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	size, err := f.Size()
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, size)
+	if _, err := f.ReadAt(buf, 0); err != nil && err != io.EOF {
+		return err
+	}
+	if err := json.Unmarshal(buf, cat); err != nil {
+		return fmt.Errorf("backlog: decoding catalog: %w", err)
+	}
+	return nil
+}
+
+func (db *DB) saveCatalog() error {
+	data, err := json.Marshal(db.cat)
+	if err != nil {
+		return err
+	}
+	if err := db.vfs.Remove(catalogFile + ".tmp"); err != nil && !errors.Is(err, storage.ErrNotExist) {
+		return err
+	}
+	f, err := db.vfs.Create(catalogFile + ".tmp")
+	if err != nil {
+		return err
+	}
+	if _, err := f.WriteAt(data, 0); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return db.vfs.Rename(catalogFile+".tmp", catalogFile)
+}
+
+// AddRef records that ref became live at consistency point cp.
+func (db *DB) AddRef(ref Ref, cp uint64) { db.eng.AddRef(ref, cp) }
+
+// RemoveRef records that ref ceased to be live at consistency point cp.
+func (db *DB) RemoveRef(ref Ref, cp uint64) { db.eng.RemoveRef(ref, cp) }
+
+// Checkpoint makes all reference changes up to cp durable, together with
+// the snapshot catalog. Call it from the file system's consistency-point
+// commit path.
+func (db *DB) Checkpoint(cp uint64) error {
+	if err := db.eng.Checkpoint(cp); err != nil {
+		return err
+	}
+	return db.saveCatalog()
+}
+
+// Query returns every owner of the given physical block, masked to
+// versions that still exist.
+func (db *DB) Query(block uint64) ([]Owner, error) { return db.eng.Query(block) }
+
+// QueryRange queries n consecutive block numbers starting at block,
+// invoking visit for each.
+func (db *DB) QueryRange(block uint64, n int, visit func(block uint64, owners []Owner) bool) error {
+	return db.eng.QueryRange(block, n, visit)
+}
+
+// Compact runs database maintenance: merges runs, precomputes the Combined
+// table, and purges records of deleted snapshots. Run it periodically, or
+// before query-intensive maintenance tasks.
+func (db *DB) Compact() error {
+	db.cat.ReapZombies()
+	if err := db.eng.Compact(); err != nil {
+		return err
+	}
+	return db.saveCatalog()
+}
+
+// RelocateBlock transplants all back references of oldBlock onto newBlock;
+// call it after physically moving a block and updating file system
+// pointers. Durable at the next Checkpoint.
+func (db *DB) RelocateBlock(oldBlock, newBlock uint64) error {
+	return db.eng.RelocateBlock(oldBlock, newBlock)
+}
+
+// CreateSnapshot retains version v (a CP number) of the given line.
+func (db *DB) CreateSnapshot(line, v uint64) error { return db.cat.CreateSnapshot(line, v) }
+
+// DeleteSnapshot removes a snapshot; if it has clones it is kept as a
+// zombie until they disappear.
+func (db *DB) DeleteSnapshot(line, v uint64) error { return db.cat.DeleteSnapshot(line, v) }
+
+// CreateClone registers writable line newLine as a clone of (parent,
+// base). The clone's references are represented implicitly; no records are
+// written.
+func (db *DB) CreateClone(newLine, parent, base uint64) error {
+	return db.cat.CreateClone(newLine, parent, base)
+}
+
+// DeleteLine destroys a line's live file system.
+func (db *DB) DeleteLine(line uint64) error { return db.cat.DeleteLine(line) }
+
+// Snapshots lists the retained snapshot versions of a line.
+func (db *DB) Snapshots(line uint64) []uint64 { return db.cat.Snapshots(line) }
+
+// Lines lists all known snapshot lines.
+func (db *DB) Lines() []uint64 { return db.cat.Lines() }
+
+// CP returns the last durable consistency point.
+func (db *DB) CP() uint64 { return db.eng.CP() }
+
+// Stats returns cumulative engine counters.
+func (db *DB) Stats() Stats { return db.eng.Stats() }
+
+// SizeBytes returns the database's on-disk size.
+func (db *DB) SizeBytes() int64 { return db.eng.SizeBytes() }
+
+// Close persists the catalog. The database itself is consistent as of the
+// last Checkpoint; buffered (un-checkpointed) references are discarded,
+// exactly like file system state past the last consistency point.
+func (db *DB) Close() error {
+	if db.closed {
+		return nil
+	}
+	db.closed = true
+	return db.saveCatalog()
+}

@@ -1,0 +1,220 @@
+package backlog
+
+import (
+	"testing"
+)
+
+func openMem(t *testing.T) *DB {
+	t.Helper()
+	db, err := Open(Config{InMemory: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestOpenValidation(t *testing.T) {
+	if _, err := Open(Config{}); err == nil {
+		t.Fatal("Open without Dir or InMemory succeeded")
+	}
+}
+
+func TestBasicLifecycle(t *testing.T) {
+	db := openMem(t)
+	defer db.Close()
+
+	db.AddRef(Ref{Block: 100, Inode: 2, Offset: 0, Line: 0}, 4)
+	db.AddRef(Ref{Block: 101, Inode: 2, Offset: 1, Line: 0}, 4)
+	if err := db.Checkpoint(4); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateSnapshot(0, 4); err != nil {
+		t.Fatal(err)
+	}
+	db.RemoveRef(Ref{Block: 101, Inode: 2, Offset: 1, Line: 0}, 7)
+	if err := db.Checkpoint(7); err != nil {
+		t.Fatal(err)
+	}
+
+	owners, err := db.Query(101)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(owners) != 1 || owners[0].Live || owners[0].From != 4 || owners[0].To != 7 {
+		t.Fatalf("owners = %+v", owners)
+	}
+	if db.CP() != 7 {
+		t.Fatalf("CP = %d", db.CP())
+	}
+	if db.SizeBytes() == 0 {
+		t.Fatal("SizeBytes = 0")
+	}
+	st := db.Stats()
+	if st.RefsAdded != 2 || st.RefsRemoved != 1 || st.Checkpoints != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestPersistenceAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.AddRef(Ref{Block: 5, Inode: 9, Offset: 0, Line: 0}, 1)
+	if err := db.Checkpoint(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateSnapshot(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Compact(); err != nil { // persists the catalog too
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	owners, err := db2.Query(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(owners) != 1 || !owners[0].Live {
+		t.Fatalf("owners after reopen = %+v", owners)
+	}
+	if snaps := db2.Snapshots(0); len(snaps) != 1 || snaps[0] != 1 {
+		t.Fatalf("snapshots after reopen = %v", snaps)
+	}
+}
+
+func TestCloneAndInheritance(t *testing.T) {
+	db := openMem(t)
+	defer db.Close()
+	db.AddRef(Ref{Block: 77, Inode: 3, Offset: 0, Line: 0}, 2)
+	if err := db.Checkpoint(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateSnapshot(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateClone(1, 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	owners, err := db.Query(77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(owners) != 2 {
+		t.Fatalf("owners = %+v", owners)
+	}
+	if !owners[1].Inherited || owners[1].Line != 1 {
+		t.Fatalf("clone owner = %+v", owners[1])
+	}
+	if lines := db.Lines(); len(lines) != 2 {
+		t.Fatalf("lines = %v", lines)
+	}
+	if err := db.DeleteLine(1); err != nil {
+		t.Fatal(err)
+	}
+	owners, err = db.Query(77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(owners) != 2 {
+		// line 0 live + snapshot; clone masked out
+		t.Logf("owners after clone delete = %+v", owners)
+	}
+}
+
+func TestRelocateBlock(t *testing.T) {
+	db := openMem(t)
+	defer db.Close()
+	db.AddRef(Ref{Block: 10, Inode: 1, Offset: 0, Line: 0}, 1)
+	if err := db.Checkpoint(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.RelocateBlock(10, 900); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Checkpoint(2); err != nil {
+		t.Fatal(err)
+	}
+	if owners, _ := db.Query(10); len(owners) != 0 {
+		t.Fatalf("old block still owned: %+v", owners)
+	}
+	owners, err := db.Query(900)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(owners) != 1 || !owners[0].Live {
+		t.Fatalf("new block owners = %+v", owners)
+	}
+}
+
+func TestQueryRange(t *testing.T) {
+	db := openMem(t)
+	defer db.Close()
+	for b := uint64(100); b < 110; b++ {
+		db.AddRef(Ref{Block: b, Inode: b, Offset: 0, Line: 0}, 1)
+	}
+	if err := db.Checkpoint(1); err != nil {
+		t.Fatal(err)
+	}
+	var owned int
+	if err := db.QueryRange(95, 20, func(b uint64, owners []Owner) bool {
+		if len(owners) > 0 {
+			owned++
+		}
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if owned != 10 {
+		t.Fatalf("owned = %d, want 10", owned)
+	}
+}
+
+func TestCompactKeepsAnswers(t *testing.T) {
+	db := openMem(t)
+	defer db.Close()
+	db.AddRef(Ref{Block: 50, Inode: 4, Offset: 2, Line: 0}, 1)
+	if err := db.Checkpoint(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateSnapshot(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	db.RemoveRef(Ref{Block: 50, Inode: 4, Offset: 2, Line: 0}, 3)
+	if err := db.Checkpoint(3); err != nil {
+		t.Fatal(err)
+	}
+	before, err := db.Query(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	after, err := db.Query(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(before) != 1 || len(after) != 1 || before[0].From != after[0].From {
+		t.Fatalf("compaction changed answers: %+v vs %+v", before, after)
+	}
+	// Delete the snapshot and compact again: the record is purged.
+	if err := db.DeleteSnapshot(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := db.Query(50); len(got) != 0 {
+		t.Fatalf("purged block still owned: %+v", got)
+	}
+}

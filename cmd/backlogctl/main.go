@@ -1,0 +1,100 @@
+// Command backlogctl inspects and maintains a Backlog database directory.
+//
+// Usage:
+//
+//	backlogctl stats   -dir /path/to/db
+//	backlogctl lines   -dir /path/to/db
+//	backlogctl query   -dir /path/to/db -block 12345 [-n 16]
+//	backlogctl compact -dir /path/to/db
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"github.com/backlogfs/backlog"
+)
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: backlogctl <command> [flags]
+
+commands:
+  stats    print database size and counters
+  lines    print snapshot lines and retained versions
+  query    print the owners of a block (or a run of blocks with -n)
+  compact  run database maintenance
+`)
+	os.Exit(2)
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	dir := fs.String("dir", "", "database directory (required)")
+	block := fs.Uint64("block", 0, "block number (query)")
+	n := fs.Int("n", 1, "number of consecutive blocks to query")
+	if err := fs.Parse(os.Args[2:]); err != nil {
+		os.Exit(2)
+	}
+	if *dir == "" {
+		fmt.Fprintln(os.Stderr, "backlogctl: -dir is required")
+		os.Exit(2)
+	}
+
+	db, err := backlog.Open(backlog.Config{Dir: *dir})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "backlogctl:", err)
+		os.Exit(1)
+	}
+	defer db.Close()
+
+	switch cmd {
+	case "stats":
+		st := db.Stats()
+		fmt.Printf("consistency point: %d\n", db.CP())
+		fmt.Printf("database size:     %d bytes\n", db.SizeBytes())
+		fmt.Printf("refs added:        %d\n", st.RefsAdded)
+		fmt.Printf("refs removed:      %d\n", st.RefsRemoved)
+		fmt.Printf("checkpoints:       %d\n", st.Checkpoints)
+		fmt.Printf("compactions:       %d\n", st.Compactions)
+		fmt.Printf("records flushed:   %d\n", st.RecordsFlushed)
+		fmt.Printf("records purged:    %d\n", st.RecordsPurged)
+	case "lines":
+		for _, line := range db.Lines() {
+			fmt.Printf("line %d: snapshots %v\n", line, db.Snapshots(line))
+		}
+	case "query":
+		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(w, "block\tinode\toffset\tline\tlength\tfrom\tto\tversions\tlive")
+		err := db.QueryRange(*block, *n, func(b uint64, owners []backlog.Owner) bool {
+			for _, o := range owners {
+				to := fmt.Sprintf("%d", o.To)
+				if o.To == backlog.Infinity {
+					to = "inf"
+				}
+				fmt.Fprintf(w, "%d\t%d\t%d\t%d\t%d\t%d\t%s\t%v\t%v\n",
+					b, o.Inode, o.Offset, o.Line, o.Length, o.From, to, o.Versions, o.Live)
+			}
+			return true
+		})
+		w.Flush()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "backlogctl:", err)
+			os.Exit(1)
+		}
+	case "compact":
+		before := db.SizeBytes()
+		if err := db.Compact(); err != nil {
+			fmt.Fprintln(os.Stderr, "backlogctl:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("compacted: %d -> %d bytes\n", before, db.SizeBytes())
+	default:
+		usage()
+	}
+}

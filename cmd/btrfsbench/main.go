@@ -1,0 +1,60 @@
+// Command btrfsbench regenerates Table 1 of the paper: the btrfs
+// micro-benchmarks (file create/delete at two CP cadences) and the three
+// application workloads (dbench CIFS, FileBench /var/mail, PostMark),
+// each in three configurations — Base (no back references), Original
+// (btrfs-style inline back references), and Backlog.
+//
+// Usage:
+//
+//	btrfsbench [-files 8192] [-scale full]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"github.com/backlogfs/backlog/internal/experiments"
+)
+
+func main() {
+	files := flag.Int("files", 0, "file count for microbenchmarks (0 = scale default)")
+	scale := flag.String("scale", "small", "small|full")
+	flag.Parse()
+
+	cfg := experiments.DefaultTable1Config()
+	if *scale == "small" {
+		cfg.MicroFiles = 2048
+		cfg.DbenchOps = 6000
+		cfg.VarmailIters = 1000
+		cfg.PostmarkTx = 6000
+	}
+	if *files > 0 {
+		cfg.MicroFiles = *files
+	}
+
+	rows, err := experiments.RunTable1(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Println("Table 1: btrfs benchmarks (Base = no backrefs, Original = btrfs-native, Backlog = this library)")
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "Benchmark\tBase\tOriginal\tBacklog\tOverhead")
+	for _, r := range rows {
+		switch r.Unit {
+		case "ms/op":
+			fmt.Fprintf(w, "%s\t%.3f ms\t%.3f ms\t%.3f ms\t%.1f%%\n",
+				r.Name, r.Base, r.Original, r.Backlog, r.OverheadPct)
+		case "MB/s":
+			fmt.Fprintf(w, "%s\t%.2f MB/s\t%.2f MB/s\t%.2f MB/s\t%.1f%%\n",
+				r.Name, r.Base, r.Original, r.Backlog, r.OverheadPct)
+		default:
+			fmt.Fprintf(w, "%s\t%.0f ops/s\t%.0f ops/s\t%.0f ops/s\t%.1f%%\n",
+				r.Name, r.Base, r.Original, r.Backlog, r.OverheadPct)
+		}
+	}
+	w.Flush()
+}

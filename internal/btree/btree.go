@@ -1,0 +1,309 @@
+// Package btree implements the on-disk read-store (RS) run format used by
+// Backlog's LSM/Stepped-Merge store (paper Section 5.1).
+//
+// A run is an immutable, densely packed B-tree over fixed-size records,
+// ordered by bytes.Compare on the full record encoding. Runs are built
+// strictly bottom-up, exactly as the paper describes: records are packed
+// into leaf pages in sorted order; while the leaf level is written, the
+// first key of each leaf page is accumulated to form the I1 (internal
+// level 1) pages, then I2, and so on until a level fits in a single page —
+// the root. Building therefore requires no disk reads.
+//
+// File layout (all little-endian, 4 KB pages, each page ends with a CRC32):
+//
+//	page 0:            header (magic, geometry, min/max key, bloom location)
+//	pages 1..L:        leaf pages
+//	pages L+1..:       internal levels, bottom-up; root page last
+//	trailing bytes:    serialized Bloom filter (outside the page grid)
+//
+// The header is written last so that a torn build never yields a readable
+// but incomplete run.
+package btree
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"github.com/backlogfs/backlog/internal/storage"
+)
+
+// MaxRecordSize bounds the fixed record size so two full keys fit in the
+// header page.
+const MaxRecordSize = 256
+
+const (
+	magic         = "BKRUN1\x00\x00"
+	formatVersion = 1
+
+	pageCountLen = 2 // u16 record/entry count at page start
+	pageCRCLen   = 4 // CRC32C at page end
+	pagePayload  = storage.PageSize - pageCountLen - pageCRCLen
+
+	headerFixedLen = 72 // bytes of fixed header fields before min/max keys
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrCorrupt reports a failed checksum or malformed structure.
+var ErrCorrupt = errors.New("btree: corrupt run")
+
+// header mirrors the on-disk header page.
+type header struct {
+	recordSize  int
+	recordCount uint64
+	leafStart   uint64
+	leafPages   uint64
+	levels      uint32
+	rootPage    uint64
+	bloomOff    uint64
+	bloomLen    uint64
+	minKey      []byte
+	maxKey      []byte
+}
+
+// Writer builds a run. Records must be appended in strictly ascending
+// order. The zero value is not usable; construct with NewWriter.
+type Writer struct {
+	f       storage.File
+	recSize int
+
+	leafBuf   []byte // current leaf page payload
+	leafCount int    // records in leafBuf
+	perLeaf   int    // max records per leaf page
+	nextPage  uint64 // next page number to write (leaves start at 1)
+
+	i1      []indexEntry // separator keys for the leaf level
+	prevKey []byte
+	count   uint64
+	minKey  []byte
+
+	finished bool
+}
+
+type indexEntry struct {
+	key   []byte
+	child uint64
+}
+
+// NewWriter returns a Writer that builds a run of recordSize-byte records
+// into f.
+func NewWriter(f storage.File, recordSize int) (*Writer, error) {
+	if recordSize <= 0 || recordSize > MaxRecordSize {
+		return nil, fmt.Errorf("btree: invalid record size %d", recordSize)
+	}
+	return &Writer{
+		f:        f,
+		recSize:  recordSize,
+		leafBuf:  make([]byte, 0, pagePayload),
+		perLeaf:  pagePayload / recordSize,
+		nextPage: 1,
+	}, nil
+}
+
+// Append adds a record. Records must be strictly ascending under
+// bytes.Compare; duplicates are rejected.
+func (w *Writer) Append(rec []byte) error {
+	if w.finished {
+		return errors.New("btree: Append after Finish")
+	}
+	if len(rec) != w.recSize {
+		return fmt.Errorf("btree: record size %d, want %d", len(rec), w.recSize)
+	}
+	if w.prevKey != nil && bytes.Compare(rec, w.prevKey) <= 0 {
+		return fmt.Errorf("btree: records out of order (%x after %x)", rec, w.prevKey)
+	}
+	if w.count == 0 {
+		w.minKey = append([]byte(nil), rec...)
+	}
+	if w.leafCount == 0 {
+		// First record of a leaf page becomes its I1 separator key.
+		w.i1 = append(w.i1, indexEntry{key: append([]byte(nil), rec...), child: w.nextPage})
+	}
+	w.leafBuf = append(w.leafBuf, rec...)
+	w.leafCount++
+	w.prevKey = append(w.prevKey[:0], rec...)
+	w.count++
+	if w.leafCount == w.perLeaf {
+		return w.flushLeaf()
+	}
+	return nil
+}
+
+func (w *Writer) flushLeaf() error {
+	if w.leafCount == 0 {
+		return nil
+	}
+	if err := writePage(w.f, w.nextPage, uint16(w.leafCount), w.leafBuf); err != nil {
+		return err
+	}
+	w.nextPage++
+	w.leafBuf = w.leafBuf[:0]
+	w.leafCount = 0
+	return nil
+}
+
+// perIndexPage returns how many index entries fit in one internal page.
+func (w *Writer) perIndexPage() int {
+	return pagePayload / (w.recSize + 8)
+}
+
+// Finish flushes remaining data, writes the internal levels, the optional
+// serialized Bloom filter, and the header. The file is synced. After Finish
+// the Writer must not be used.
+func (w *Writer) Finish(bloomBytes []byte) error {
+	if w.finished {
+		return errors.New("btree: double Finish")
+	}
+	w.finished = true
+	if w.count == 0 {
+		return errors.New("btree: empty run")
+	}
+	if err := w.flushLeaf(); err != nil {
+		return err
+	}
+	maxKey := append([]byte(nil), w.prevKey...)
+	leafPages := w.nextPage - 1
+
+	// Build internal levels bottom-up; a level that fits in one page is
+	// the root. A single-leaf run has no internal levels at all.
+	perPage := w.perIndexPage()
+	var levels uint32
+	rootPage := uint64(1)
+	if leafPages > 1 {
+		entries := w.i1
+		buf := make([]byte, 0, pagePayload)
+		for {
+			levels++
+			needNext := len(entries) > perPage
+			var nextEntries []indexEntry
+			buf = buf[:0]
+			n := 0
+			for i, e := range entries {
+				if n == 0 && needNext {
+					nextEntries = append(nextEntries, indexEntry{key: e.key, child: w.nextPage})
+				}
+				buf = append(buf, e.key...)
+				var child [8]byte
+				binary.LittleEndian.PutUint64(child[:], e.child)
+				buf = append(buf, child[:]...)
+				n++
+				if n == perPage || i == len(entries)-1 {
+					if err := writePage(w.f, w.nextPage, uint16(n), buf); err != nil {
+						return err
+					}
+					rootPage = w.nextPage
+					w.nextPage++
+					buf = buf[:0]
+					n = 0
+				}
+			}
+			if !needNext {
+				break
+			}
+			entries = nextEntries
+		}
+	}
+
+	bloomOff := w.nextPage * storage.PageSize
+	if len(bloomBytes) > 0 {
+		if _, err := w.f.WriteAt(bloomBytes, int64(bloomOff)); err != nil {
+			return fmt.Errorf("btree: writing bloom: %w", err)
+		}
+	}
+
+	h := header{
+		recordSize:  w.recSize,
+		recordCount: w.count,
+		leafStart:   1,
+		leafPages:   leafPages,
+		levels:      levels,
+		rootPage:    rootPage,
+		bloomOff:    bloomOff,
+		bloomLen:    uint64(len(bloomBytes)),
+		minKey:      w.minKey,
+		maxKey:      maxKey,
+	}
+	if err := writeHeader(w.f, h); err != nil {
+		return err
+	}
+	return w.f.Sync()
+}
+
+// Count returns the number of records appended so far.
+func (w *Writer) Count() uint64 { return w.count }
+
+func writePage(f storage.File, pageNo uint64, count uint16, payload []byte) error {
+	if len(payload) > pagePayload {
+		return fmt.Errorf("btree: page payload %d exceeds %d", len(payload), pagePayload)
+	}
+	var page [storage.PageSize]byte
+	binary.LittleEndian.PutUint16(page[:2], count)
+	copy(page[pageCountLen:], payload)
+	crc := crc32.Checksum(page[:storage.PageSize-pageCRCLen], castagnoli)
+	binary.LittleEndian.PutUint32(page[storage.PageSize-pageCRCLen:], crc)
+	_, err := f.WriteAt(page[:], int64(pageNo)*storage.PageSize)
+	if err != nil {
+		return fmt.Errorf("btree: writing page %d: %w", pageNo, err)
+	}
+	return nil
+}
+
+func writeHeader(f storage.File, h header) error {
+	var page [storage.PageSize]byte
+	copy(page[:8], magic)
+	le := binary.LittleEndian
+	le.PutUint32(page[8:], formatVersion)
+	le.PutUint32(page[12:], uint32(h.recordSize))
+	le.PutUint64(page[16:], h.recordCount)
+	le.PutUint64(page[24:], h.leafStart)
+	le.PutUint64(page[32:], h.leafPages)
+	le.PutUint32(page[40:], h.levels)
+	le.PutUint64(page[48:], h.rootPage)
+	le.PutUint64(page[56:], h.bloomOff)
+	le.PutUint64(page[64:], h.bloomLen)
+	copy(page[headerFixedLen:], h.minKey)
+	copy(page[headerFixedLen+h.recordSize:], h.maxKey)
+	crc := crc32.Checksum(page[:storage.PageSize-pageCRCLen], castagnoli)
+	le.PutUint32(page[storage.PageSize-pageCRCLen:], crc)
+	if _, err := f.WriteAt(page[:], 0); err != nil {
+		return fmt.Errorf("btree: writing header: %w", err)
+	}
+	return nil
+}
+
+func readHeader(f storage.File) (header, error) {
+	var page [storage.PageSize]byte
+	if _, err := f.ReadAt(page[:], 0); err != nil {
+		return header{}, fmt.Errorf("btree: reading header: %w", err)
+	}
+	le := binary.LittleEndian
+	crc := crc32.Checksum(page[:storage.PageSize-pageCRCLen], castagnoli)
+	if le.Uint32(page[storage.PageSize-pageCRCLen:]) != crc {
+		return header{}, fmt.Errorf("%w: header checksum", ErrCorrupt)
+	}
+	if string(page[:8]) != magic {
+		return header{}, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	if v := le.Uint32(page[8:]); v != formatVersion {
+		return header{}, fmt.Errorf("btree: unsupported version %d", v)
+	}
+	h := header{
+		recordSize:  int(le.Uint32(page[12:])),
+		recordCount: le.Uint64(page[16:]),
+		leafStart:   le.Uint64(page[24:]),
+		leafPages:   le.Uint64(page[32:]),
+		levels:      le.Uint32(page[40:]),
+		rootPage:    le.Uint64(page[48:]),
+		bloomOff:    le.Uint64(page[56:]),
+		bloomLen:    le.Uint64(page[64:]),
+	}
+	if h.recordSize <= 0 || h.recordSize > MaxRecordSize {
+		return header{}, fmt.Errorf("%w: record size %d", ErrCorrupt, h.recordSize)
+	}
+	h.minKey = append([]byte(nil), page[headerFixedLen:headerFixedLen+h.recordSize]...)
+	h.maxKey = append([]byte(nil), page[headerFixedLen+h.recordSize:headerFixedLen+2*h.recordSize]...)
+	return h, nil
+}

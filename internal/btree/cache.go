@@ -1,0 +1,104 @@
+package btree
+
+import (
+	"container/list"
+	"sync"
+
+	"github.com/backlogfs/backlog/internal/storage"
+)
+
+// Cache is a shared LRU page cache keyed by (reader identity, page number).
+// The paper's micro-benchmarks use a 32 MB cache in addition to the write
+// stores and Bloom filters (Section 6.1); NewCache(32<<20/storage.PageSize)
+// reproduces that configuration. Clear supports the query experiments,
+// which drop all caches before each run (Section 6.4).
+type Cache struct {
+	mu       sync.Mutex
+	capacity int
+	lru      *list.List // of *cacheEntry, front = most recent
+	index    map[cacheKey]*list.Element
+
+	hits, misses int64
+}
+
+type cacheKey struct {
+	reader uint64
+	page   uint64
+}
+
+type cacheEntry struct {
+	key  cacheKey
+	data []byte
+}
+
+// NewCache returns a cache holding up to capacity pages. Capacity <= 0
+// yields a cache that stores nothing (but still counts misses).
+func NewCache(capacity int) *Cache {
+	return &Cache{
+		capacity: capacity,
+		lru:      list.New(),
+		index:    make(map[cacheKey]*list.Element),
+	}
+}
+
+// NewCacheBytes returns a cache sized to the given total bytes.
+func NewCacheBytes(bytes int64) *Cache {
+	return NewCache(int(bytes / storage.PageSize))
+}
+
+func (c *Cache) get(reader, page uint64) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.index[cacheKey{reader, page}]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	c.hits++
+	return el.Value.(*cacheEntry).data, true
+}
+
+func (c *Cache) put(reader, page uint64, data []byte) {
+	if c.capacity <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := cacheKey{reader, page}
+	if el, ok := c.index[key]; ok {
+		c.lru.MoveToFront(el)
+		el.Value.(*cacheEntry).data = data
+		return
+	}
+	el := c.lru.PushFront(&cacheEntry{key: key, data: data})
+	c.index[key] = el
+	for c.lru.Len() > c.capacity {
+		last := c.lru.Back()
+		c.lru.Remove(last)
+		delete(c.index, last.Value.(*cacheEntry).key)
+	}
+}
+
+// Clear drops all cached pages and resets hit/miss counters.
+func (c *Cache) Clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.lru.Init()
+	c.index = make(map[cacheKey]*list.Element)
+	c.hits, c.misses = 0, 0
+}
+
+// Len returns the number of cached pages.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// Stats returns cumulative hit and miss counts.
+func (c *Cache) Stats() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

@@ -1,0 +1,219 @@
+package btree
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"sync/atomic"
+
+	"github.com/backlogfs/backlog/internal/storage"
+)
+
+// readerIDs issues unique cache identities for readers.
+var readerIDs atomic.Uint64
+
+// Reader provides point lookups and ordered iteration over a finished run.
+type Reader struct {
+	f     storage.File
+	h     header
+	cache *Cache
+	id    uint64
+}
+
+// Open validates the run header in f and returns a Reader. The cache may be
+// nil, in which case every page access hits storage.
+func Open(f storage.File, cache *Cache) (*Reader, error) {
+	h, err := readHeader(f)
+	if err != nil {
+		return nil, err
+	}
+	return &Reader{f: f, h: h, cache: cache, id: readerIDs.Add(1)}, nil
+}
+
+// RecordSize returns the fixed record size of the run.
+func (r *Reader) RecordSize() int { return r.h.recordSize }
+
+// RecordCount returns the number of records in the run.
+func (r *Reader) RecordCount() uint64 { return r.h.recordCount }
+
+// MinKey returns the smallest record in the run. The slice is owned by the
+// reader and must not be modified.
+func (r *Reader) MinKey() []byte { return r.h.minKey }
+
+// MaxKey returns the largest record in the run.
+func (r *Reader) MaxKey() []byte { return r.h.maxKey }
+
+// Pages returns the total number of 4 KB pages occupied by the page grid
+// (header + leaves + internal levels), excluding the trailing bloom bytes.
+func (r *Reader) Pages() uint64 { return r.h.bloomOff / storage.PageSize }
+
+// SizeBytes returns the full file size of the run, including the Bloom
+// filter.
+func (r *Reader) SizeBytes() int64 {
+	return int64(r.h.bloomOff + r.h.bloomLen)
+}
+
+// BloomBytes reads the serialized Bloom filter, or nil if none was stored.
+func (r *Reader) BloomBytes() ([]byte, error) {
+	if r.h.bloomLen == 0 {
+		return nil, nil
+	}
+	buf := make([]byte, r.h.bloomLen)
+	if _, err := r.f.ReadAt(buf, int64(r.h.bloomOff)); err != nil && err != io.EOF {
+		return nil, fmt.Errorf("btree: reading bloom: %w", err)
+	}
+	return buf, nil
+}
+
+// readPage returns the verified payload of a page along with its entry
+// count. The returned slice must not be modified.
+func (r *Reader) readPage(pageNo uint64) (payload []byte, count int, err error) {
+	if r.cache != nil {
+		if data, ok := r.cache.get(r.id, pageNo); ok {
+			return data[pageCountLen : storage.PageSize-pageCRCLen],
+				int(binary.LittleEndian.Uint16(data[:2])), nil
+		}
+	}
+	page := make([]byte, storage.PageSize)
+	if _, err := r.f.ReadAt(page, int64(pageNo)*storage.PageSize); err != nil && err != io.EOF {
+		return nil, 0, fmt.Errorf("btree: reading page %d: %w", pageNo, err)
+	}
+	crc := crc32.Checksum(page[:storage.PageSize-pageCRCLen], castagnoli)
+	if binary.LittleEndian.Uint32(page[storage.PageSize-pageCRCLen:]) != crc {
+		return nil, 0, fmt.Errorf("%w: page %d checksum", ErrCorrupt, pageNo)
+	}
+	if r.cache != nil {
+		r.cache.put(r.id, pageNo, page)
+	}
+	return page[pageCountLen : storage.PageSize-pageCRCLen],
+		int(binary.LittleEndian.Uint16(page[:2])), nil
+}
+
+// findLeaf descends from the root to the leaf page that may contain the
+// first record >= key.
+func (r *Reader) findLeaf(key []byte) (uint64, error) {
+	if r.h.levels == 0 {
+		return r.h.leafStart, nil
+	}
+	pageNo := r.h.rootPage
+	entrySize := r.h.recordSize + 8
+	for level := int(r.h.levels); level > 0; level-- {
+		payload, count, err := r.readPage(pageNo)
+		if err != nil {
+			return 0, err
+		}
+		// Find the last entry with key <= target; if the target sorts
+		// before every separator, take the first child (SeekGE then
+		// starts at the level's smallest records).
+		lo, hi := 0, count // lo = number of entries with key <= target
+		for lo < hi {
+			mid := (lo + hi) / 2
+			ek := payload[mid*entrySize : mid*entrySize+r.h.recordSize]
+			if bytes.Compare(ek, key) <= 0 {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		idx := lo - 1
+		if idx < 0 {
+			idx = 0
+		}
+		pageNo = binary.LittleEndian.Uint64(
+			payload[idx*entrySize+r.h.recordSize : idx*entrySize+r.h.recordSize+8])
+	}
+	return pageNo, nil
+}
+
+// Iterator yields records in ascending order.
+type Iterator struct {
+	r       *Reader
+	pageNo  uint64
+	payload []byte
+	count   int
+	idx     int
+	done    bool
+}
+
+// First returns an iterator positioned at the first record.
+func (r *Reader) First() (*Iterator, error) {
+	it := &Iterator{r: r, pageNo: r.h.leafStart}
+	if err := it.loadPage(); err != nil {
+		return nil, err
+	}
+	return it, nil
+}
+
+// SeekGE returns an iterator positioned at the first record >= key.
+func (r *Reader) SeekGE(key []byte) (*Iterator, error) {
+	if len(key) != r.h.recordSize {
+		return nil, fmt.Errorf("btree: seek key size %d, want %d", len(key), r.h.recordSize)
+	}
+	leaf, err := r.findLeaf(key)
+	if err != nil {
+		return nil, err
+	}
+	it := &Iterator{r: r, pageNo: leaf}
+	if err := it.loadPage(); err != nil {
+		return nil, err
+	}
+	// Binary search within the leaf for the first record >= key.
+	lo, hi := 0, it.count
+	rs := r.h.recordSize
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bytes.Compare(it.payload[mid*rs:(mid+1)*rs], key) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	it.idx = lo
+	if it.idx == it.count {
+		// Key is past this leaf; advance to the next one.
+		if err := it.advancePage(); err != nil {
+			return nil, err
+		}
+	}
+	return it, nil
+}
+
+func (it *Iterator) loadPage() error {
+	if it.pageNo >= it.r.h.leafStart+it.r.h.leafPages {
+		it.done = true
+		return nil
+	}
+	payload, count, err := it.r.readPage(it.pageNo)
+	if err != nil {
+		return err
+	}
+	it.payload, it.count, it.idx = payload, count, 0
+	return nil
+}
+
+func (it *Iterator) advancePage() error {
+	it.pageNo++
+	return it.loadPage()
+}
+
+// Next returns the next record, or ok=false at the end. The returned slice
+// aliases an internal page buffer and is valid only until the next call.
+func (it *Iterator) Next() (rec []byte, ok bool, err error) {
+	if it.done {
+		return nil, false, nil
+	}
+	if it.idx >= it.count {
+		if err := it.advancePage(); err != nil {
+			return nil, false, err
+		}
+		if it.done {
+			return nil, false, nil
+		}
+	}
+	rs := it.r.h.recordSize
+	rec = it.payload[it.idx*rs : (it.idx+1)*rs]
+	it.idx++
+	return rec, true, nil
+}

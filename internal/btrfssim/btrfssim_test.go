@@ -1,0 +1,275 @@
+package btrfssim
+
+import (
+	"testing"
+
+	"github.com/backlogfs/backlog/internal/core"
+	"github.com/backlogfs/backlog/internal/storage"
+)
+
+func newFS(t *testing.T, mode Mode, opsPerTx int) *FS {
+	t.Helper()
+	fs, err := New(Config{Mode: mode, OpsPerTransaction: opsPerTx})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func TestTreeAddRemove(t *testing.T) {
+	vfs := storage.NewMemFS()
+	tree, err := NewTree(vfs, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree.AddRef(100, 4, BackrefItem{Line: 0, Ino: 2, Off: 0})
+	tree.AddRef(100, 4, BackrefItem{Line: 0, Ino: 3, Off: 8})
+	e, ok := tree.Lookup(100)
+	if !ok || e.Refs != 2 || len(e.Backrefs) != 2 {
+		t.Fatalf("extent = %+v", e)
+	}
+	freed, err := tree.RemoveRef(100, BackrefItem{Line: 0, Ino: 2, Off: 0})
+	if err != nil || freed {
+		t.Fatalf("first remove: freed=%v err=%v", freed, err)
+	}
+	freed, err = tree.RemoveRef(100, BackrefItem{Line: 0, Ino: 3, Off: 8})
+	if err != nil || !freed {
+		t.Fatalf("second remove: freed=%v err=%v", freed, err)
+	}
+	if _, ok := tree.Lookup(100); ok {
+		t.Fatal("extent survived last deref")
+	}
+	if _, err := tree.RemoveRef(100, BackrefItem{}); err == nil {
+		t.Fatal("remove of missing extent succeeded")
+	}
+}
+
+func TestTreeSplitsUnderLoad(t *testing.T) {
+	vfs := storage.NewMemFS()
+	tree, err := NewTree(vfs, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 5000; i++ {
+		tree.AddRef(i*10, 4, BackrefItem{Ino: i, Off: 0})
+	}
+	if tree.Leaves() < 2 {
+		t.Fatal("no leaf splits after 5000 extents")
+	}
+	if err := tree.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	st := tree.Stats()
+	if st.LeavesWritten == 0 || st.NodesWritten == 0 {
+		t.Fatalf("commit stats = %+v", st)
+	}
+	// Every extent is still findable.
+	for i := uint64(0); i < 5000; i += 37 {
+		if _, ok := tree.Lookup(i * 10); !ok {
+			t.Fatalf("extent %d lost after splits", i*10)
+		}
+	}
+}
+
+func TestCommitIsIncremental(t *testing.T) {
+	vfs := storage.NewMemFS()
+	tree, err := NewTree(vfs, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 5000; i++ {
+		tree.AddRef(i*10, 1, BackrefItem{Ino: i})
+	}
+	if err := tree.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	full := tree.Stats().LeavesWritten
+	// One more touch dirties exactly one leaf.
+	tree.AddRef(25, 1, BackrefItem{Ino: 9999})
+	if err := tree.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if delta := tree.Stats().LeavesWritten - full; delta != 1 {
+		t.Fatalf("incremental commit wrote %d leaves, want 1", delta)
+	}
+	// Committing with nothing dirty writes nothing.
+	before := tree.Stats()
+	if err := tree.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if tree.Stats().Commits != before.Commits {
+		t.Fatal("empty commit counted")
+	}
+}
+
+func TestInlineModeUsesMoreLeaves(t *testing.T) {
+	build := func(inline bool) int {
+		vfs := storage.NewMemFS()
+		tree, err := NewTree(vfs, inline)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := uint64(0); i < 3000; i++ {
+			tree.AddRef(i*10, 1, BackrefItem{Ino: i})
+			tree.AddRef(i*10, 1, BackrefItem{Ino: i + 100000}) // shared extent
+		}
+		return tree.Leaves()
+	}
+	withBR, withoutBR := build(true), build(false)
+	if withBR <= withoutBR {
+		t.Fatalf("inline backrefs use %d leaves vs %d without — expected more", withBR, withoutBR)
+	}
+}
+
+func TestFSLifecycleAllModes(t *testing.T) {
+	for _, mode := range []Mode{ModeBase, ModeOriginal, ModeBacklog} {
+		t.Run(mode.String(), func(t *testing.T) {
+			fs := newFS(t, mode, 64)
+			inos, err := RunCreateFiles(fs, 200, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fs.FileCount() != 200 {
+				t.Fatalf("FileCount = %d", fs.FileCount())
+			}
+			if err := RunDeleteFiles(fs, inos); err != nil {
+				t.Fatal(err)
+			}
+			if fs.FileCount() != 0 {
+				t.Fatalf("FileCount after delete = %d", fs.FileCount())
+			}
+			st := fs.Stats()
+			if st.ExtentOps != 400 {
+				t.Fatalf("ExtentOps = %d, want 400", st.ExtentOps)
+			}
+			if st.Transactions == 0 {
+				t.Fatal("no transactions committed")
+			}
+		})
+	}
+}
+
+func TestBacklogModeTracksExtents(t *testing.T) {
+	fs := newFS(t, ModeBacklog, 16)
+	ino, err := fs.CreateFile(16) // one 64 KB extent
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	f := fs.files[ino]
+	owners, err := fs.Engine().Query(f.extents[0].start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(owners) != 1 || owners[0].Inode != ino || owners[0].Length != 16 || !owners[0].Live {
+		t.Fatalf("owners = %+v", owners)
+	}
+	if err := fs.DeleteFile(ino); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	owners, err = fs.Engine().Query(f.extents[0].start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(owners) != 0 {
+		t.Fatalf("owners after delete = %+v", owners)
+	}
+}
+
+func TestCloneSharesExtents(t *testing.T) {
+	fs := newFS(t, ModeOriginal, 16)
+	src, err := fs.CreateFile(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst, err := fs.CloneFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := fs.files[src].extents[0].start
+	e, ok := fs.Tree().Lookup(start)
+	if !ok || e.Refs != 2 || len(e.Backrefs) != 2 {
+		t.Fatalf("shared extent = %+v", e)
+	}
+	if err := fs.DeleteFile(src); err != nil {
+		t.Fatal(err)
+	}
+	e, ok = fs.Tree().Lookup(start)
+	if !ok || e.Refs != 1 {
+		t.Fatalf("after one owner deleted: %+v", e)
+	}
+	if err := fs.DeleteFile(dst); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := fs.Tree().Lookup(start); ok {
+		t.Fatal("extent survived both owners")
+	}
+}
+
+func TestWorkloadKernels(t *testing.T) {
+	for _, mode := range []Mode{ModeBase, ModeOriginal, ModeBacklog} {
+		fs := newFS(t, mode, 512)
+		bytes, err := RunDbench(fs, 2000, 1)
+		if err != nil {
+			t.Fatalf("%v dbench: %v", mode, err)
+		}
+		if bytes == 0 {
+			t.Fatalf("%v dbench wrote nothing", mode)
+		}
+
+		fs2 := newFS(t, mode, 512)
+		ops, err := RunVarmail(fs2, 16, 300, 2)
+		if err != nil {
+			t.Fatalf("%v varmail: %v", mode, err)
+		}
+		if ops == 0 {
+			t.Fatalf("%v varmail did nothing", mode)
+		}
+		if fs2.Stats().Fsyncs < 500 {
+			t.Fatalf("%v varmail issued only %d fsyncs", mode, fs2.Stats().Fsyncs)
+		}
+		if fs2.Stats().Transactions == 0 {
+			t.Fatalf("%v varmail committed no transactions", mode)
+		}
+
+		fs3 := newFS(t, mode, 512)
+		tx, err := RunPostmark(fs3, 100, 1000, 3)
+		if err != nil {
+			t.Fatalf("%v postmark: %v", mode, err)
+		}
+		if tx != 1000 {
+			t.Fatalf("%v postmark ran %d transactions", mode, tx)
+		}
+	}
+}
+
+func TestBacklogOverheadIsModest(t *testing.T) {
+	// Sanity-check the Table 1 relationship: Backlog adds I/O over Base,
+	// but within a small multiple for the create benchmark.
+	measure := func(mode Mode) int64 {
+		fs := newFS(t, mode, 2048)
+		if _, err := RunCreateFiles(fs, 4096, 1); err != nil {
+			t.Fatal(err)
+		}
+		return fs.VFS().Stats().PageWrites
+	}
+	base := measure(ModeBase)
+	orig := measure(ModeOriginal)
+	backlog := measure(ModeBacklog)
+	if base == 0 {
+		t.Fatal("base wrote nothing")
+	}
+	if backlog <= base {
+		t.Fatalf("backlog (%d pages) not above base (%d)", backlog, base)
+	}
+	if float64(backlog) > 2.0*float64(base) {
+		t.Fatalf("backlog I/O overhead too large: base=%d orig=%d backlog=%d", base, orig, backlog)
+	}
+}
+
+var _ uint64 = core.Infinity

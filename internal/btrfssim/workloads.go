@@ -1,0 +1,169 @@
+package btrfssim
+
+import (
+	"math/rand"
+
+	"github.com/backlogfs/backlog/internal/storage"
+)
+
+// This file implements the workload kernels of Table 1: the create/delete
+// microbenchmarks and faithful op-mix reductions of the three application
+// benchmarks (dbench's CIFS file-server profile, FileBench /var/mail, and
+// PostMark). Timing is the caller's job; kernels only drive the FS.
+
+// RunCreateFiles creates n files of sizeBlocks blocks each, then syncs —
+// the create microbenchmark. It returns the created inode numbers.
+func RunCreateFiles(fs *FS, n, sizeBlocks int) ([]uint64, error) {
+	inos := make([]uint64, 0, n)
+	for i := 0; i < n; i++ {
+		ino, err := fs.CreateFile(sizeBlocks)
+		if err != nil {
+			return nil, err
+		}
+		inos = append(inos, ino)
+	}
+	return inos, fs.Sync()
+}
+
+// RunDeleteFiles deletes the given files, then syncs — the delete
+// microbenchmark.
+func RunDeleteFiles(fs *FS, inos []uint64) error {
+	for _, ino := range inos {
+		if err := fs.DeleteFile(ino); err != nil {
+			return err
+		}
+	}
+	return fs.Sync()
+}
+
+// RunDbench approximates dbench's CIFS file-server personality: a stream
+// of creates, appends, and deletes dominated by data writes of mixed
+// sizes, with periodic flushes. It returns the number of bytes written,
+// from which the benchmark's MB/s figure derives.
+func RunDbench(fs *FS, ops int, seed int64) (bytesWritten int64, err error) {
+	rng := rand.New(rand.NewSource(seed))
+	var pool []uint64
+	for i := 0; i < ops; i++ {
+		x := rng.Float64()
+		switch {
+		case x < 0.45 || len(pool) == 0: // create with data
+			size := 1 + rng.Intn(16) // up to 64 KB
+			ino, err := fs.CreateFile(size)
+			if err != nil {
+				return bytesWritten, err
+			}
+			bytesWritten += int64(size) * storage.PageSize
+			pool = append(pool, ino)
+		case x < 0.75: // append (write to existing file)
+			ino := pool[rng.Intn(len(pool))]
+			size := 1 + rng.Intn(8)
+			if err := fs.AppendFile(ino, size); err != nil {
+				return bytesWritten, err
+			}
+			bytesWritten += int64(size) * storage.PageSize
+		case x < 0.90: // delete
+			j := rng.Intn(len(pool))
+			if err := fs.DeleteFile(pool[j]); err != nil {
+				return bytesWritten, err
+			}
+			pool = append(pool[:j], pool[j+1:]...)
+		default: // "read"/stat traffic: no metadata mutation
+		}
+		if i%500 == 499 {
+			if err := fs.Fsync(); err != nil {
+				return bytesWritten, err
+			}
+		}
+	}
+	return bytesWritten, fs.Sync()
+}
+
+// RunVarmail approximates FileBench's /var/mail personality with the given
+// number of mailbox "threads": each iteration creates a mail file and
+// fsyncs, appends to an existing mailbox and fsyncs, reads, and deletes an
+// old mail. Returns the number of file operations performed.
+func RunVarmail(fs *FS, threads, iters int, seed int64) (ops int, err error) {
+	rng := rand.New(rand.NewSource(seed))
+	boxes := make([][]uint64, threads)
+	for i := 0; i < iters; i++ {
+		th := i % threads
+		// create + fsync
+		ino, err := fs.CreateFile(1 + rng.Intn(4))
+		if err != nil {
+			return ops, err
+		}
+		boxes[th] = append(boxes[th], ino)
+		ops++
+		if err := fs.Fsync(); err != nil {
+			return ops, err
+		}
+		// append to a random mailbox + fsync
+		if n := len(boxes[th]); n > 0 {
+			if err := fs.AppendFile(boxes[th][rng.Intn(n)], 1); err != nil {
+				return ops, err
+			}
+			ops++
+			if err := fs.Fsync(); err != nil {
+				return ops, err
+			}
+		}
+		// read (no mutation)
+		ops++
+		// delete the oldest mail once the box is big
+		if len(boxes[th]) > 16 {
+			if err := fs.DeleteFile(boxes[th][0]); err != nil {
+				return ops, err
+			}
+			boxes[th] = boxes[th][1:]
+			ops++
+		}
+	}
+	return ops, fs.Sync()
+}
+
+// RunPostmark approximates PostMark: build an initial pool of small files,
+// then run transactions that are a coin flip between create/delete and
+// read/append. Returns the number of transactions executed.
+func RunPostmark(fs *FS, initialFiles, transactions int, seed int64) (int, error) {
+	rng := rand.New(rand.NewSource(seed))
+	var pool []uint64
+	for i := 0; i < initialFiles; i++ {
+		ino, err := fs.CreateFile(1 + rng.Intn(4))
+		if err != nil {
+			return 0, err
+		}
+		pool = append(pool, ino)
+	}
+	if err := fs.Sync(); err != nil {
+		return 0, err
+	}
+	done := 0
+	for i := 0; i < transactions; i++ {
+		if rng.Intn(2) == 0 {
+			// create or delete
+			if rng.Intn(2) == 0 || len(pool) == 0 {
+				ino, err := fs.CreateFile(1 + rng.Intn(4))
+				if err != nil {
+					return done, err
+				}
+				pool = append(pool, ino)
+			} else {
+				j := rng.Intn(len(pool))
+				if err := fs.DeleteFile(pool[j]); err != nil {
+					return done, err
+				}
+				pool = append(pool[:j], pool[j+1:]...)
+			}
+		} else {
+			// read or append
+			if rng.Intn(2) == 0 && len(pool) > 0 {
+				if err := fs.AppendFile(pool[rng.Intn(len(pool))], 1); err != nil {
+					return done, err
+				}
+			}
+			// reads mutate nothing
+		}
+		done++
+	}
+	return done, fs.Sync()
+}

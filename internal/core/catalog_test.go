@@ -1,0 +1,207 @@
+package core
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestCatalogSnapshots(t *testing.T) {
+	c := NewMemCatalog()
+	if !c.IsLive(0) {
+		t.Fatal("line 0 not live")
+	}
+	if err := c.CreateSnapshot(0, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateSnapshot(0, 9); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateSnapshot(1, 5); err == nil {
+		t.Fatal("snapshot on unknown line accepted")
+	}
+	if got := c.SnapshotsIn(0, 0, Infinity); len(got) != 2 || got[0] != 5 || got[1] != 9 {
+		t.Fatalf("SnapshotsIn = %v", got)
+	}
+	if got := c.SnapshotsIn(0, 6, 9); len(got) != 0 {
+		t.Fatalf("SnapshotsIn(6,9) = %v", got)
+	}
+	if got := c.SnapshotsIn(0, 9, 10); len(got) != 1 {
+		t.Fatalf("SnapshotsIn(9,10) = %v", got)
+	}
+	if err := c.DeleteSnapshot(0, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DeleteSnapshot(0, 5); err == nil {
+		t.Fatal("double delete accepted")
+	}
+	if got := c.Snapshots(0); len(got) != 1 || got[0] != 9 {
+		t.Fatalf("Snapshots = %v", got)
+	}
+}
+
+func TestCatalogClones(t *testing.T) {
+	c := NewMemCatalog()
+	if err := c.CreateClone(1, 0, 5); err == nil {
+		t.Fatal("clone of non-snapshot accepted")
+	}
+	if err := c.CreateSnapshot(0, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateClone(1, 0, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateClone(1, 0, 5); err == nil {
+		t.Fatal("duplicate line accepted")
+	}
+	if !c.IsLive(1) {
+		t.Fatal("clone not live")
+	}
+	clones := c.Clones(0)
+	if len(clones) != 1 || clones[0] != (Clone{Line: 1, Base: 5}) {
+		t.Fatalf("Clones = %+v", clones)
+	}
+	if !c.PinnedIn(0, 5, 6) {
+		t.Fatal("clone base not pinned")
+	}
+	if c.PinnedIn(0, 6, 10) {
+		t.Fatal("non-base version pinned")
+	}
+}
+
+func TestCatalogZombies(t *testing.T) {
+	c := NewMemCatalog()
+	if err := c.CreateSnapshot(0, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateClone(1, 0, 5); err != nil {
+		t.Fatal(err)
+	}
+	// Deleting the cloned snapshot makes it a zombie: it disappears from
+	// SnapshotsIn but stays pinned.
+	if err := c.DeleteSnapshot(0, 5); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.SnapshotsIn(0, 0, Infinity); len(got) != 0 {
+		t.Fatalf("zombie still listed: %v", got)
+	}
+	if !c.PinnedIn(0, 5, 6) {
+		t.Fatal("zombie base not pinned")
+	}
+	if len(c.Clones(0)) != 1 {
+		t.Fatal("clone of zombie not returned")
+	}
+	// Reaping with the clone still alive releases nothing.
+	if n := c.ReapZombies(); n != 0 {
+		t.Fatalf("ReapZombies released %d with live clone", n)
+	}
+	// Delete the clone line; the zombie can now be reaped.
+	if err := c.DeleteLine(1); err != nil {
+		t.Fatal(err)
+	}
+	if n := c.ReapZombies(); n != 1 {
+		t.Fatalf("ReapZombies released %d, want 1", n)
+	}
+	if c.PinnedIn(0, 5, 6) {
+		t.Fatal("reaped zombie still pinned")
+	}
+	if len(c.Clones(0)) != 0 {
+		t.Fatal("dead clone still returned")
+	}
+}
+
+func TestCatalogTransitiveClones(t *testing.T) {
+	// line0 --snap5--> line1 --snap9--> line2; line1 deleted entirely.
+	// line0's version 5 must stay pinned because line2 transitively
+	// inherits through line1.
+	c := NewMemCatalog()
+	if err := c.CreateSnapshot(0, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateClone(1, 0, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateSnapshot(1, 9); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateClone(2, 1, 9); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DeleteSnapshot(1, 9); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DeleteLine(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DeleteSnapshot(0, 5); err != nil {
+		t.Fatal(err)
+	}
+	// line1 is dead (no live FS, no snapshots) but line2 needs it.
+	if !c.PinnedIn(0, 5, 6) {
+		t.Fatal("transitively needed base not pinned")
+	}
+	if !c.PinnedIn(1, 9, 10) {
+		t.Fatal("line1's cloned version not pinned")
+	}
+	if n := c.ReapZombies(); n != 0 {
+		t.Fatalf("reaped %d while line2 alive", n)
+	}
+	// Kill line2: everything collapses.
+	if err := c.DeleteLine(2); err != nil {
+		t.Fatal(err)
+	}
+	c.ReapZombies()
+	c.ReapZombies() // second pass collapses the now-unneeded line1 chain
+	if c.PinnedIn(0, 5, 6) {
+		t.Fatal("base still pinned after all descendants died")
+	}
+}
+
+func TestCatalogJSONRoundTrip(t *testing.T) {
+	c := NewMemCatalog()
+	if err := c.CreateSnapshot(0, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateSnapshot(0, 9); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateClone(1, 0, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DeleteSnapshot(0, 5); err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2 := NewMemCatalog()
+	if err := json.Unmarshal(data, c2); err != nil {
+		t.Fatal(err)
+	}
+	if !c2.IsLive(1) || !c2.IsLive(0) {
+		t.Fatal("liveness lost")
+	}
+	if got := c2.Snapshots(0); len(got) != 1 || got[0] != 9 {
+		t.Fatalf("snapshots lost: %v", got)
+	}
+	if !c2.PinnedIn(0, 5, 6) {
+		t.Fatal("zombie pin lost")
+	}
+	if cl := c2.Clones(0); len(cl) != 1 || cl[0].Line != 1 {
+		t.Fatalf("clones lost: %+v", cl)
+	}
+}
+
+func TestCatalogLines(t *testing.T) {
+	c := NewMemCatalog()
+	if err := c.CreateSnapshot(0, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateClone(7, 0, 3); err != nil {
+		t.Fatal(err)
+	}
+	lines := c.Lines()
+	if len(lines) != 2 || lines[0] != 0 || lines[1] != 7 {
+		t.Fatalf("Lines = %v", lines)
+	}
+}

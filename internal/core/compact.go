@@ -1,0 +1,286 @@
+package core
+
+import (
+	"sort"
+
+	"github.com/backlogfs/backlog/internal/lsm"
+)
+
+// Compact runs database maintenance on every partition (Section 5.2): it
+// merges all read-store runs, precomputes the Combined table by joining
+// From and To, purges records that refer only to deleted snapshots, and
+// physically drops deletion-vector entries. Afterwards each partition holds
+// at most one Combined run (complete records) and one From run (incomplete
+// records), and the To table is empty.
+func (e *Engine) Compact() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for p := 0; p < e.db.Partitions(); p++ {
+		if err := e.compactPartition(p); err != nil {
+			return err
+		}
+	}
+	e.stats.Compactions++
+	return nil
+}
+
+// CompactPartition compacts a single partition; partitions can be
+// maintained selectively and independently (Section 5.3).
+func (e *Engine) CompactPartition(p int) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.compactPartition(p); err != nil {
+		return err
+	}
+	e.stats.Compactions++
+	return nil
+}
+
+// groupRecs is one identity group pulled from the three merged streams.
+type groupRecs struct {
+	id        Ref // identity fields only (CP fields zero)
+	froms     []uint64
+	tos       []uint64
+	combineds []interval
+}
+
+func (e *Engine) compactPartition(p int) error {
+	fromTbl := e.db.Table(TableFrom)
+	toTbl := e.db.Table(TableTo)
+	combTbl := e.db.Table(TableCombined)
+
+	if len(fromTbl.Runs(p)) == 0 && len(toTbl.Runs(p)) == 0 && len(combTbl.Runs(p)) <= 1 {
+		// Nothing to merge; at most the single compacted Combined run.
+		return nil
+	}
+
+	fromIt, err := fromTbl.MergedIter(p)
+	if err != nil {
+		return err
+	}
+	toIt, err := toTbl.MergedIter(p)
+	if err != nil {
+		return err
+	}
+	combIt, err := combTbl.MergedIter(p)
+	if err != nil {
+		return err
+	}
+
+	fs := &recStream{it: fromIt}
+	ts := &recStream{it: toIt}
+	cs := &recStream{it: combIt}
+	if err := fs.advance(); err != nil {
+		return err
+	}
+	if err := ts.advance(); err != nil {
+		return err
+	}
+	if err := cs.advance(); err != nil {
+		return err
+	}
+
+	newFrom, err := e.db.NewRunBuilder(TableFrom, p, 1, e.db.CP())
+	if err != nil {
+		return err
+	}
+	newComb, err := e.db.NewRunBuilder(TableCombined, p, 1, e.db.CP())
+	if err != nil {
+		return err
+	}
+	abort := func(err error) error {
+		newFrom.Abort()
+		newComb.Abort()
+		return err
+	}
+
+	for {
+		g, ok, err := nextGroup(fs, ts, cs)
+		if err != nil {
+			return abort(err)
+		}
+		if !ok {
+			break
+		}
+		if err := e.emitGroup(g, newFrom, newComb); err != nil {
+			return abort(err)
+		}
+	}
+
+	edit := e.db.NewEdit()
+	if ref, ok, err := newFrom.Finish(); err != nil {
+		newComb.Abort()
+		return err
+	} else if ok {
+		edit.AddRun(ref)
+	}
+	if ref, ok, err := newComb.Finish(); err != nil {
+		return err
+	} else if ok {
+		edit.AddRun(ref)
+	}
+	for _, r := range fromTbl.Runs(p) {
+		edit.DropRun(TableFrom, r.Name())
+	}
+	for _, r := range toTbl.Runs(p) {
+		edit.DropRun(TableTo, r.Name())
+	}
+	for _, r := range combTbl.Runs(p) {
+		edit.DropRun(TableCombined, r.Name())
+	}
+	fromTbl.ClearDVPartition(p)
+	toTbl.ClearDVPartition(p)
+	combTbl.ClearDVPartition(p)
+	edit.FlushDV(TableFrom).FlushDV(TableTo).FlushDV(TableCombined)
+	return edit.Commit()
+}
+
+// emitGroup joins one identity group, applies the purge policy, and writes
+// the surviving records.
+func (e *Engine) emitGroup(g groupRecs, newFrom, newComb *lsm.RunBuilder) error {
+	cat := e.catalog
+	line := g.id.Line
+
+	joined := joinGroup(g.froms, g.tos)
+
+	// Complete intervals from the join plus pre-existing Combined records.
+	var complete []interval
+	var incomplete []uint64 // from values of still-live references
+	for _, iv := range joined {
+		if iv.to == Infinity {
+			incomplete = append(incomplete, iv.from)
+		} else {
+			complete = append(complete, iv)
+		}
+	}
+	complete = dedupeIntervals(append(complete, g.combineds...))
+
+	for _, iv := range complete {
+		if !e.keepInterval(line, iv.from, iv.to) {
+			e.stats.RecordsPurged++
+			continue
+		}
+		rec := EncodeCombined(CombinedRec{
+			Ref:  Ref{Block: g.id.Block, Inode: g.id.Inode, Offset: g.id.Offset, Line: line, Length: g.id.Length},
+			From: iv.from, To: iv.to,
+		})
+		if err := newComb.Add(rec); err != nil {
+			return err
+		}
+	}
+	sort.Slice(incomplete, func(i, j int) bool { return incomplete[i] < incomplete[j] })
+	for _, f := range incomplete {
+		if !e.keepInterval(line, f, Infinity) {
+			e.stats.RecordsPurged++
+			continue
+		}
+		rec := EncodeFrom(FromRec{
+			Ref:  Ref{Block: g.id.Block, Inode: g.id.Inode, Offset: g.id.Offset, Line: line, Length: g.id.Length},
+			From: f,
+		})
+		if err := newFrom.Add(rec); err != nil {
+			return err
+		}
+	}
+	_ = cat
+	return nil
+}
+
+// keepInterval decides whether a record with validity [from, to) on line
+// must survive compaction. It survives when any retained snapshot falls in
+// the interval, when the line's live file system still holds the reference,
+// when a clone base (including zombie snapshots) inside the interval pins
+// it for inheritance, or when it is an override record (from == 0) of a
+// line that is still needed — purging an override would resurrect
+// inheritance the file system explicitly terminated.
+func (e *Engine) keepInterval(line, from, to uint64) bool {
+	cat := e.catalog
+	if len(cat.SnapshotsIn(line, from, to)) > 0 {
+		return true
+	}
+	if to == Infinity && cat.IsLive(line) {
+		return true
+	}
+	if cat.PinnedIn(line, from, to) {
+		return true
+	}
+	if from == 0 {
+		// Override record: keep while the line can still inherit.
+		if cat.IsLive(line) || len(cat.SnapshotsIn(line, 0, Infinity)) > 0 ||
+			cat.PinnedIn(line, 0, Infinity) {
+			return true
+		}
+	}
+	return false
+}
+
+// recStream is a peekable decoded record stream used by the group merge.
+type recStream struct {
+	it  lsm.RecIter
+	cur []byte
+	ok  bool
+}
+
+func (s *recStream) advance() error {
+	rec, ok, err := s.it.Next()
+	if err != nil {
+		return err
+	}
+	if !ok {
+		s.ok = false
+		s.cur = nil
+		return nil
+	}
+	s.cur = append(s.cur[:0], rec...)
+	s.ok = true
+	return nil
+}
+
+// curIdentity decodes the identity prefix of the stream head.
+func (s *recStream) curIdentity() Ref {
+	return getRef(s.cur)
+}
+
+// nextGroup pulls the smallest-identity group across the three streams.
+func nextGroup(fs, ts, cs *recStream) (groupRecs, bool, error) {
+	var minID Ref
+	found := false
+	consider := func(s *recStream) {
+		if !s.ok {
+			return
+		}
+		id := s.curIdentity()
+		if !found || compareRef(id, minID) < 0 {
+			minID = id
+			found = true
+		}
+	}
+	consider(fs)
+	consider(ts)
+	consider(cs)
+	if !found {
+		return groupRecs{}, false, nil
+	}
+
+	g := groupRecs{id: minID}
+	for fs.ok && compareRef(fs.curIdentity(), minID) == 0 {
+		g.froms = append(g.froms, DecodeFrom(fs.cur).From)
+		if err := fs.advance(); err != nil {
+			return groupRecs{}, false, err
+		}
+	}
+	for ts.ok && compareRef(ts.curIdentity(), minID) == 0 {
+		g.tos = append(g.tos, DecodeTo(ts.cur).To)
+		if err := ts.advance(); err != nil {
+			return groupRecs{}, false, err
+		}
+	}
+	for cs.ok && compareRef(cs.curIdentity(), minID) == 0 {
+		c := DecodeCombined(cs.cur)
+		g.combineds = append(g.combineds, interval{from: c.From, to: c.To})
+		if err := cs.advance(); err != nil {
+			return groupRecs{}, false, err
+		}
+	}
+	return g, true, nil
+}

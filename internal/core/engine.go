@@ -1,0 +1,422 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"github.com/backlogfs/backlog/internal/btree"
+	"github.com/backlogfs/backlog/internal/lsm"
+	"github.com/backlogfs/backlog/internal/memtree"
+	"github.com/backlogfs/backlog/internal/storage"
+)
+
+// Options configures an Engine.
+type Options struct {
+	// VFS is where the back-reference database lives. Required.
+	VFS storage.VFS
+	// Catalog supplies snapshot topology for masking, inheritance
+	// expansion, and purging. Required.
+	Catalog Catalog
+	// CacheBytes sizes the shared page cache (default 32 MB, the paper's
+	// micro-benchmark configuration). Negative disables caching.
+	CacheBytes int64
+	// Partitions is the number of block-range partitions (default 1).
+	Partitions int
+	// PartitionSpan is the number of blocks per partition (required when
+	// Partitions > 1 unless HashPartitioning is set).
+	PartitionSpan uint64
+	// HashPartitioning routes blocks to partitions by hash instead of by
+	// contiguous range (Section 5.3's alternative scheme).
+	HashPartitioning bool
+	// BloomMaxBytes caps From/To run filters (default 32 KB).
+	BloomMaxBytes int
+	// CombinedBloomMaxBytes caps Combined run filters (default 1 MB).
+	CombinedBloomMaxBytes int
+	// DisablePruning turns off same-CP proactive pruning (ablation).
+	DisablePruning bool
+	// DisableBloom makes queries consult every run regardless of its
+	// Bloom filter (ablation).
+	DisableBloom bool
+}
+
+// Stats counts engine activity. All counters are cumulative.
+type Stats struct {
+	RefsAdded      uint64 // AddRef calls
+	RefsRemoved    uint64 // RemoveRef calls
+	PrunedAdds     uint64 // To entries cancelled by a same-CP AddRef
+	PrunedRemoves  uint64 // From entries cancelled by a same-CP RemoveRef
+	Checkpoints    uint64
+	Compactions    uint64
+	RecordsFlushed uint64 // records written to Level-0 runs
+	RecordsPurged  uint64 // records dropped by compaction
+	Queries        uint64
+	Relocations    uint64
+}
+
+// Engine is the Backlog back-reference database.
+type Engine struct {
+	mu      sync.Mutex
+	opts    Options
+	vfs     storage.VFS
+	catalog Catalog
+	db      *lsm.DB
+	cache   *btree.Cache
+
+	wsFrom     *memtree.Tree[FromRec]
+	wsTo       *memtree.Tree[ToRec]
+	wsCombined *memtree.Tree[CombinedRec] // used only by relocation
+
+	stats Stats
+}
+
+// Open opens or creates a Backlog database.
+func Open(opts Options) (*Engine, error) {
+	if opts.VFS == nil {
+		return nil, errors.New("core: Options.VFS is required")
+	}
+	if opts.Catalog == nil {
+		return nil, errors.New("core: Options.Catalog is required")
+	}
+	cacheBytes := opts.CacheBytes
+	if cacheBytes == 0 {
+		cacheBytes = 32 << 20
+	}
+	var cache *btree.Cache
+	if cacheBytes > 0 {
+		cache = btree.NewCacheBytes(cacheBytes)
+	}
+	bfFromTo := opts.BloomMaxBytes
+	if bfFromTo == 0 {
+		bfFromTo = 32 << 10
+	}
+	bfCombined := opts.CombinedBloomMaxBytes
+	if bfCombined == 0 {
+		bfCombined = 1 << 20
+	}
+	db, err := lsm.Open(opts.VFS, lsm.Options{
+		Tables: []lsm.TableSpec{
+			{Name: TableFrom, RecordSize: FromRecSize, BloomMaxBytes: bfFromTo},
+			{Name: TableTo, RecordSize: ToRecSize, BloomMaxBytes: bfFromTo},
+			{Name: TableCombined, RecordSize: CombinedSize, BloomMaxBytes: bfCombined},
+		},
+		Partitions:       opts.Partitions,
+		PartitionSpan:    opts.PartitionSpan,
+		HashPartitioning: opts.HashPartitioning,
+		Cache:            cache,
+		DisableBloom:     opts.DisableBloom,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{
+		opts:       opts,
+		vfs:        opts.VFS,
+		catalog:    opts.Catalog,
+		db:         db,
+		cache:      cache,
+		wsFrom:     memtree.New(lessFrom),
+		wsTo:       memtree.New(lessTo),
+		wsCombined: memtree.New(lessCombined),
+	}, nil
+}
+
+// CP returns the last durable consistency point number.
+func (e *Engine) CP() uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.db.CP()
+}
+
+// Stats returns a snapshot of the engine's counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// SizeBytes returns the on-disk size of the back-reference database.
+func (e *Engine) SizeBytes() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.db.SizeBytes()
+}
+
+// RunCount returns the number of live read-store runs.
+func (e *Engine) RunCount() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.db.RunCount()
+}
+
+// WSLen returns the number of buffered write-store entries (From + To +
+// Combined).
+func (e *Engine) WSLen() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.wsFrom.Len() + e.wsTo.Len() + e.wsCombined.Len()
+}
+
+// ClearCaches drops the shared page cache; the query experiments do this
+// before every run (Section 6.4).
+func (e *Engine) ClearCaches() {
+	if e.cache != nil {
+		e.cache.Clear()
+	}
+}
+
+// AddRef records that ref became live at CP cp. If the same reference was
+// removed earlier within the same CP interval, the two cancel: the To entry
+// is deleted from the write store and the original interval simply
+// continues (proactive pruning, Section 5.1).
+func (e *Engine) AddRef(ref Ref, cp uint64) {
+	if ref.Length == 0 {
+		ref.Length = 1
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.stats.RefsAdded++
+	if !e.opts.DisablePruning {
+		if e.wsTo.Delete(ToRec{Ref: ref, To: cp}) {
+			e.stats.PrunedAdds++
+			return
+		}
+	}
+	e.wsFrom.Insert(FromRec{Ref: ref, From: cp})
+}
+
+// RemoveRef records that ref ceased to be live at CP cp. If the reference
+// was added within the same CP interval, both entries are pruned and
+// nothing reaches disk.
+func (e *Engine) RemoveRef(ref Ref, cp uint64) {
+	if ref.Length == 0 {
+		ref.Length = 1
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.stats.RefsRemoved++
+	if !e.opts.DisablePruning {
+		if e.wsFrom.Delete(FromRec{Ref: ref, From: cp}) {
+			e.stats.PrunedRemoves++
+			return
+		}
+	}
+	e.wsTo.Insert(ToRec{Ref: ref, To: cp})
+}
+
+// Checkpoint flushes the write stores to new Level-0 runs and commits them
+// together with the CP number. After Checkpoint returns, all references up
+// to cp are durable. The write stores are empty afterwards.
+func (e *Engine) Checkpoint(cp uint64) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	edit := e.db.NewEdit().SetCP(cp)
+
+	flushed, err := flushWS(e.db, edit, TableFrom, cp, e.wsFrom, func(r FromRec) (uint64, []byte) {
+		return r.Block, EncodeFrom(r)
+	})
+	if err != nil {
+		return err
+	}
+	n2, err := flushWS(e.db, edit, TableTo, cp, e.wsTo, func(r ToRec) (uint64, []byte) {
+		return r.Block, EncodeTo(r)
+	})
+	if err != nil {
+		return err
+	}
+	n3, err := flushWS(e.db, edit, TableCombined, cp, e.wsCombined, func(r CombinedRec) (uint64, []byte) {
+		return r.Block, EncodeCombined(r)
+	})
+	if err != nil {
+		return err
+	}
+	if err := edit.Commit(); err != nil {
+		return err
+	}
+	e.wsFrom.Clear()
+	e.wsTo.Clear()
+	e.wsCombined.Clear()
+	e.stats.Checkpoints++
+	e.stats.RecordsFlushed += flushed + n2 + n3
+	return nil
+}
+
+// flushWS writes one table's write store into per-partition Level-0 runs,
+// appending AddRun entries to edit. The tree iterates in ascending record
+// order, and partition boundaries are ascending in block, so each
+// partition's builder receives a sorted stream.
+func flushWS[T any](db *lsm.DB, edit *lsm.Edit, table string, cp uint64,
+	ws *memtree.Tree[T], enc func(T) (uint64, []byte)) (uint64, error) {
+	if ws.Len() == 0 {
+		return 0, nil
+	}
+	var (
+		builder *lsm.RunBuilder
+		curPart = -1
+		count   uint64
+		retErr  error
+	)
+	finish := func() bool {
+		if builder == nil {
+			return true
+		}
+		ref, ok, err := builder.Finish()
+		if err != nil {
+			retErr = err
+			return false
+		}
+		if ok {
+			edit.AddRun(ref)
+		}
+		builder = nil
+		return true
+	}
+	ws.Ascend(func(item T) bool {
+		block, rec := enc(item)
+		p := db.PartitionOf(block)
+		if p != curPart {
+			if !finish() {
+				return false
+			}
+			b, err := db.NewRunBuilder(table, p, 0, cp)
+			if err != nil {
+				retErr = err
+				return false
+			}
+			builder, curPart = b, p
+		}
+		if err := builder.Add(rec); err != nil {
+			retErr = err
+			return false
+		}
+		count++
+		return true
+	})
+	if retErr != nil {
+		if builder != nil {
+			builder.Abort()
+		}
+		return 0, retErr
+	}
+	if !finish() {
+		return 0, retErr
+	}
+	return count, nil
+}
+
+// RelocateBlock transplants every back reference of oldBlock onto
+// newBlock: run records for oldBlock enter the deletion vectors (paper
+// Section 5.1) and equivalent records keyed by newBlock are inserted into
+// the write stores, becoming durable at the next Checkpoint. Block
+// relocation utilities (defragmentation, volume shrinking) call this after
+// moving the physical data and rewriting the file-system pointers.
+func (e *Engine) RelocateBlock(oldBlock, newBlock uint64) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if oldBlock == newBlock {
+		return nil
+	}
+	e.stats.Relocations++
+
+	// Run records: hide via deletion vectors, reinsert re-keyed.
+	fromTbl := e.db.Table(TableFrom)
+	var err error
+	collect := func(tbl *lsm.Table, each func(rec []byte)) error {
+		var recs [][]byte
+		if err := tbl.CollectBlock(oldBlock, func(rec []byte) bool {
+			recs = append(recs, append([]byte(nil), rec...))
+			return true
+		}); err != nil {
+			return err
+		}
+		for _, rec := range recs {
+			tbl.DeleteRecord(rec)
+			each(rec)
+		}
+		return nil
+	}
+	err = collect(fromTbl, func(rec []byte) {
+		r := DecodeFrom(rec)
+		r.Block = newBlock
+		e.wsFrom.Insert(r)
+	})
+	if err != nil {
+		return err
+	}
+	err = collect(e.db.Table(TableTo), func(rec []byte) {
+		r := DecodeTo(rec)
+		r.Block = newBlock
+		e.wsTo.Insert(r)
+	})
+	if err != nil {
+		return err
+	}
+	err = collect(e.db.Table(TableCombined), func(rec []byte) {
+		r := DecodeCombined(rec)
+		r.Block = newBlock
+		e.wsCombined.Insert(r)
+	})
+	if err != nil {
+		return err
+	}
+
+	// Write-store records: re-key in place.
+	rekeyFrom := collectWSFrom(e.wsFrom, oldBlock)
+	for _, r := range rekeyFrom {
+		e.wsFrom.Delete(r)
+		r.Block = newBlock
+		e.wsFrom.Insert(r)
+	}
+	rekeyTo := collectWSTo(e.wsTo, oldBlock)
+	for _, r := range rekeyTo {
+		e.wsTo.Delete(r)
+		r.Block = newBlock
+		e.wsTo.Insert(r)
+	}
+	var rekeyC []CombinedRec
+	e.wsCombined.Scan(CombinedRec{Ref: Ref{Block: oldBlock}}, func(r CombinedRec) bool {
+		if r.Block != oldBlock {
+			return false
+		}
+		rekeyC = append(rekeyC, r)
+		return true
+	})
+	for _, r := range rekeyC {
+		e.wsCombined.Delete(r)
+		r.Block = newBlock
+		e.wsCombined.Insert(r)
+	}
+	return nil
+}
+
+func collectWSFrom(ws *memtree.Tree[FromRec], block uint64) []FromRec {
+	var out []FromRec
+	ws.Scan(FromRec{Ref: Ref{Block: block}}, func(r FromRec) bool {
+		if r.Block != block {
+			return false
+		}
+		out = append(out, r)
+		return true
+	})
+	return out
+}
+
+func collectWSTo(ws *memtree.Tree[ToRec], block uint64) []ToRec {
+	var out []ToRec
+	ws.Scan(ToRec{Ref: Ref{Block: block}}, func(r ToRec) bool {
+		if r.Block != block {
+			return false
+		}
+		out = append(out, r)
+		return true
+	})
+	return out
+}
+
+// Catalog returns the engine's snapshot catalog.
+func (e *Engine) Catalog() Catalog { return e.catalog }
+
+// DB exposes the underlying LSM store for tests and tooling.
+func (e *Engine) DB() *lsm.DB { return e.db }
+
+var _ = fmt.Sprintf

@@ -1,0 +1,310 @@
+package core
+
+import (
+	"sort"
+)
+
+// Owner is one query result: a logical owner of the queried block, with the
+// CP-version interval during which the reference was live and the masked
+// set of versions that still exist (Section 4.2.1).
+type Owner struct {
+	// Inode, Offset, Line, Length identify the reference.
+	Inode  uint64
+	Offset uint64
+	Line   uint64
+	Length uint64
+	// From and To delimit the raw validity interval [From, To).
+	From uint64
+	To   uint64
+	// Versions lists the retained snapshot versions of Line within
+	// [From, To) — the snapshots whose metadata must be updated if the
+	// block moves.
+	Versions []uint64
+	// Live reports whether the line's writable file system currently
+	// references the block (To == Infinity on a live line).
+	Live bool
+	// Inherited marks owners synthesized by structural inheritance from a
+	// cloned snapshot rather than stored explicitly.
+	Inherited bool
+}
+
+// identity is the grouping key of the join: everything but the CP fields.
+type identity struct {
+	Inode  uint64
+	Offset uint64
+	Line   uint64
+	Length uint64
+}
+
+func identOf(r Ref) identity {
+	return identity{Inode: r.Inode, Offset: r.Offset, Line: r.Line, Length: r.Length}
+}
+
+// interval is a joined validity range.
+type interval struct {
+	from, to  uint64
+	inherited bool
+}
+
+// Query returns every owner of the given physical block: explicit records
+// (From ⋈ To across runs and write stores, plus precomputed Combined
+// records) expanded through clone inheritance and masked against existing
+// snapshots. Owners with no surviving version and no live reference are
+// omitted.
+func (e *Engine) Query(block uint64) ([]Owner, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.stats.Queries++
+	return e.queryLocked(block)
+}
+
+func (e *Engine) queryLocked(block uint64) ([]Owner, error) {
+	groups, err := e.combinedForBlock(block)
+	if err != nil {
+		return nil, err
+	}
+	expandInheritance(groups, e.catalog)
+	return maskOwners(groups, e.catalog), nil
+}
+
+// combinedForBlock reconstructs the Combined view of one block:
+// identity -> sorted intervals.
+func (e *Engine) combinedForBlock(block uint64) (map[identity][]interval, error) {
+	var (
+		froms     []FromRec
+		tos       []ToRec
+		combineds []CombinedRec
+	)
+
+	// Run records.
+	if err := e.db.Table(TableFrom).CollectBlock(block, func(rec []byte) bool {
+		froms = append(froms, DecodeFrom(rec))
+		return true
+	}); err != nil {
+		return nil, err
+	}
+	if err := e.db.Table(TableTo).CollectBlock(block, func(rec []byte) bool {
+		tos = append(tos, DecodeTo(rec))
+		return true
+	}); err != nil {
+		return nil, err
+	}
+	if err := e.db.Table(TableCombined).CollectBlock(block, func(rec []byte) bool {
+		combineds = append(combineds, DecodeCombined(rec))
+		return true
+	}); err != nil {
+		return nil, err
+	}
+
+	// Write-store records. The paper guarantees all entries of the current
+	// CP are in memory; they participate in queries immediately.
+	froms = append(froms, collectWSFrom(e.wsFrom, block)...)
+	tos = append(tos, collectWSTo(e.wsTo, block)...)
+	e.wsCombined.Scan(CombinedRec{Ref: Ref{Block: block}}, func(r CombinedRec) bool {
+		if r.Block != block {
+			return false
+		}
+		combineds = append(combineds, r)
+		return true
+	})
+
+	// Group by identity.
+	fromsBy := map[identity][]uint64{}
+	for _, f := range froms {
+		fromsBy[identOf(f.Ref)] = append(fromsBy[identOf(f.Ref)], f.From)
+	}
+	tosBy := map[identity][]uint64{}
+	for _, t := range tos {
+		tosBy[identOf(t.Ref)] = append(tosBy[identOf(t.Ref)], t.To)
+	}
+
+	groups := map[identity][]interval{}
+	for id, fs := range fromsBy {
+		ivs := joinGroup(fs, tosBy[id])
+		groups[id] = append(groups[id], ivs...)
+		delete(tosBy, id)
+	}
+	for id, ts := range tosBy { // To entries with no From at all
+		ivs := joinGroup(nil, ts)
+		groups[id] = append(groups[id], ivs...)
+	}
+	for _, c := range combineds {
+		id := identOf(c.Ref)
+		groups[id] = append(groups[id], interval{from: c.From, to: c.To})
+	}
+	for id := range groups {
+		ivs := dedupeIntervals(groups[id])
+		groups[id] = ivs
+	}
+	return groups, nil
+}
+
+// joinGroup implements the outer join of one identity group
+// (Section 4.2.1): each To entry joins the earliest unconsumed From entry
+// with From.from <= To.to; Froms without a To join the implicit to =
+// Infinity; Tos without a From join the implicit from = 0 (an inheritance
+// override, Section 4.2.2). Pairs with from == to describe references that
+// were added and removed within one CP interval; they are normally pruned
+// before reaching disk, but when they do appear (pruning disabled, or an
+// unlucky interleaving) they cancel to nothing here rather than fabricating
+// a spurious override.
+func joinGroup(froms, tos []uint64) []interval {
+	sort.Slice(froms, func(i, j int) bool { return froms[i] < froms[j] })
+	sort.Slice(tos, func(i, j int) bool { return tos[i] < tos[j] })
+	used := make([]bool, len(froms))
+	var out []interval
+	for _, t := range tos {
+		matched := false
+		for i, f := range froms {
+			if used[i] {
+				continue
+			}
+			if f > t {
+				break // froms are sorted; no candidate remains
+			}
+			used[i] = true
+			matched = true
+			if f < t {
+				out = append(out, interval{from: f, to: t})
+			}
+			// f == t: the pair cancels (empty interval).
+			break
+		}
+		if !matched {
+			out = append(out, interval{from: 0, to: t})
+		}
+	}
+	for i, f := range froms {
+		if !used[i] {
+			out = append(out, interval{from: f, to: Infinity})
+		}
+	}
+	return out
+}
+
+func dedupeIntervals(ivs []interval) []interval {
+	sort.Slice(ivs, func(i, j int) bool {
+		if ivs[i].from != ivs[j].from {
+			return ivs[i].from < ivs[j].from
+		}
+		return ivs[i].to < ivs[j].to
+	})
+	out := ivs[:0]
+	for i, iv := range ivs {
+		if i > 0 && iv.from == out[len(out)-1].from && iv.to == out[len(out)-1].to {
+			continue
+		}
+		out = append(out, iv)
+	}
+	return out
+}
+
+// expandInheritance adds implicit records for clone lines (Section 4.2.2):
+// for every interval of snapshot line l covering a clone base (l', v), if
+// the clone has no override (a record with from == 0 on line l'), an
+// implicit record (l', 0, Infinity) is added. The process repeats until it
+// inserts nothing new (clones of clones).
+func expandInheritance(groups map[identity][]interval, cat Catalog) {
+	for {
+		added := false
+		// Snapshot the keys: we mutate the map during iteration.
+		ids := make([]identity, 0, len(groups))
+		for id := range groups {
+			ids = append(ids, id)
+		}
+		for _, id := range ids {
+			for _, iv := range groups[id] {
+				for _, cl := range cat.Clones(id.Line) {
+					if cl.Base < iv.from || cl.Base >= iv.to {
+						continue
+					}
+					cid := identity{Inode: id.Inode, Offset: id.Offset, Line: cl.Line, Length: id.Length}
+					if hasOverride(groups[cid]) {
+						continue
+					}
+					groups[cid] = append(groups[cid], interval{from: 0, to: Infinity, inherited: true})
+					added = true
+				}
+			}
+		}
+		if !added {
+			return
+		}
+	}
+}
+
+// hasOverride reports whether the identity already has a record starting at
+// version 0 — either an explicit override or an implicit one added earlier.
+func hasOverride(ivs []interval) bool {
+	for _, iv := range ivs {
+		if iv.from == 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// maskOwners converts joined groups into query results, masking each
+// interval against the versions that still exist and dropping owners with
+// nothing left.
+func maskOwners(groups map[identity][]interval, cat Catalog) []Owner {
+	var out []Owner
+	for id, ivs := range groups {
+		for _, iv := range ivs {
+			versions := cat.SnapshotsIn(id.Line, iv.from, iv.to)
+			live := iv.to == Infinity && cat.IsLive(id.Line)
+			if len(versions) == 0 && !live {
+				continue
+			}
+			out = append(out, Owner{
+				Inode:     id.Inode,
+				Offset:    id.Offset,
+				Line:      id.Line,
+				Length:    id.Length,
+				From:      iv.from,
+				To:        iv.to,
+				Versions:  versions,
+				Live:      live,
+				Inherited: iv.inherited,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		switch {
+		case a.Line != b.Line:
+			return a.Line < b.Line
+		case a.Inode != b.Inode:
+			return a.Inode < b.Inode
+		case a.Offset != b.Offset:
+			return a.Offset < b.Offset
+		case a.From != b.From:
+			return a.From < b.From
+		default:
+			return a.To < b.To
+		}
+	})
+	return out
+}
+
+// QueryRange runs Query for each allocated block in [block, block+n) and
+// invokes visit with each block's owners. Blocks with no owners are passed
+// with an empty slice. This is the "run" access pattern of the query
+// benchmarks (Section 6.4): consecutive sorted queries share pages via the
+// cache.
+func (e *Engine) QueryRange(block uint64, n int, visit func(block uint64, owners []Owner) bool) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for i := 0; i < n; i++ {
+		b := block + uint64(i)
+		e.stats.Queries++
+		owners, err := e.queryLocked(b)
+		if err != nil {
+			return err
+		}
+		if !visit(b, owners) {
+			return nil
+		}
+	}
+	return nil
+}

@@ -1,0 +1,192 @@
+// Package core implements Backlog, the log-structured back-reference
+// engine that is the paper's primary contribution (Sections 4 and 5).
+//
+// The engine tracks, for every physical block, the set of logical owners —
+// (inode, offset, snapshot line, extent length) tuples — together with the
+// range of consistency-point (CP) versions during which each owner
+// referenced the block. Reference additions insert into the From table and
+// reference removals insert into the To table; both are write-only. The
+// queryable history (the Combined view) is the outer join of the two,
+// computed lazily at query time over whatever runs exist and materialized
+// in bulk during compaction.
+//
+// Writable clones are handled by structural inheritance: records of a
+// cloned snapshot are implicitly present in the clone line unless overridden
+// by a record with from == 0 (Section 4.2.2). Query results are masked
+// against the set of snapshots that still exist (Section 4.2.1).
+package core
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// Infinity is the "to" value of a live (incomplete) back reference.
+const Infinity = math.MaxUint64
+
+// Record sizes, in bytes. Every field is a 64-bit big-endian integer so
+// that bytes.Compare on the encoding equals field-lexicographic order.
+// The paper's btrfs port uses the same fields (it adds a length field to
+// support extents, Section 6.1); fsim-style block-level callers pass
+// Length == 1.
+const (
+	identityLen   = 40              // block, inode, offset, line, length
+	FromRecSize   = identityLen + 8 // + from
+	ToRecSize     = identityLen + 8 // + to
+	CombinedSize  = identityLen + 16
+	TableFrom     = "from"
+	TableTo       = "to"
+	TableCombined = "combined"
+)
+
+// Ref identifies one logical reference to a physical extent: the extent's
+// first block, the owning inode, the byte offset (in blocks) within the
+// inode, the snapshot line of the owning file system image, and the extent
+// length in blocks.
+type Ref struct {
+	Block  uint64
+	Inode  uint64
+	Offset uint64
+	Line   uint64
+	Length uint64
+}
+
+// FromRec is a row of the From table: ref became live at CP From.
+type FromRec struct {
+	Ref
+	From uint64
+}
+
+// ToRec is a row of the To table: ref ceased to be live at CP To
+// (exclusive).
+type ToRec struct {
+	Ref
+	To uint64
+}
+
+// CombinedRec is a row of the Combined view: ref was live during
+// [From, To). To == Infinity means still live; From == 0 on a clone line
+// marks an inheritance override (Section 4.2.2).
+type CombinedRec struct {
+	Ref
+	From uint64
+	To   uint64
+}
+
+// compareRef orders by (block, inode, offset, line, length).
+func compareRef(a, b Ref) int {
+	switch {
+	case a.Block != b.Block:
+		return cmpU64(a.Block, b.Block)
+	case a.Inode != b.Inode:
+		return cmpU64(a.Inode, b.Inode)
+	case a.Offset != b.Offset:
+		return cmpU64(a.Offset, b.Offset)
+	case a.Line != b.Line:
+		return cmpU64(a.Line, b.Line)
+	default:
+		return cmpU64(a.Length, b.Length)
+	}
+}
+
+func cmpU64(a, b uint64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// lessFrom orders FromRecs by (identity, from).
+func lessFrom(a, b FromRec) bool {
+	if c := compareRef(a.Ref, b.Ref); c != 0 {
+		return c < 0
+	}
+	return a.From < b.From
+}
+
+// lessTo orders ToRecs by (identity, to).
+func lessTo(a, b ToRec) bool {
+	if c := compareRef(a.Ref, b.Ref); c != 0 {
+		return c < 0
+	}
+	return a.To < b.To
+}
+
+// lessCombined orders CombinedRecs by (identity, from, to).
+func lessCombined(a, b CombinedRec) bool {
+	if c := compareRef(a.Ref, b.Ref); c != 0 {
+		return c < 0
+	}
+	if a.From != b.From {
+		return a.From < b.From
+	}
+	return a.To < b.To
+}
+
+func putRef(dst []byte, r Ref) {
+	be := binary.BigEndian
+	be.PutUint64(dst[0:], r.Block)
+	be.PutUint64(dst[8:], r.Inode)
+	be.PutUint64(dst[16:], r.Offset)
+	be.PutUint64(dst[24:], r.Line)
+	be.PutUint64(dst[32:], r.Length)
+}
+
+func getRef(src []byte) Ref {
+	be := binary.BigEndian
+	return Ref{
+		Block:  be.Uint64(src[0:]),
+		Inode:  be.Uint64(src[8:]),
+		Offset: be.Uint64(src[16:]),
+		Line:   be.Uint64(src[24:]),
+		Length: be.Uint64(src[32:]),
+	}
+}
+
+// EncodeFrom encodes a FromRec into a fresh 48-byte slice.
+func EncodeFrom(r FromRec) []byte {
+	buf := make([]byte, FromRecSize)
+	putRef(buf, r.Ref)
+	binary.BigEndian.PutUint64(buf[identityLen:], r.From)
+	return buf
+}
+
+// DecodeFrom decodes a 48-byte From record.
+func DecodeFrom(b []byte) FromRec {
+	return FromRec{Ref: getRef(b), From: binary.BigEndian.Uint64(b[identityLen:])}
+}
+
+// EncodeTo encodes a ToRec into a fresh 48-byte slice.
+func EncodeTo(r ToRec) []byte {
+	buf := make([]byte, ToRecSize)
+	putRef(buf, r.Ref)
+	binary.BigEndian.PutUint64(buf[identityLen:], r.To)
+	return buf
+}
+
+// DecodeTo decodes a 48-byte To record.
+func DecodeTo(b []byte) ToRec {
+	return ToRec{Ref: getRef(b), To: binary.BigEndian.Uint64(b[identityLen:])}
+}
+
+// EncodeCombined encodes a CombinedRec into a fresh 56-byte slice.
+func EncodeCombined(r CombinedRec) []byte {
+	buf := make([]byte, CombinedSize)
+	putRef(buf, r.Ref)
+	binary.BigEndian.PutUint64(buf[identityLen:], r.From)
+	binary.BigEndian.PutUint64(buf[identityLen+8:], r.To)
+	return buf
+}
+
+// DecodeCombined decodes a 56-byte Combined record.
+func DecodeCombined(b []byte) CombinedRec {
+	return CombinedRec{
+		Ref:  getRef(b),
+		From: binary.BigEndian.Uint64(b[identityLen:]),
+		To:   binary.BigEndian.Uint64(b[identityLen+8:]),
+	}
+}

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := FromRec{Ref: Ref{Block: 100, Inode: 2, Offset: 0, Line: 0, Length: 1}, From: 4}
+	if got := DecodeFrom(EncodeFrom(f)); got != f {
+		t.Fatalf("From round trip: %+v", got)
+	}
+	to := ToRec{Ref: Ref{Block: 101, Inode: 2, Offset: 1, Line: 0, Length: 1}, To: 7}
+	if got := DecodeTo(EncodeTo(to)); got != to {
+		t.Fatalf("To round trip: %+v", got)
+	}
+	c := CombinedRec{Ref: Ref{Block: 103, Inode: 4, Offset: 0, Line: 3, Length: 2}, From: 10, To: 12}
+	if got := DecodeCombined(EncodeCombined(c)); got != c {
+		t.Fatalf("Combined round trip: %+v", got)
+	}
+}
+
+func TestRecordSizes(t *testing.T) {
+	if len(EncodeFrom(FromRec{})) != FromRecSize {
+		t.Fatal("From record size")
+	}
+	if len(EncodeTo(ToRec{})) != ToRecSize {
+		t.Fatal("To record size")
+	}
+	if len(EncodeCombined(CombinedRec{})) != CombinedSize {
+		t.Fatal("Combined record size")
+	}
+}
+
+// TestEncodingOrderMatchesComparator is the property that makes the on-disk
+// format work: bytes.Compare on encodings must equal the in-memory field
+// comparators.
+func TestEncodingOrderMatchesComparator(t *testing.T) {
+	norm := func(v uint64) uint64 { return v % 7 } // force collisions
+	f := func(a, b FromRec) bool {
+		a.Block, b.Block = norm(a.Block), norm(b.Block)
+		a.Inode, b.Inode = norm(a.Inode), norm(b.Inode)
+		a.Offset, b.Offset = norm(a.Offset), norm(b.Offset)
+		a.Line, b.Line = norm(a.Line), norm(b.Line)
+		a.Length, b.Length = norm(a.Length), norm(b.Length)
+		a.From, b.From = norm(a.From), norm(b.From)
+		byteLess := bytes.Compare(EncodeFrom(a), EncodeFrom(b)) < 0
+		return byteLess == lessFrom(a, b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	g := func(a, b CombinedRec) bool {
+		a.Block, b.Block = norm(a.Block), norm(b.Block)
+		a.From, b.From = norm(a.From), norm(b.From)
+		a.To, b.To = norm(a.To), norm(b.To)
+		byteLess := bytes.Compare(EncodeCombined(a), EncodeCombined(b)) < 0
+		return byteLess == lessCombined(a, b)
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJoinGroupPaperExample(t *testing.T) {
+	// Section 4.2.1: block 103 of inode 4 allocated at 10, truncated at
+	// 12, reallocated at 16, removed at 20; later allocated to inode 5 at
+	// 30 (separate group).
+	ivs := joinGroup([]uint64{10, 16}, []uint64{12, 20})
+	want := []interval{{from: 10, to: 12}, {from: 16, to: 20}}
+	if len(ivs) != len(want) {
+		t.Fatalf("join = %+v", ivs)
+	}
+	ivs = dedupeIntervals(ivs)
+	for i := range want {
+		if ivs[i].from != want[i].from || ivs[i].to != want[i].to {
+			t.Fatalf("join[%d] = %+v, want %+v", i, ivs[i], want[i])
+		}
+	}
+
+	// The third From (inode 5) has no To: joins implicit infinity.
+	ivs = joinGroup([]uint64{30}, nil)
+	if len(ivs) != 1 || ivs[0].from != 30 || ivs[0].to != Infinity {
+		t.Fatalf("open join = %+v", ivs)
+	}
+
+	// An unmatched To joins the implicit from = 0 (clone override,
+	// Section 4.2.2).
+	ivs = joinGroup(nil, []uint64{43})
+	if len(ivs) != 1 || ivs[0].from != 0 || ivs[0].to != 43 {
+		t.Fatalf("override join = %+v", ivs)
+	}
+}
+
+func TestJoinGroupMixedOverride(t *testing.T) {
+	// Inherited reference COWed at 5, re-added at 8, removed at 12,
+	// re-added at 20 (still live).
+	ivs := dedupeIntervals(joinGroup([]uint64{8, 20}, []uint64{5, 12}))
+	want := []interval{{0, 5, false}, {8, 12, false}, {20, Infinity, false}}
+	if len(ivs) != len(want) {
+		t.Fatalf("join = %+v", ivs)
+	}
+	for i := range want {
+		if ivs[i].from != want[i].from || ivs[i].to != want[i].to {
+			t.Fatalf("join[%d] = %+v, want %+v", i, ivs[i], want[i])
+		}
+	}
+}
+
+// TestJoinGroupProperty: for random disjoint alloc/free event sequences,
+// joining the shuffled tables reconstructs the original intervals.
+func TestJoinGroupProperty(t *testing.T) {
+	f := func(seed []byte) bool {
+		// Build a plausible event history: alternating add/remove with
+		// increasing CPs; maybe trailing open interval.
+		cp := uint64(1)
+		var froms, tos []uint64
+		var want []interval
+		for i := 0; i+1 < len(seed); i += 2 {
+			f := cp + uint64(seed[i]%5)
+			tv := f + 1 + uint64(seed[i+1]%5)
+			froms = append(froms, f)
+			tos = append(tos, tv)
+			want = append(want, interval{from: f, to: tv})
+			cp = tv + 1
+		}
+		if len(seed)%2 == 1 {
+			froms = append(froms, cp)
+			want = append(want, interval{from: cp, to: Infinity})
+		}
+		got := dedupeIntervals(joinGroup(froms, tos))
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i].from != want[i].from || got[i].to != want[i].to {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,199 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// The experiment tests use deliberately tiny configurations: they assert
+// that each harness runs, produces well-formed series, and reproduces the
+// qualitative shape the paper reports. The full-scale runs live behind
+// cmd/fsimbench and cmd/btrfsbench.
+
+func tinyFig5() Fig5Config {
+	return Fig5Config{CPs: 30, OpsPerCP: 400, DedupRate: 0.10, Seed: 1, SampleEvery: 3}
+}
+
+func TestFig5OverheadFlat(t *testing.T) {
+	res, err := RunFig5(tinyFig5())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Samples) != 10 {
+		t.Fatalf("samples = %d", len(res.Samples))
+	}
+	for i, s := range res.Samples {
+		if s.Ops == 0 || s.WritesPerOp <= 0 {
+			t.Fatalf("sample %d malformed: %+v", i, s)
+		}
+	}
+	// The paper's key result: I/O overhead per op stays flat (no growth
+	// with age). Compare the first third to the last third.
+	third := len(res.Samples) / 3
+	var early, late float64
+	for i := 0; i < third; i++ {
+		early += res.Samples[i].WritesPerOp
+		late += res.Samples[len(res.Samples)-1-i].WritesPerOp
+	}
+	if late > early*2 {
+		t.Fatalf("write overhead grew with age: early=%.4f late=%.4f", early/float64(third), late/float64(third))
+	}
+}
+
+func TestFig6MaintenanceShrinksSpace(t *testing.T) {
+	cfg := tinyFig5()
+	res, err := RunFig6(cfg, []int{0, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	noMaint := res.Series[0]
+	maint := res.Series[10]
+	if len(noMaint) == 0 || len(maint) == 0 {
+		t.Fatal("missing series")
+	}
+	lastNo := noMaint[len(noMaint)-1].SpacePct
+	lastM := maint[len(maint)-1].SpacePct
+	if lastM >= lastNo {
+		t.Fatalf("maintenance did not reduce space overhead: %.2f%% vs %.2f%%", lastM, lastNo)
+	}
+}
+
+func TestFig7TraceRuns(t *testing.T) {
+	cfg := Fig7Config{Hours: 12, OpsPerHour: 150, CPsPerHour: 2, DedupRate: 0.10, Seed: 42}
+	res, err := RunFig7(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Samples) != 12 || res.TotalOps == 0 {
+		t.Fatalf("samples=%d ops=%d", len(res.Samples), res.TotalOps)
+	}
+}
+
+func TestFig8MaintenanceCadences(t *testing.T) {
+	cfg := Fig7Config{Hours: 16, OpsPerHour: 150, CPsPerHour: 2, DedupRate: 0.10, Seed: 42}
+	res, err := RunFig8(cfg, []int{0, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series[0]) != 16 || len(res.Series[4]) != 16 {
+		t.Fatal("missing hours")
+	}
+	if res.Series[4][15].SpacePct >= res.Series[0][15].SpacePct {
+		t.Fatalf("8-hour maintenance did not reduce space: %.2f vs %.2f",
+			res.Series[4][15].SpacePct, res.Series[0][15].SpacePct)
+	}
+}
+
+func TestFig9QueryShape(t *testing.T) {
+	cfg := Fig9Config{
+		CPs: 24, OpsPerCP: 400, Queries: 256,
+		RunLengths:   []int{1, 64},
+		StalenessCPs: []int{0, -1},
+		DedupRate:    0.10, Seed: 1,
+	}
+	res, err := RunFig9(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 4 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	get := func(rl, stale int) QueryPoint {
+		for _, p := range res.Points {
+			if p.RunLength == rl && p.StalenessCPs == stale {
+				return p
+			}
+		}
+		t.Fatalf("missing point rl=%d stale=%d", rl, stale)
+		return QueryPoint{}
+	}
+	// Shape 1: just-maintained DB needs fewer reads per query than the
+	// never-maintained DB at the same run length.
+	if get(1, 0).ReadsPerQuery >= get(1, -1).ReadsPerQuery {
+		t.Fatalf("maintenance did not reduce reads/query: %.2f vs %.2f",
+			get(1, 0).ReadsPerQuery, get(1, -1).ReadsPerQuery)
+	}
+	// Shape 2: longer sorted runs mean fewer reads per query (page
+	// sharing between consecutive queries).
+	if get(64, 0).ReadsPerQuery >= get(1, 0).ReadsPerQuery {
+		t.Fatalf("long runs did not amortize reads: rl64=%.2f rl1=%.2f",
+			get(64, 0).ReadsPerQuery, get(1, 0).ReadsPerQuery)
+	}
+	// Shape 3: throughput is higher right after maintenance.
+	if get(64, 0).QueriesPerSec <= get(64, -1).QueriesPerSec {
+		t.Fatalf("maintenance did not improve throughput: %.0f vs %.0f",
+			get(64, 0).QueriesPerSec, get(64, -1).QueriesPerSec)
+	}
+}
+
+func TestFig10BeforeAfter(t *testing.T) {
+	cfg := Fig10Config{
+		CPs: 30, MeasureEvery: 10, OpsPerCP: 300, Queries: 128,
+		RunLengths: []int{32}, DedupRate: 0.10, Seed: 1,
+	}
+	res, err := RunFig10(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Before) != 3 || len(res.After) != 3 {
+		t.Fatalf("before=%d after=%d", len(res.Before), len(res.After))
+	}
+	// After-maintenance throughput should on aggregate beat
+	// before-maintenance at the same CPs.
+	var sumB, sumA float64
+	for i := range res.Before {
+		sumB += res.Before[i].QueriesPerSec
+		sumA += res.After[i].QueriesPerSec
+	}
+	if sumA <= sumB {
+		t.Fatalf("after-maintenance throughput (%.0f) not above before (%.0f)", sumA, sumB)
+	}
+}
+
+func TestNaiveAblationShape(t *testing.T) {
+	cfg := NaiveConfig{CPs: 40, OpsPerCP: 800, CacheBytes: 64 << 10, SampleEvery: 4, Seed: 1}
+	res, err := RunNaiveAblation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Naive) == 0 || len(res.Backlog) == 0 {
+		t.Fatal("missing series")
+	}
+	// Naive I/O per op must exceed Backlog's by the end of the run.
+	nLast := res.Naive[len(res.Naive)-1]
+	bLast := res.Backlog[len(res.Backlog)-1]
+	if nLast.IOPerOp <= bLast.IOPerOp {
+		t.Fatalf("naive (%.3f IO/op) not worse than backlog (%.3f IO/op)", nLast.IOPerOp, bLast.IOPerOp)
+	}
+	// And naive degrades with age while Backlog stays flat.
+	nFirst := res.Naive[0]
+	if nLast.IOPerOp <= nFirst.IOPerOp {
+		t.Fatalf("naive did not degrade: first=%.3f last=%.3f", nFirst.IOPerOp, nLast.IOPerOp)
+	}
+}
+
+func TestTable1SmallRun(t *testing.T) {
+	cfg := Table1Config{MicroFiles: 512, DbenchOps: 1500, VarmailIters: 200, PostmarkTx: 1500, Seed: 1}
+	rows, err := RunTable1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 9 {
+		t.Fatalf("rows = %d, want 9", len(rows))
+	}
+	for _, r := range rows {
+		if r.Base <= 0 || r.Original <= 0 || r.Backlog <= 0 {
+			t.Fatalf("row %q has non-positive values: %+v", r.Name, r)
+		}
+	}
+	// Qualitative check on a stable subset: the 64 KB create should show
+	// small overhead (one backref per 16 blocks of data).
+	var c64 Table1Row
+	for _, r := range rows {
+		if r.Name == "Creation of a 64 KB file (8192 ops. per CP)" {
+			c64 = r
+		}
+	}
+	if c64.OverheadPct > 60 {
+		t.Fatalf("64 KB create overhead implausibly high: %.1f%%", c64.OverheadPct)
+	}
+}

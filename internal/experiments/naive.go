@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"github.com/backlogfs/backlog/internal/fsim"
+	"github.com/backlogfs/backlog/internal/naive"
+	"github.com/backlogfs/backlog/internal/storage"
+	"github.com/backlogfs/backlog/internal/workload"
+)
+
+// NaiveConfig parameterizes the Section 4.1 ablation: the naive
+// read-modify-write Conceptual table versus Backlog, as the file system
+// ages. The paper reports the naive approach "slowed down to a crawl
+// after only a few hundred consistency points".
+type NaiveConfig struct {
+	CPs         int
+	OpsPerCP    int
+	CacheBytes  int64 // page cache for the naive table
+	SampleEvery int
+	Seed        int64
+}
+
+// DefaultNaiveConfig returns the scaled default. The cache is sized so the
+// naive table outgrows it partway through the run, which is what happens
+// at production scale with any fixed cache.
+func DefaultNaiveConfig() NaiveConfig {
+	return NaiveConfig{CPs: 120, OpsPerCP: 2000, CacheBytes: 256 << 10, SampleEvery: 5, Seed: 1}
+}
+
+// NaiveSample is one data point of either system.
+type NaiveSample struct {
+	CP          uint64
+	IOPerOp     float64 // page reads + writes per block operation
+	TimePerOpUS float64
+}
+
+// NaiveResult holds both series.
+type NaiveResult struct {
+	Naive   []NaiveSample
+	Backlog []NaiveSample
+}
+
+// RunNaiveAblation runs the same synthetic workload against both trackers.
+func RunNaiveAblation(cfg NaiveConfig) (*NaiveResult, error) {
+	res := &NaiveResult{}
+
+	// Naive run.
+	{
+		vfs := storage.NewMemFS()
+		tr, err := naive.New(vfs, cfg.CacheBytes)
+		if err != nil {
+			return nil, err
+		}
+		fs := fsim.New(fsim.Config{Tracker: tr, DedupRate: 0.10, Seed: cfg.Seed})
+		wcfg := workload.DefaultSyntheticConfig(cfg.OpsPerCP)
+		wcfg.Seed = cfg.Seed
+		gen := workload.NewSynthetic(fs, wcfg)
+		samples, err := runSampled(vfs, fs, gen, cfg)
+		if err != nil {
+			return nil, err
+		}
+		res.Naive = samples
+	}
+
+	// Backlog run.
+	{
+		env, err := NewEnv(EnvConfig{DedupRate: 0.10, Seed: cfg.Seed, CacheBytes: cfg.CacheBytes})
+		if err != nil {
+			return nil, err
+		}
+		wcfg := workload.DefaultSyntheticConfig(cfg.OpsPerCP)
+		wcfg.Seed = cfg.Seed
+		gen := workload.NewSynthetic(env.FS, wcfg)
+		samples, err := runSampled(env.VFS, env.FS, gen, cfg)
+		if err != nil {
+			return nil, err
+		}
+		res.Backlog = samples
+	}
+	return res, nil
+}
+
+func runSampled(vfs *storage.MemFS, fs *fsim.FS, gen *workload.Synthetic, cfg NaiveConfig) ([]NaiveSample, error) {
+	var out []NaiveSample
+	if cfg.SampleEvery < 1 {
+		cfg.SampleEvery = 1
+	}
+	var winOps uint64
+	m := startMeasure(vfs)
+	for i := 1; i <= cfg.CPs; i++ {
+		cp, ops, err := gen.RunCP()
+		if err != nil {
+			return nil, err
+		}
+		winOps += ops
+		if i%cfg.SampleEvery != 0 {
+			continue
+		}
+		cpuNs, diskNs, io := m.stop()
+		s := NaiveSample{CP: cp}
+		if winOps > 0 {
+			s.IOPerOp = float64(io.PageReads+io.PageWrites) / float64(winOps)
+			s.TimePerOpUS = float64(cpuNs+diskNs) / 1e3 / float64(winOps)
+		}
+		out = append(out, s)
+		winOps = 0
+		m = startMeasure(vfs)
+	}
+	return out, nil
+}

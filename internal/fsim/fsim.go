@@ -1,0 +1,639 @@
+// Package fsim is a write-anywhere file system simulator, the evaluation
+// substrate the paper builds and measures Backlog inside (Section 5).
+//
+// Like the paper's fsim, it simulates a WAFL-style no-overwrite file system
+// with writable snapshots and deduplication: it keeps all file system
+// metadata in main memory, stores no data blocks, and exports interfaces
+// for creating, deleting, and writing files plus snapshot/clone management.
+// Only the back-reference metadata produced by the attached RefTracker
+// touches (simulated) disk, so storage-level I/O statistics measure exactly
+// the back-reference maintenance overhead — the quantity plotted in
+// Figures 5 and 7.
+//
+// The file system is modeled as a forest of snapshot lines. Each line has a
+// live image (inode -> block map) and a set of frozen snapshot images.
+// Overwrites follow write-anywhere semantics: data lands in newly allocated
+// blocks and the old blocks are released from the live image (snapshots
+// keep referencing them). Every reference add/remove is reported to the
+// RefTracker tagged with the current global CP number; Checkpoint advances
+// the CP and flushes the tracker.
+package fsim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"github.com/backlogfs/backlog/internal/core"
+)
+
+// NoBlock marks a hole in a file's block map.
+const NoBlock = ^uint64(0)
+
+// RefTracker receives the three callbacks the paper wires Backlog into
+// (Section 5): reference added, reference removed, consistency point.
+// *core.Engine satisfies RefTracker directly.
+type RefTracker interface {
+	AddRef(ref core.Ref, cp uint64)
+	RemoveRef(ref core.Ref, cp uint64)
+	Checkpoint(cp uint64) error
+}
+
+// NullTracker ignores all events; it is the "Base" configuration with no
+// back-reference maintenance at all.
+type NullTracker struct{}
+
+// AddRef implements RefTracker.
+func (NullTracker) AddRef(core.Ref, uint64) {}
+
+// RemoveRef implements RefTracker.
+func (NullTracker) RemoveRef(core.Ref, uint64) {}
+
+// Checkpoint implements RefTracker.
+func (NullTracker) Checkpoint(uint64) error { return nil }
+
+// Config configures a simulated file system.
+type Config struct {
+	// Tracker receives back-reference events. Nil means NullTracker.
+	Tracker RefTracker
+	// Catalog is the shared snapshot catalog; the same instance must be
+	// given to the core engine so masking agrees with the simulator.
+	// Nil creates a private catalog (fine for Base/Null configurations).
+	Catalog *core.MemCatalog
+	// DedupRate is the fraction of newly written blocks that become
+	// references to existing blocks instead of fresh allocations
+	// (the paper uses 0.10, calibrated on NetApp file servers).
+	DedupRate float64
+	// DedupWindow bounds the pool of recently written blocks that dedup
+	// draws from (default 4096).
+	DedupWindow int
+	// Seed makes the simulator deterministic.
+	Seed int64
+}
+
+// Stats counts simulator activity.
+type Stats struct {
+	BlockOps      uint64 // reference adds + removes reported to the tracker
+	BlockOpsAdd   uint64
+	BlockOpsRem   uint64
+	DedupHits     uint64 // writes satisfied by referencing an existing block
+	FilesCreated  uint64
+	FilesDeleted  uint64
+	Checkpoints   uint64
+	Snapshots     uint64
+	Clones        uint64
+	BlocksAlloced uint64
+	BlocksReused  uint64
+}
+
+// File is one file's block map. Files are copy-on-write: once frozen by a
+// snapshot they are cloned before modification.
+type File struct {
+	Ino    uint64
+	Blocks []uint64
+	frozen bool
+}
+
+func (f *File) clone() *File {
+	return &File{Ino: f.Ino, Blocks: append([]uint64(nil), f.Blocks...)}
+}
+
+// Image is a point-in-time file system tree: inode -> file.
+type Image struct {
+	files map[uint64]*File
+}
+
+func newImage() *Image { return &Image{files: make(map[uint64]*File)} }
+
+func (im *Image) freeze() {
+	for _, f := range im.files {
+		f.frozen = true
+	}
+}
+
+// shallowCopy shares all file objects (which must be frozen).
+func (im *Image) shallowCopy() *Image {
+	cp := &Image{files: make(map[uint64]*File, len(im.files))}
+	for ino, f := range im.files {
+		cp.files[ino] = f
+	}
+	return cp
+}
+
+// mutable returns a writable *File for ino, copying it if frozen.
+func (im *Image) mutable(ino uint64) (*File, bool) {
+	f, ok := im.files[ino]
+	if !ok {
+		return nil, false
+	}
+	if f.frozen {
+		f = f.clone()
+		im.files[ino] = f
+	}
+	return f, true
+}
+
+// Inodes returns the image's inode numbers, ascending.
+func (im *Image) Inodes() []uint64 {
+	out := make([]uint64, 0, len(im.files))
+	for ino := range im.files {
+		out = append(out, ino)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// BlocksOf returns the block map of an inode (nil if absent). The returned
+// slice must not be modified.
+func (im *Image) BlocksOf(ino uint64) []uint64 {
+	f, ok := im.files[ino]
+	if !ok {
+		return nil
+	}
+	return f.Blocks
+}
+
+// Line is one snapshot line: a live image plus retained snapshots.
+type Line struct {
+	ID        uint64
+	Live      *Image
+	Snapshots map[uint64]*Image // version -> frozen image
+	deleted   bool
+}
+
+// FS is the simulated file system.
+type FS struct {
+	cfg     Config
+	tracker RefTracker
+	catalog *core.MemCatalog
+	rng     *rand.Rand
+
+	cp        uint64 // current (uncommitted) global CP number
+	nextInode uint64
+	nextLine  uint64
+	nextBlock uint64
+	freeList  []uint64
+
+	lines map[uint64]*Line
+
+	// liveRefs counts references to each block from live images only;
+	// dedupPool is the window of recently written blocks.
+	liveRefs  map[uint64]int
+	dedupPool []uint64
+
+	stats Stats
+}
+
+// New creates a file system with one live line (line 0) at CP 1.
+func New(cfg Config) *FS {
+	if cfg.Tracker == nil {
+		cfg.Tracker = NullTracker{}
+	}
+	if cfg.Catalog == nil {
+		cfg.Catalog = core.NewMemCatalog()
+	}
+	if cfg.DedupWindow == 0 {
+		cfg.DedupWindow = 4096
+	}
+	fs := &FS{
+		cfg:       cfg,
+		tracker:   cfg.Tracker,
+		catalog:   cfg.Catalog,
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		cp:        1,
+		nextInode: 2, // inode 1 reserved for the (unmodeled) root directory
+		nextLine:  1,
+		nextBlock: 1,
+		lines:     map[uint64]*Line{0: {ID: 0, Live: newImage(), Snapshots: map[uint64]*Image{}}},
+		liveRefs:  map[uint64]int{},
+	}
+	return fs
+}
+
+// Catalog returns the shared snapshot catalog.
+func (fs *FS) Catalog() *core.MemCatalog { return fs.catalog }
+
+// CP returns the current (in-progress) global CP number.
+func (fs *FS) CP() uint64 { return fs.cp }
+
+// Stats returns a snapshot of simulator counters.
+func (fs *FS) Stats() Stats { return fs.stats }
+
+// Lines returns the IDs of lines that still have a live image, ascending.
+func (fs *FS) Lines() []uint64 {
+	var out []uint64
+	for id, l := range fs.lines {
+		if !l.deleted {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Line returns a line by ID (including lines whose live image was deleted
+// but which still hold snapshots).
+func (fs *FS) Line(id uint64) (*Line, bool) {
+	l, ok := fs.lines[id]
+	return l, ok
+}
+
+var (
+	errNoLine = errors.New("fsim: no such live line")
+	errNoFile = errors.New("fsim: no such file")
+)
+
+func (fs *FS) liveLine(line uint64) (*Line, error) {
+	l, ok := fs.lines[line]
+	if !ok || l.deleted {
+		return nil, fmt.Errorf("%w: %d", errNoLine, line)
+	}
+	return l, nil
+}
+
+// mutableLine is liveLine plus the snapshot-ordering rule: once a line has
+// been snapshotted at the current CP, further mutations must wait for the
+// next CP — operations are tagged with the current CP number, and a
+// mutation tagged v would contradict the frozen image of version v.
+func (fs *FS) mutableLine(line uint64) (*Line, error) {
+	l, err := fs.liveLine(line)
+	if err != nil {
+		return nil, err
+	}
+	if _, snapped := l.Snapshots[fs.cp]; snapped {
+		return nil, fmt.Errorf("fsim: line %d already snapshotted at CP %d; checkpoint before mutating", line, fs.cp)
+	}
+	return l, nil
+}
+
+// allocBlock returns a fresh (or recycled) physical block number.
+func (fs *FS) allocBlock() uint64 {
+	if n := len(fs.freeList); n > 0 {
+		b := fs.freeList[n-1]
+		fs.freeList = fs.freeList[:n-1]
+		fs.stats.BlocksReused++
+		return b
+	}
+	b := fs.nextBlock
+	fs.nextBlock++
+	fs.stats.BlocksAlloced++
+	return b
+}
+
+// writeTarget picks the physical block for a newly written logical block:
+// either a duplicate of an existing block (dedup) or a fresh allocation.
+func (fs *FS) writeTarget() uint64 {
+	if fs.cfg.DedupRate > 0 && len(fs.dedupPool) > 0 && fs.rng.Float64() < fs.cfg.DedupRate {
+		// Try a few pool slots for a block that is still referenced.
+		for attempt := 0; attempt < 4; attempt++ {
+			b := fs.dedupPool[fs.rng.Intn(len(fs.dedupPool))]
+			if fs.liveRefs[b] > 0 {
+				fs.stats.DedupHits++
+				return b
+			}
+		}
+	}
+	return fs.allocBlock()
+}
+
+func (fs *FS) notePoolWrite(block uint64) {
+	if len(fs.dedupPool) < fs.cfg.DedupWindow {
+		fs.dedupPool = append(fs.dedupPool, block)
+		return
+	}
+	fs.dedupPool[fs.rng.Intn(len(fs.dedupPool))] = block
+}
+
+// addRef wires one reference add through to the tracker and refcounts.
+func (fs *FS) addRef(block, ino, off, line uint64) {
+	fs.liveRefs[block]++
+	fs.stats.BlockOps++
+	fs.stats.BlockOpsAdd++
+	fs.tracker.AddRef(core.Ref{Block: block, Inode: ino, Offset: off, Line: line, Length: 1}, fs.cp)
+}
+
+// removeRef wires one reference removal through to the tracker.
+func (fs *FS) removeRef(block, ino, off, line uint64) {
+	if fs.liveRefs[block] > 0 {
+		fs.liveRefs[block]--
+	}
+	fs.stats.BlockOps++
+	fs.stats.BlockOpsRem++
+	fs.tracker.RemoveRef(core.Ref{Block: block, Inode: ino, Offset: off, Line: line, Length: 1}, fs.cp)
+}
+
+// CreateFile creates an empty file in a line's live image and returns its
+// inode number.
+func (fs *FS) CreateFile(line uint64) (uint64, error) {
+	l, err := fs.mutableLine(line)
+	if err != nil {
+		return 0, err
+	}
+	ino := fs.nextInode
+	fs.nextInode++
+	l.Live.files[ino] = &File{Ino: ino}
+	fs.stats.FilesCreated++
+	return ino, nil
+}
+
+// WriteFile writes nblocks logical blocks at block offset off. Overwritten
+// blocks are released (write-anywhere: data goes to new physical blocks).
+func (fs *FS) WriteFile(line, ino, off uint64, nblocks int) error {
+	l, err := fs.mutableLine(line)
+	if err != nil {
+		return err
+	}
+	f, ok := l.Live.mutable(ino)
+	if !ok {
+		return fmt.Errorf("%w: inode %d in line %d", errNoFile, ino, line)
+	}
+	end := off + uint64(nblocks)
+	for uint64(len(f.Blocks)) < end {
+		f.Blocks = append(f.Blocks, NoBlock)
+	}
+	for i := off; i < end; i++ {
+		if old := f.Blocks[i]; old != NoBlock {
+			fs.removeRef(old, ino, i, line)
+		}
+		b := fs.writeTarget()
+		f.Blocks[i] = b
+		fs.addRef(b, ino, i, line)
+		fs.notePoolWrite(b)
+	}
+	return nil
+}
+
+// TruncateFile shrinks a file to newLen blocks, releasing the tail.
+func (fs *FS) TruncateFile(line, ino, newLen uint64) error {
+	l, err := fs.mutableLine(line)
+	if err != nil {
+		return err
+	}
+	f, ok := l.Live.mutable(ino)
+	if !ok {
+		return fmt.Errorf("%w: inode %d in line %d", errNoFile, ino, line)
+	}
+	if newLen >= uint64(len(f.Blocks)) {
+		return nil
+	}
+	for i := newLen; i < uint64(len(f.Blocks)); i++ {
+		if b := f.Blocks[i]; b != NoBlock {
+			fs.removeRef(b, ino, i, line)
+		}
+	}
+	f.Blocks = f.Blocks[:newLen]
+	return nil
+}
+
+// DeleteFile removes a file from a line's live image, releasing its blocks.
+func (fs *FS) DeleteFile(line, ino uint64) error {
+	l, err := fs.mutableLine(line)
+	if err != nil {
+		return err
+	}
+	f, ok := l.Live.files[ino]
+	if !ok {
+		return fmt.Errorf("%w: inode %d in line %d", errNoFile, ino, line)
+	}
+	for i, b := range f.Blocks {
+		if b != NoBlock {
+			fs.removeRef(b, ino, uint64(i), line)
+		}
+	}
+	delete(l.Live.files, ino)
+	fs.stats.FilesDeleted++
+	return nil
+}
+
+// FileLen returns a file's length in blocks.
+func (fs *FS) FileLen(line, ino uint64) (uint64, error) {
+	l, err := fs.liveLine(line)
+	if err != nil {
+		return 0, err
+	}
+	f, ok := l.Live.files[ino]
+	if !ok {
+		return 0, fmt.Errorf("%w: inode %d", errNoFile, ino)
+	}
+	return uint64(len(f.Blocks)), nil
+}
+
+// LiveFiles returns the inode numbers of a line's live image.
+func (fs *FS) LiveFiles(line uint64) ([]uint64, error) {
+	l, err := fs.liveLine(line)
+	if err != nil {
+		return nil, err
+	}
+	return l.Live.Inodes(), nil
+}
+
+// Checkpoint completes the current consistency point: the tracker flushes
+// its write stores, and the global CP number advances. Returns the CP that
+// was committed.
+func (fs *FS) Checkpoint() (uint64, error) {
+	cp := fs.cp
+	if err := fs.tracker.Checkpoint(cp); err != nil {
+		return 0, err
+	}
+	fs.cp++
+	fs.stats.Checkpoints++
+	return cp, nil
+}
+
+// TakeSnapshot freezes the current live image of a line as version
+// fs.CP(). Creating a snapshot generates no back-reference traffic
+// (Section 4: intervals already cover the snapshot's version).
+func (fs *FS) TakeSnapshot(line uint64) (uint64, error) {
+	l, err := fs.liveLine(line)
+	if err != nil {
+		return 0, err
+	}
+	v := fs.cp
+	if _, dup := l.Snapshots[v]; dup {
+		return 0, fmt.Errorf("fsim: snapshot (%d,%d) already exists", line, v)
+	}
+	l.Live.freeze()
+	l.Snapshots[v] = l.Live.shallowCopy()
+	if err := fs.catalog.CreateSnapshot(line, v); err != nil {
+		return 0, err
+	}
+	fs.stats.Snapshots++
+	return v, nil
+}
+
+// DeleteSnapshot drops a retained snapshot. The catalog handles zombie
+// bookkeeping if the snapshot has clones.
+func (fs *FS) DeleteSnapshot(line, version uint64) error {
+	l, ok := fs.lines[line]
+	if !ok {
+		return fmt.Errorf("%w: %d", errNoLine, line)
+	}
+	if _, ok := l.Snapshots[version]; !ok {
+		return fmt.Errorf("fsim: no snapshot (%d,%d)", line, version)
+	}
+	if err := fs.catalog.DeleteSnapshot(line, version); err != nil {
+		return err
+	}
+	delete(l.Snapshots, version)
+	return nil
+}
+
+// Clone creates a writable clone of snapshot (line, version) and returns
+// the new line's ID. Cloning generates no back-reference traffic —
+// structural inheritance represents the clone's references implicitly
+// (Section 4.2.2).
+func (fs *FS) Clone(line, version uint64) (uint64, error) {
+	l, ok := fs.lines[line]
+	if !ok {
+		return 0, fmt.Errorf("%w: %d", errNoLine, line)
+	}
+	img, ok := l.Snapshots[version]
+	if !ok {
+		return 0, fmt.Errorf("fsim: cloning non-snapshot (%d,%d)", line, version)
+	}
+	id := fs.nextLine
+	fs.nextLine++
+	if err := fs.catalog.CreateClone(id, line, version); err != nil {
+		return 0, err
+	}
+	live := img.shallowCopy()
+	fs.lines[id] = &Line{ID: id, Live: live, Snapshots: map[uint64]*Image{}}
+	// The clone's live image references its blocks; account for them in
+	// liveRefs (allocator safety) without emitting tracker events.
+	for _, f := range live.files {
+		for _, b := range f.Blocks {
+			if b != NoBlock {
+				fs.liveRefs[b]++
+			}
+		}
+	}
+	fs.stats.Clones++
+	return id, nil
+}
+
+// DeleteLine destroys a line's live image. Retained snapshots survive
+// until deleted individually. Like snapshot deletion, this produces no
+// back-reference traffic: version masking hides the line's live records,
+// and compaction purges them.
+func (fs *FS) DeleteLine(line uint64) error {
+	l, err := fs.mutableLine(line)
+	if err != nil {
+		return err
+	}
+	for _, f := range l.Live.files {
+		for _, b := range f.Blocks {
+			if b != NoBlock && fs.liveRefs[b] > 0 {
+				fs.liveRefs[b]--
+			}
+		}
+	}
+	l.Live = newImage()
+	l.deleted = true
+	if err := fs.catalog.DeleteLine(line); err != nil {
+		return err
+	}
+	return nil
+}
+
+// RelocateBlock rewrites every pointer to oldBlock — in live images and in
+// retained snapshot images — to newBlock. This is the file-system side of
+// physically moving a block during defragmentation or volume shrinking:
+// the maintenance utility updates the metadata of every owner the
+// back-reference query reported. It emits no tracker events; pair it with
+// core.Engine.RelocateBlock, which transplants the back-reference records.
+// It returns the number of distinct file objects updated.
+func (fs *FS) RelocateBlock(oldBlock, newBlock uint64) int {
+	rewritten := map[*File]bool{}
+	rewrite := func(im *Image) {
+		for _, f := range im.files {
+			if rewritten[f] {
+				continue // file object shared with another image
+			}
+			for i, b := range f.Blocks {
+				if b == oldBlock {
+					f.Blocks[i] = newBlock
+					rewritten[f] = true
+				}
+			}
+		}
+	}
+	for _, l := range fs.lines {
+		if !l.deleted {
+			rewrite(l.Live)
+		}
+		for _, img := range l.Snapshots {
+			rewrite(img)
+		}
+	}
+	if n := fs.liveRefs[oldBlock]; n > 0 {
+		fs.liveRefs[newBlock] += n
+		delete(fs.liveRefs, oldBlock)
+	}
+	return len(rewritten)
+}
+
+// Reclaim sweeps for physical blocks referenced by no image (live or
+// snapshot) and returns them to the free list — the paper's asynchronous
+// space reclamation. It returns the number of blocks freed.
+func (fs *FS) Reclaim() int {
+	reachable := fs.reachableBlocks()
+	freed := 0
+	inFree := make(map[uint64]bool, len(fs.freeList))
+	for _, b := range fs.freeList {
+		inFree[b] = true
+	}
+	for b := uint64(1); b < fs.nextBlock; b++ {
+		if !reachable[b] && !inFree[b] {
+			fs.freeList = append(fs.freeList, b)
+			freed++
+		}
+	}
+	return freed
+}
+
+// reachableBlocks returns the set of blocks referenced by any image.
+func (fs *FS) reachableBlocks() map[uint64]bool {
+	out := map[uint64]bool{}
+	addImage := func(im *Image) {
+		for _, f := range im.files {
+			for _, b := range f.Blocks {
+				if b != NoBlock {
+					out[b] = true
+				}
+			}
+		}
+	}
+	for _, l := range fs.lines {
+		if !l.deleted {
+			addImage(l.Live)
+		}
+		for _, img := range l.Snapshots {
+			addImage(img)
+		}
+	}
+	return out
+}
+
+// PhysicalBlocks returns the number of unique blocks referenced by any
+// image — the "total physical data size" denominator of the space-overhead
+// figures (Figures 6 and 8).
+func (fs *FS) PhysicalBlocks() int {
+	return len(fs.reachableBlocks())
+}
+
+// AllocatedBlocks returns the sorted list of blocks referenced by any
+// image. The query experiments (Section 6.4) issue runs over consecutive
+// allocated blocks; this is their input.
+func (fs *FS) AllocatedBlocks() []uint64 {
+	set := fs.reachableBlocks()
+	out := make([]uint64, 0, len(set))
+	for b := range set {
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// MaxBlock returns the highest block number ever allocated plus one.
+func (fs *FS) MaxBlock() uint64 { return fs.nextBlock }

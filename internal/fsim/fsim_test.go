@@ -1,0 +1,559 @@
+package fsim
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/backlogfs/backlog/internal/core"
+	"github.com/backlogfs/backlog/internal/storage"
+)
+
+// newTracked builds an fsim wired to a real Backlog engine over a MemFS.
+func newTracked(t *testing.T) (*FS, *core.Engine) {
+	t.Helper()
+	cat := core.NewMemCatalog()
+	eng, err := core.Open(core.Options{VFS: storage.NewMemFS(), Catalog: cat})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := New(Config{Tracker: eng, Catalog: cat, Seed: 1})
+	return fs, eng
+}
+
+func mustCP(t *testing.T, fs *FS) uint64 {
+	t.Helper()
+	cp, err := fs.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cp
+}
+
+func mustVerify(t *testing.T, fs *FS, eng *core.Engine) {
+	t.Helper()
+	if err := fs.VerifyBackrefs(eng); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCreateWriteDelete(t *testing.T) {
+	fs, eng := newTracked(t)
+	ino, err := fs.CreateFile(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile(0, ino, 0, 4); err != nil {
+		t.Fatal(err)
+	}
+	mustCP(t, fs)
+	mustVerify(t, fs, eng)
+
+	if n, _ := fs.FileLen(0, ino); n != 4 {
+		t.Fatalf("FileLen = %d", n)
+	}
+	if err := fs.DeleteFile(0, ino); err != nil {
+		t.Fatal(err)
+	}
+	mustCP(t, fs)
+	mustVerify(t, fs, eng)
+	if fs.PhysicalBlocks() != 0 {
+		t.Fatalf("PhysicalBlocks = %d after delete", fs.PhysicalBlocks())
+	}
+}
+
+func TestWriteAnywhereOverwrite(t *testing.T) {
+	fs, eng := newTracked(t)
+	ino, _ := fs.CreateFile(0)
+	if err := fs.WriteFile(0, ino, 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	mustCP(t, fs)
+	l, _ := fs.Line(0)
+	before := append([]uint64(nil), l.Live.BlocksOf(ino)...)
+
+	// Overwrite block 0: write-anywhere must allocate a new block.
+	if err := fs.WriteFile(0, ino, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	after := l.Live.BlocksOf(ino)
+	if after[0] == before[0] {
+		t.Fatal("overwrite reused the same physical block in place")
+	}
+	if after[1] != before[1] {
+		t.Fatal("untouched block changed")
+	}
+	mustCP(t, fs)
+	mustVerify(t, fs, eng)
+}
+
+func TestSnapshotPreservesOldBlocks(t *testing.T) {
+	fs, eng := newTracked(t)
+	ino, _ := fs.CreateFile(0)
+	if err := fs.WriteFile(0, ino, 0, 3); err != nil {
+		t.Fatal(err)
+	}
+	v, err := fs.TakeSnapshot(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustCP(t, fs)
+
+	l, _ := fs.Line(0)
+	oldBlocks := append([]uint64(nil), l.Snapshots[v].BlocksOf(ino)...)
+
+	// Overwrite everything post-snapshot.
+	if err := fs.WriteFile(0, ino, 0, 3); err != nil {
+		t.Fatal(err)
+	}
+	mustCP(t, fs)
+	mustVerify(t, fs, eng)
+
+	// The old blocks are owned by the snapshot only.
+	for _, b := range oldBlocks {
+		owners, err := eng.Query(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(owners) != 1 || owners[0].Live || len(owners[0].Versions) != 1 || owners[0].Versions[0] != v {
+			t.Fatalf("old block %d owners = %+v", b, owners)
+		}
+	}
+
+	// Deleting the snapshot frees them (after reclaim).
+	if err := fs.DeleteSnapshot(0, v); err != nil {
+		t.Fatal(err)
+	}
+	mustVerify(t, fs, eng)
+	if freed := fs.Reclaim(); freed != 3 {
+		t.Fatalf("Reclaim freed %d, want 3", freed)
+	}
+}
+
+func TestSnapshotMutationOrderingEnforced(t *testing.T) {
+	fs, _ := newTracked(t)
+	ino, _ := fs.CreateFile(0)
+	if err := fs.WriteFile(0, ino, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.TakeSnapshot(0); err != nil {
+		t.Fatal(err)
+	}
+	// Mutating the same line in the same CP after a snapshot must fail.
+	if err := fs.WriteFile(0, ino, 0, 1); err == nil {
+		t.Fatal("mutation after same-CP snapshot allowed")
+	}
+	if _, err := fs.CreateFile(0); err == nil {
+		t.Fatal("create after same-CP snapshot allowed")
+	}
+	mustCP(t, fs)
+	if err := fs.WriteFile(0, ino, 0, 1); err != nil {
+		t.Fatalf("mutation after checkpoint failed: %v", err)
+	}
+}
+
+func TestCloneCOWGeneratesOverrides(t *testing.T) {
+	fs, eng := newTracked(t)
+	ino, _ := fs.CreateFile(0)
+	if err := fs.WriteFile(0, ino, 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	v, err := fs.TakeSnapshot(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustCP(t, fs)
+
+	cl, err := fs.Clone(0, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustVerify(t, fs, eng) // inherited refs visible without any new records
+
+	// The clone COWs block 0 of the shared file.
+	st0 := fs.Stats()
+	if err := fs.WriteFile(cl, ino, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if ops := fs.Stats().BlockOps - st0.BlockOps; ops != 2 {
+		t.Fatalf("COW generated %d block ops, want 2 (remove+add)", ops)
+	}
+	mustCP(t, fs)
+	mustVerify(t, fs, eng)
+
+	// Snapshot and the parent's live image still own the old block; the
+	// clone owns its new copy.
+	l, _ := fs.Line(0)
+	oldBlock := l.Live.BlocksOf(ino)[0]
+	clLine, _ := fs.Line(cl)
+	newBlock := clLine.Live.BlocksOf(ino)[0]
+	if oldBlock == newBlock {
+		t.Fatal("clone COW did not allocate a new block")
+	}
+	owners, err := eng.Query(oldBlock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	linesSeen := map[uint64]bool{}
+	for _, o := range owners {
+		linesSeen[o.Line] = true
+	}
+	if !linesSeen[0] || linesSeen[cl] {
+		t.Fatalf("old block owners after COW = %+v", owners)
+	}
+}
+
+func TestCloneOfClone(t *testing.T) {
+	fs, eng := newTracked(t)
+	ino, _ := fs.CreateFile(0)
+	if err := fs.WriteFile(0, ino, 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	v0, _ := fs.TakeSnapshot(0)
+	mustCP(t, fs)
+	cl1, err := fs.Clone(0, v0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile(cl1, ino, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	v1, err := fs.TakeSnapshot(cl1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustCP(t, fs)
+	cl2, err := fs.Clone(cl1, v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile(cl2, ino, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	mustCP(t, fs)
+	mustVerify(t, fs, eng)
+}
+
+func TestZombieSnapshotLifecycle(t *testing.T) {
+	fs, eng := newTracked(t)
+	ino, _ := fs.CreateFile(0)
+	if err := fs.WriteFile(0, ino, 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := fs.TakeSnapshot(0)
+	mustCP(t, fs)
+	cl, err := fs.Clone(0, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Delete the cloned snapshot: it becomes a zombie; the clone still
+	// inherits through it.
+	if err := fs.DeleteSnapshot(0, v); err != nil {
+		t.Fatal(err)
+	}
+	mustVerify(t, fs, eng)
+
+	// Compaction must not purge the records the clone needs.
+	if err := eng.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	mustVerify(t, fs, eng)
+
+	// Destroy the clone; reap; compact: records go away for good.
+	if err := fs.DeleteLine(cl); err != nil {
+		t.Fatal(err)
+	}
+	fs.Catalog().ReapZombies()
+	if err := eng.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	mustVerify(t, fs, eng)
+}
+
+func TestDedupSharing(t *testing.T) {
+	cat := core.NewMemCatalog()
+	eng, err := core.Open(core.Options{VFS: storage.NewMemFS(), Catalog: cat})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := New(Config{Tracker: eng, Catalog: cat, DedupRate: 0.10, Seed: 7})
+	for i := 0; i < 50; i++ {
+		ino, _ := fs.CreateFile(0)
+		if err := fs.WriteFile(0, ino, 0, 20); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustCP(t, fs)
+	st := fs.Stats()
+	if st.DedupHits == 0 {
+		t.Fatal("no dedup hits at 10% rate")
+	}
+	rate := float64(st.DedupHits) / float64(st.BlockOpsAdd)
+	if rate < 0.05 || rate > 0.15 {
+		t.Fatalf("dedup rate = %.3f, want ≈0.10", rate)
+	}
+	mustVerify(t, fs, eng)
+
+	// Reference-count distribution: most blocks single-referenced, a
+	// meaningful fraction shared (the paper reports ~75-78% at refcount 1).
+	counts := map[int]int{}
+	for _, n := range fs.liveRefs {
+		if n > 0 {
+			counts[n]++
+		}
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 || float64(counts[1])/float64(total) < 0.5 {
+		t.Fatalf("refcount distribution suspicious: %v", counts)
+	}
+	if counts[2] == 0 {
+		t.Fatal("no blocks with refcount 2 despite dedup")
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	fs, eng := newTracked(t)
+	ino, _ := fs.CreateFile(0)
+	if err := fs.WriteFile(0, ino, 0, 8); err != nil {
+		t.Fatal(err)
+	}
+	mustCP(t, fs)
+	if err := fs.TruncateFile(0, ino, 3); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := fs.FileLen(0, ino); n != 3 {
+		t.Fatalf("FileLen = %d", n)
+	}
+	// Truncate beyond length is a no-op.
+	if err := fs.TruncateFile(0, ino, 10); err != nil {
+		t.Fatal(err)
+	}
+	mustCP(t, fs)
+	mustVerify(t, fs, eng)
+}
+
+func TestDeleteLineMasksRecords(t *testing.T) {
+	fs, eng := newTracked(t)
+	ino, _ := fs.CreateFile(0)
+	if err := fs.WriteFile(0, ino, 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := fs.TakeSnapshot(0)
+	mustCP(t, fs)
+	cl, _ := fs.Clone(0, v)
+	if err := fs.WriteFile(cl, ino, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	mustCP(t, fs)
+	// Destroying the clone requires no per-block work; masking hides it.
+	st0 := fs.Stats().BlockOps
+	if err := fs.DeleteLine(cl); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Stats().BlockOps != st0 {
+		t.Fatal("DeleteLine generated block ops")
+	}
+	mustVerify(t, fs, eng)
+	if lines := fs.Lines(); len(lines) != 1 || lines[0] != 0 {
+		t.Fatalf("Lines = %v", lines)
+	}
+}
+
+func TestReclaimAndReuse(t *testing.T) {
+	fs, eng := newTracked(t)
+	ino, _ := fs.CreateFile(0)
+	if err := fs.WriteFile(0, ino, 0, 10); err != nil {
+		t.Fatal(err)
+	}
+	mustCP(t, fs)
+	if err := fs.DeleteFile(0, ino); err != nil {
+		t.Fatal(err)
+	}
+	mustCP(t, fs)
+	freed := fs.Reclaim()
+	if freed != 10 {
+		t.Fatalf("Reclaim freed %d, want 10", freed)
+	}
+	// New writes reuse the freed blocks; back references must reflect the
+	// reallocation to a new inode.
+	ino2, _ := fs.CreateFile(0)
+	if err := fs.WriteFile(0, ino2, 0, 5); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Stats().BlocksReused == 0 {
+		t.Fatal("no blocks reused after reclaim")
+	}
+	mustCP(t, fs)
+	mustVerify(t, fs, eng)
+}
+
+func TestCheckpointAdvancesCP(t *testing.T) {
+	fs, _ := newTracked(t)
+	if fs.CP() != 1 {
+		t.Fatalf("initial CP = %d", fs.CP())
+	}
+	cp := mustCP(t, fs)
+	if cp != 1 || fs.CP() != 2 {
+		t.Fatalf("after checkpoint: committed %d, current %d", cp, fs.CP())
+	}
+}
+
+func TestErrorsOnBadArguments(t *testing.T) {
+	fs, _ := newTracked(t)
+	if _, err := fs.CreateFile(99); err == nil {
+		t.Fatal("CreateFile on unknown line")
+	}
+	if err := fs.WriteFile(0, 12345, 0, 1); err == nil {
+		t.Fatal("WriteFile on unknown inode")
+	}
+	if err := fs.DeleteFile(0, 12345); err == nil {
+		t.Fatal("DeleteFile on unknown inode")
+	}
+	if _, err := fs.Clone(0, 77); err == nil {
+		t.Fatal("Clone of missing snapshot")
+	}
+	if err := fs.DeleteSnapshot(0, 77); err == nil {
+		t.Fatal("DeleteSnapshot of missing snapshot")
+	}
+	ino, _ := fs.CreateFile(0)
+	if err := fs.WriteFile(0, ino, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.TakeSnapshot(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.TakeSnapshot(0); err == nil || !strings.Contains(err.Error(), "already") {
+		t.Fatalf("duplicate snapshot: %v", err)
+	}
+}
+
+// TestRandomWorkloadGroundTruth is the package's heavyweight integration
+// test: a random multi-line workload with snapshots, clones, deletions,
+// dedup, compactions, and reclaim, verified against the tree walk at
+// multiple points.
+func TestRandomWorkloadGroundTruth(t *testing.T) {
+	for _, seed := range []int64{3, 17} {
+		cat := core.NewMemCatalog()
+		eng, err := core.Open(core.Options{VFS: storage.NewMemFS(), Catalog: cat,
+			Partitions: 2, PartitionSpan: 500})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fs := New(Config{Tracker: eng, Catalog: cat, DedupRate: 0.10, Seed: seed})
+		rng := rand.New(rand.NewSource(seed * 1000))
+
+		type snap struct{ line, v uint64 }
+		var snaps []snap
+		var inos []struct{ line, ino uint64 }
+
+		for cp := 0; cp < 25; cp++ {
+			nops := 3 + rng.Intn(10)
+			for i := 0; i < nops; i++ {
+				lines := fs.Lines()
+				line := lines[rng.Intn(len(lines))]
+				switch rng.Intn(10) {
+				case 0, 1, 2: // create + write
+					ino, err := fs.CreateFile(line)
+					if err != nil {
+						continue
+					}
+					if err := fs.WriteFile(line, ino, 0, 1+rng.Intn(6)); err != nil {
+						t.Fatal(err)
+					}
+					inos = append(inos, struct{ line, ino uint64 }{line, ino})
+				case 3, 4, 5, 6: // overwrite
+					if len(inos) == 0 {
+						continue
+					}
+					f := inos[rng.Intn(len(inos))]
+					n, err := fs.FileLen(f.line, f.ino)
+					if err != nil || n == 0 {
+						continue
+					}
+					off := uint64(rng.Intn(int(n)))
+					if err := fs.WriteFile(f.line, f.ino, off, 1+rng.Intn(3)); err != nil {
+						continue
+					}
+				case 7: // truncate
+					if len(inos) == 0 {
+						continue
+					}
+					f := inos[rng.Intn(len(inos))]
+					n, err := fs.FileLen(f.line, f.ino)
+					if err != nil || n == 0 {
+						continue
+					}
+					_ = fs.TruncateFile(f.line, f.ino, uint64(rng.Intn(int(n))))
+				case 8: // delete
+					if len(inos) == 0 {
+						continue
+					}
+					i := rng.Intn(len(inos))
+					f := inos[i]
+					if err := fs.DeleteFile(f.line, f.ino); err == nil {
+						inos = append(inos[:i], inos[i+1:]...)
+					}
+				case 9: // snapshot
+					if _, ok := fs.Line(line); ok {
+						if v, err := fs.TakeSnapshot(line); err == nil {
+							snaps = append(snaps, snap{line, v})
+						}
+					}
+				}
+			}
+			// Occasionally clone or delete a snapshot.
+			if len(snaps) > 0 && rng.Intn(4) == 0 {
+				s := snaps[rng.Intn(len(snaps))]
+				if _, err := fs.Clone(s.line, s.v); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if len(snaps) > 2 && rng.Intn(3) == 0 {
+				i := rng.Intn(len(snaps))
+				s := snaps[i]
+				if err := fs.DeleteSnapshot(s.line, s.v); err == nil {
+					snaps = append(snaps[:i], snaps[i+1:]...)
+				}
+			}
+			if _, err := fs.Checkpoint(); err != nil {
+				t.Fatal(err)
+			}
+			if cp == 10 {
+				mustVerify(t, fs, eng)
+			}
+			if cp == 15 {
+				fs.Catalog().ReapZombies()
+				if err := eng.Compact(); err != nil {
+					t.Fatal(err)
+				}
+				mustVerify(t, fs, eng)
+				fs.Reclaim()
+			}
+		}
+		mustVerify(t, fs, eng)
+		if err := eng.Compact(); err != nil {
+			t.Fatal(err)
+		}
+		mustVerify(t, fs, eng)
+	}
+}
+
+func TestVerifierDetectsCorruption(t *testing.T) {
+	// The verifier itself must be able to fail: remove a reference behind
+	// the file system's back and check that verification reports it.
+	fs, eng := newTracked(t)
+	ino, _ := fs.CreateFile(0)
+	if err := fs.WriteFile(0, ino, 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	mustCP(t, fs)
+	l, _ := fs.Line(0)
+	b := l.Live.BlocksOf(ino)[0]
+	eng.RemoveRef(core.Ref{Block: b, Inode: ino, Offset: 0, Line: 0, Length: 1}, fs.CP())
+	if err := fs.VerifyBackrefs(eng); err == nil {
+		t.Fatal("verifier missed an induced inconsistency")
+	}
+}

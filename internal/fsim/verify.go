@@ -1,0 +1,124 @@
+package fsim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/backlogfs/backlog/internal/core"
+)
+
+// LiveVersion is the sentinel "version" representing a live-image
+// reference in verifier keys.
+const LiveVersion = ^uint64(0)
+
+// ownerKey is one (inode, offset, line, version) ground-truth reference.
+// Version is a retained snapshot version or LiveVersion.
+type ownerKey struct {
+	Ino, Off, Line, Version uint64
+}
+
+func (k ownerKey) String() string {
+	v := fmt.Sprintf("%d", k.Version)
+	if k.Version == LiveVersion {
+		v = "live"
+	}
+	return fmt.Sprintf("(ino=%d off=%d line=%d v=%s)", k.Ino, k.Off, k.Line, v)
+}
+
+// ExpectedBackrefs walks the entire file system tree — every retained
+// snapshot image and every live image — and reconstructs the ground-truth
+// back references, exactly like the paper's verification utility
+// (Section 5: "a utility program that walks the entire file system tree,
+// reconstructs the back references, and then compares them with the
+// database produced by our algorithm").
+func (fs *FS) ExpectedBackrefs() map[uint64]map[ownerKey]bool {
+	out := map[uint64]map[ownerKey]bool{}
+	add := func(block uint64, k ownerKey) {
+		m, ok := out[block]
+		if !ok {
+			m = map[ownerKey]bool{}
+			out[block] = m
+		}
+		m[k] = true
+	}
+	for lineID, l := range fs.lines {
+		for v, img := range l.Snapshots {
+			for ino, f := range img.files {
+				for off, b := range f.Blocks {
+					if b != NoBlock {
+						add(b, ownerKey{Ino: ino, Off: uint64(off), Line: lineID, Version: v})
+					}
+				}
+			}
+		}
+		if l.deleted {
+			continue
+		}
+		for ino, f := range l.Live.files {
+			for off, b := range f.Blocks {
+				if b != NoBlock {
+					add(b, ownerKey{Ino: ino, Off: uint64(off), Line: lineID, Version: LiveVersion})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// engineBackrefs flattens an engine query result into verifier keys.
+func engineBackrefs(block uint64, owners []core.Owner) map[ownerKey]bool {
+	out := map[ownerKey]bool{}
+	for _, o := range owners {
+		for _, v := range o.Versions {
+			out[ownerKey{Ino: o.Inode, Off: o.Offset, Line: o.Line, Version: v}] = true
+		}
+		if o.Live {
+			out[ownerKey{Ino: o.Inode, Off: o.Offset, Line: o.Line, Version: LiveVersion}] = true
+		}
+	}
+	return out
+}
+
+// VerifyBackrefs compares the engine's query results against the
+// tree-walk ground truth for every block ever allocated. It returns an
+// error describing the first few mismatches, or nil if the database is
+// exact. Note: ops buffered in the engine's write store are visible to
+// queries, so verification may run at any point, not only at CP
+// boundaries.
+func (fs *FS) VerifyBackrefs(eng *core.Engine) error {
+	expected := fs.ExpectedBackrefs()
+	var problems []string
+	report := func(format string, args ...interface{}) bool {
+		problems = append(problems, fmt.Sprintf(format, args...))
+		return len(problems) >= 10
+	}
+	for b := uint64(1); b < fs.MaxBlock(); b++ {
+		owners, err := eng.Query(b)
+		if err != nil {
+			return fmt.Errorf("fsim: verify query block %d: %w", b, err)
+		}
+		got := engineBackrefs(b, owners)
+		want := expected[b]
+		for k := range want {
+			if !got[k] {
+				if report("block %d: missing %v", b, k) {
+					goto done
+				}
+			}
+		}
+		for k := range got {
+			if !want[k] {
+				if report("block %d: spurious %v", b, k) {
+					goto done
+				}
+			}
+		}
+	}
+done:
+	if len(problems) > 0 {
+		sort.Strings(problems)
+		return fmt.Errorf("fsim: back-reference verification failed:\n%s", strings.Join(problems, "\n"))
+	}
+	return nil
+}

@@ -1,0 +1,321 @@
+package lsm
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"github.com/backlogfs/backlog/internal/storage"
+)
+
+// Edit describes an atomic manifest transition: new runs to install, old
+// runs to drop, the CP number to record, and deletion-vector changes. All
+// of it commits in a single manifest replacement.
+type Edit struct {
+	db        *DB
+	cp        uint64
+	setCP     bool
+	add       []RunRef
+	drop      map[string][]string // table -> run names to drop
+	replaceDV map[string]bool     // tables whose (possibly empty) DV should be persisted
+}
+
+// NewEdit starts an empty edit.
+func (db *DB) NewEdit() *Edit {
+	return &Edit{db: db, drop: map[string][]string{}, replaceDV: map[string]bool{}}
+}
+
+// SetCP records the consistency point number this edit commits.
+func (e *Edit) SetCP(cp uint64) *Edit {
+	e.cp, e.setCP = cp, true
+	return e
+}
+
+// AddRun installs a finished run.
+func (e *Edit) AddRun(ref RunRef) *Edit {
+	e.add = append(e.add, ref)
+	return e
+}
+
+// DropRun removes a run from a table (its file is deleted after commit).
+func (e *Edit) DropRun(table, runName string) *Edit {
+	e.drop[table] = append(e.drop[table], runName)
+	return e
+}
+
+// FlushDV persists the current in-memory deletion vector of the table
+// (which may be empty, dropping a previously persisted vector).
+func (e *Edit) FlushDV(table string) *Edit {
+	e.replaceDV[table] = true
+	return e
+}
+
+// Commit applies the edit: writes dirty deletion vectors, writes and syncs
+// the new manifest, atomically renames it into place, updates in-memory
+// state, and finally deletes dropped files. On error before the rename, the
+// on-disk state is unchanged.
+func (e *Edit) Commit() error {
+	db := e.db
+
+	// Build the next manifest from in-memory state plus this edit.
+	next := manifest{Version: 1, CP: db.m.CP, NextID: db.m.NextID,
+		Tables: map[string]tableManifest{}}
+	if e.setCP {
+		next.CP = e.cp
+	}
+
+	dropSet := map[string]map[string]bool{}
+	for table, names := range e.drop {
+		m := map[string]bool{}
+		for _, n := range names {
+			m[n] = true
+		}
+		dropSet[table] = m
+	}
+
+	// Start from current runs minus drops.
+	newRuns := map[string][][]*Run{}
+	for name, t := range db.tables {
+		parts := make([][]*Run, db.opts.Partitions)
+		for p, runs := range t.runs {
+			for _, r := range runs {
+				if dropSet[name][r.name] {
+					continue
+				}
+				parts[p] = append(parts[p], r)
+			}
+		}
+		newRuns[name] = parts
+	}
+
+	// Install added runs (opening readers now; files are already synced).
+	for _, ref := range e.add {
+		t := db.tables[ref.table]
+		if t == nil {
+			return fmt.Errorf("lsm: commit references unknown table %q", ref.table)
+		}
+		r, err := db.openRun(t, ref.rm)
+		if err != nil {
+			return err
+		}
+		newRuns[ref.table][ref.partition] = append(newRuns[ref.table][ref.partition], r)
+	}
+
+	// Persist requested deletion vectors.
+	newDVFiles := map[string]string{}
+	var dvToDelete []string
+	for name, t := range db.tables {
+		cur := db.m.Tables[name].DVFile
+		if !e.replaceDV[name] {
+			newDVFiles[name] = cur
+			continue
+		}
+		if len(t.dv) == 0 {
+			newDVFiles[name] = ""
+		} else {
+			id := next.NextID
+			next.NextID++
+			fname := fmt.Sprintf("dv.%s.%010d", name, id)
+			if err := t.writeDV(fname); err != nil {
+				return err
+			}
+			newDVFiles[name] = fname
+		}
+		if cur != "" && cur != newDVFiles[name] {
+			dvToDelete = append(dvToDelete, cur)
+		}
+	}
+
+	// Serialize.
+	for name, t := range db.tables {
+		tm := tableManifest{
+			Partitions: make([][]runManifest, db.opts.Partitions),
+			DVFile:     newDVFiles[name],
+			DVCount:    len(t.dv),
+		}
+		if tm.DVFile == "" {
+			tm.DVCount = 0
+		}
+		for p, runs := range newRuns[name] {
+			tm.Partitions[p] = make([]runManifest, 0, len(runs))
+			for _, r := range runs {
+				tm.Partitions[p] = append(tm.Partitions[p], runManifest{
+					Name: r.name, Level: r.level, Records: r.records,
+					MinBlock: r.minBlock, MaxBlock: r.maxBlock, CP: r.cp,
+				})
+			}
+		}
+		next.Tables[name] = tm
+	}
+
+	if err := writeManifest(db.vfs, next); err != nil {
+		return err
+	}
+
+	// Point of no return: swap in-memory state.
+	db.m = next
+	for name, t := range db.tables {
+		t.runs = newRuns[name]
+		if e.replaceDV[name] && newDVFiles[name] == "" {
+			t.dv = make(map[string]struct{})
+		}
+		t.dvDirty = false
+	}
+
+	// Best-effort deletion of dropped files.
+	for table, names := range e.drop {
+		_ = table
+		for _, n := range names {
+			if err := db.vfs.Remove(n); err != nil && !errors.Is(err, storage.ErrNotExist) {
+				return err
+			}
+		}
+	}
+	for _, n := range dvToDelete {
+		if err := db.vfs.Remove(n); err != nil && !errors.Is(err, storage.ErrNotExist) {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeManifest(vfs storage.VFS, m manifest) error {
+	data, err := json.Marshal(&m)
+	if err != nil {
+		return err
+	}
+	// Remove a stale temp file from a previous failed commit, if any.
+	if err := vfs.Remove(manifestTmpName); err != nil && !errors.Is(err, storage.ErrNotExist) {
+		return err
+	}
+	f, err := vfs.Create(manifestTmpName)
+	if err != nil {
+		return err
+	}
+	if _, err := f.WriteAt(data, 0); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return vfs.Rename(manifestTmpName, manifestName)
+}
+
+// --- Deletion vectors ---
+
+// DeleteRecord hides a record from all subsequent reads until the next
+// compaction physically drops it. The change is durable after the next
+// Commit with FlushDV.
+func (t *Table) DeleteRecord(rec []byte) {
+	if len(rec) != t.spec.RecordSize {
+		return
+	}
+	t.dv[string(rec)] = struct{}{}
+	t.dvDirty = true
+}
+
+// Deleted reports whether a record is hidden by the deletion vector.
+func (t *Table) Deleted(rec []byte) bool {
+	if len(t.dv) == 0 {
+		return false
+	}
+	_, ok := t.dv[string(rec)]
+	return ok
+}
+
+// DVLen returns the number of records in the deletion vector.
+func (t *Table) DVLen() int { return len(t.dv) }
+
+// DVDirty reports whether the vector has unpersisted changes.
+func (t *Table) DVDirty() bool { return t.dvDirty }
+
+// ClearDV empties the in-memory deletion vector; persist with FlushDV.
+func (t *Table) ClearDV() {
+	if len(t.dv) == 0 {
+		return
+	}
+	t.dv = make(map[string]struct{})
+	t.dvDirty = true
+}
+
+// ClearDVRange removes deletion-vector entries whose block number lies in
+// [lo, hi].
+func (t *Table) ClearDVRange(lo, hi uint64) {
+	for rec := range t.dv {
+		blk := blockOf([]byte(rec))
+		if blk >= lo && blk <= hi {
+			delete(t.dv, rec)
+			t.dvDirty = true
+		}
+	}
+}
+
+// ClearDVPartition removes deletion-vector entries routed to partition p
+// (under either range or hash partitioning). Compaction of one partition
+// calls this after physically dropping the partition's deleted records,
+// leaving other partitions' entries in place.
+func (t *Table) ClearDVPartition(p int) {
+	for rec := range t.dv {
+		if t.db.PartitionOf(blockOf([]byte(rec))) == p {
+			delete(t.dv, rec)
+			t.dvDirty = true
+		}
+	}
+}
+
+func (t *Table) writeDV(name string) error {
+	recs := make([]string, 0, len(t.dv))
+	for r := range t.dv {
+		recs = append(recs, r)
+	}
+	sort.Strings(recs)
+	f, err := t.db.vfs.Create(name)
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, 0, len(recs)*t.spec.RecordSize)
+	for _, r := range recs {
+		buf = append(buf, r...)
+	}
+	if _, err := f.WriteAt(buf, 0); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func (t *Table) loadDV(name string) error {
+	f, err := t.db.vfs.Open(name)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	size, err := f.Size()
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, size)
+	if _, err := f.ReadAt(buf, 0); err != nil && err != io.EOF {
+		return err
+	}
+	rs := t.spec.RecordSize
+	if int(size)%rs != 0 {
+		return fmt.Errorf("lsm: deletion vector %s has partial record", name)
+	}
+	for off := 0; off < int(size); off += rs {
+		t.dv[string(buf[off:off+rs])] = struct{}{}
+	}
+	t.dvDirty = false
+	return nil
+}

@@ -1,0 +1,315 @@
+// Package lsm implements the LSM-tree / Stepped-Merge storage layer that
+// holds Backlog's From, To, and Combined tables (paper Sections 5.1–5.3).
+//
+// Each table is a set of immutable read-store (RS) runs, horizontally
+// partitioned by physical block number. At every consistency point the
+// engine flushes its in-memory write stores into one new Level-0 run per
+// (table, partition); compaction later merges all runs of a partition into
+// a single large run (the Stepped-Merge Level-N analog). Every run carries
+// a Bloom filter over its block numbers so queries open only runs that may
+// contain the queried block.
+//
+// A single manifest file is the commit point: run files are written and
+// synced first, then the manifest is atomically replaced (write temp, sync,
+// rename), mirroring the write-anywhere "root written last" discipline the
+// paper's recovery story relies on (Section 5.4). A crash between run
+// writes and the manifest commit leaves orphan files that Open garbage
+// collects.
+//
+// The layer is policy-free: it stores opaque fixed-size records ordered by
+// bytes.Compare whose first 8 bytes are the big-endian physical block
+// number. The join, inheritance, masking, and purge logic live in
+// internal/core.
+package lsm
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+
+	"github.com/backlogfs/backlog/internal/btree"
+	"github.com/backlogfs/backlog/internal/storage"
+)
+
+const (
+	manifestName    = "MANIFEST"
+	manifestTmpName = "MANIFEST.tmp"
+)
+
+// TableSpec declares one table of a DB.
+type TableSpec struct {
+	// Name identifies the table ("from", "to", "combined").
+	Name string
+	// RecordSize is the fixed encoded record size in bytes.
+	RecordSize int
+	// BloomMaxBytes caps the Bloom filter size of this table's runs
+	// (DefaultFilterBytes if zero).
+	BloomMaxBytes int
+}
+
+// Options configures Open.
+type Options struct {
+	// Tables lists the tables of the database.
+	Tables []TableSpec
+	// Partitions is the number of block-range partitions (>= 1).
+	Partitions int
+	// PartitionSpan is the number of physical blocks per partition;
+	// blocks >= Partitions*PartitionSpan route to the last partition.
+	// Required when Partitions > 1 unless HashPartitioning is set.
+	PartitionSpan uint64
+	// HashPartitioning routes blocks to partitions by hash instead of by
+	// contiguous range — the alternative scheme the paper plans to
+	// explore for better parallelism (Section 5.3). Hash partitioning
+	// spreads load evenly regardless of allocation locality, at the cost
+	// of less selective per-run block ranges.
+	HashPartitioning bool
+	// Cache is the shared page cache used by run readers (may be nil).
+	Cache *btree.Cache
+	// DisableBloom makes MayContainBlock ignore Bloom filters and rely on
+	// key ranges only (used by the ablation benchmarks).
+	DisableBloom bool
+}
+
+// DB is a multi-table LSM store with a single atomic manifest.
+type DB struct {
+	vfs   storage.VFS
+	opts  Options
+	cache *btree.Cache
+
+	tables map[string]*Table
+	m      manifest
+}
+
+// Table is one logical table of a DB.
+type Table struct {
+	db   *DB
+	spec TableSpec
+	// runs[p] lists the live runs of partition p, oldest first.
+	runs [][]*Run
+	// dv is the deletion vector: records hidden from all reads until the
+	// next compaction rewrites them away (paper Section 5.1, borrowed
+	// from C-Store).
+	dv      map[string]struct{}
+	dvDirty bool
+}
+
+// manifest is the JSON-serialized commit point.
+type manifest struct {
+	Version int                      `json:"version"`
+	CP      uint64                   `json:"cp"`
+	NextID  uint64                   `json:"next_id"`
+	Tables  map[string]tableManifest `json:"tables"`
+}
+
+type tableManifest struct {
+	Partitions [][]runManifest `json:"partitions"`
+	DVFile     string          `json:"dv_file,omitempty"`
+	DVCount    int             `json:"dv_count,omitempty"`
+}
+
+type runManifest struct {
+	Name     string `json:"name"`
+	Level    int    `json:"level"`
+	Records  uint64 `json:"records"`
+	MinBlock uint64 `json:"min_block"`
+	MaxBlock uint64 `json:"max_block"`
+	CP       uint64 `json:"cp"` // CP at which the run was created
+}
+
+// Open opens or creates a DB in vfs.
+func Open(vfs storage.VFS, opts Options) (*DB, error) {
+	if len(opts.Tables) == 0 {
+		return nil, errors.New("lsm: no tables configured")
+	}
+	if opts.Partitions < 1 {
+		opts.Partitions = 1
+	}
+	if opts.Partitions > 1 && opts.PartitionSpan == 0 && !opts.HashPartitioning {
+		return nil, errors.New("lsm: PartitionSpan required with multiple range partitions")
+	}
+	db := &DB{vfs: vfs, opts: opts, cache: opts.Cache, tables: make(map[string]*Table)}
+	for _, spec := range opts.Tables {
+		if spec.RecordSize <= 8 {
+			return nil, fmt.Errorf("lsm: table %q record size %d too small", spec.Name, spec.RecordSize)
+		}
+		if _, dup := db.tables[spec.Name]; dup {
+			return nil, fmt.Errorf("lsm: duplicate table %q", spec.Name)
+		}
+		t := &Table{
+			db:   db,
+			spec: spec,
+			runs: make([][]*Run, opts.Partitions),
+			dv:   make(map[string]struct{}),
+		}
+		db.tables[spec.Name] = t
+	}
+	if err := db.loadManifest(); err != nil {
+		return nil, err
+	}
+	if err := db.collectOrphans(); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+// Table returns the named table, or nil if not configured.
+func (db *DB) Table(name string) *Table { return db.tables[name] }
+
+// CP returns the last committed consistency point number.
+func (db *DB) CP() uint64 { return db.m.CP }
+
+// Partitions returns the number of partitions.
+func (db *DB) Partitions() int { return db.opts.Partitions }
+
+// PartitionOf returns the partition index responsible for a block.
+func (db *DB) PartitionOf(block uint64) int {
+	if db.opts.Partitions <= 1 {
+		return 0
+	}
+	if db.opts.HashPartitioning {
+		return int(mix64(block) % uint64(db.opts.Partitions))
+	}
+	p := int(block / db.opts.PartitionSpan)
+	if p >= db.opts.Partitions {
+		p = db.opts.Partitions - 1
+	}
+	return p
+}
+
+// mix64 is the SplitMix64 finalizer, used for hash partitioning.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// PartitionRange returns the block range [lo, hi] covered by partition p
+// (hi is inclusive; the last partition extends to MaxUint64). With hash
+// partitioning every partition spans the whole block space.
+func (db *DB) PartitionRange(p int) (lo, hi uint64) {
+	if db.opts.Partitions <= 1 || db.opts.HashPartitioning {
+		return 0, ^uint64(0)
+	}
+	lo = uint64(p) * db.opts.PartitionSpan
+	if p == db.opts.Partitions-1 {
+		return lo, ^uint64(0)
+	}
+	return lo, (uint64(p)+1)*db.opts.PartitionSpan - 1
+}
+
+// SizeBytes returns the total on-disk size of all live runs and deletion
+// vectors — the measure used in the paper's space-overhead figures.
+func (db *DB) SizeBytes() int64 {
+	var n int64
+	for _, t := range db.tables {
+		for _, part := range t.runs {
+			for _, r := range part {
+				n += r.sizeBytes
+			}
+		}
+		n += int64(len(t.dv) * t.spec.RecordSize)
+	}
+	return n
+}
+
+// RunCount returns the total number of live runs across all tables.
+func (db *DB) RunCount() int {
+	var n int
+	for _, t := range db.tables {
+		for _, part := range t.runs {
+			n += len(part)
+		}
+	}
+	return n
+}
+
+func (db *DB) loadManifest() error {
+	f, err := db.vfs.Open(manifestName)
+	if errors.Is(err, storage.ErrNotExist) {
+		db.m = manifest{Version: 1, NextID: 1, Tables: map[string]tableManifest{}}
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	size, err := f.Size()
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, size)
+	if _, err := f.ReadAt(buf, 0); err != nil && err != io.EOF {
+		return fmt.Errorf("lsm: reading manifest: %w", err)
+	}
+	var m manifest
+	if err := json.Unmarshal(buf, &m); err != nil {
+		return fmt.Errorf("lsm: decoding manifest: %w", err)
+	}
+	db.m = m
+	for name, tm := range m.Tables {
+		t := db.tables[name]
+		if t == nil {
+			return fmt.Errorf("lsm: manifest references unknown table %q", name)
+		}
+		if len(tm.Partitions) != db.opts.Partitions {
+			return fmt.Errorf("lsm: table %q has %d partitions on disk, configured %d",
+				name, len(tm.Partitions), db.opts.Partitions)
+		}
+		for p, runs := range tm.Partitions {
+			for _, rm := range runs {
+				r, err := db.openRun(t, rm)
+				if err != nil {
+					return err
+				}
+				t.runs[p] = append(t.runs[p], r)
+			}
+		}
+		if tm.DVFile != "" {
+			if err := t.loadDV(tm.DVFile); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// collectOrphans removes files not referenced by the manifest — leftovers
+// of a crash between run writes and the manifest commit.
+func (db *DB) collectOrphans() error {
+	live := map[string]bool{manifestName: true}
+	for name, tm := range db.m.Tables {
+		_ = name
+		for _, runs := range tm.Partitions {
+			for _, rm := range runs {
+				live[rm.Name] = true
+			}
+		}
+		if tm.DVFile != "" {
+			live[tm.DVFile] = true
+		}
+	}
+	names, err := db.vfs.List()
+	if err != nil {
+		return err
+	}
+	for _, name := range names {
+		if live[name] {
+			continue
+		}
+		if !strings.HasSuffix(name, ".run") && !strings.HasPrefix(name, "dv.") &&
+			name != manifestTmpName {
+			continue // not ours
+		}
+		if err := db.vfs.Remove(name); err != nil && !errors.Is(err, storage.ErrNotExist) {
+			return err
+		}
+	}
+	return nil
+}
+
+// blockOf extracts the big-endian block number prefix of a record.
+func blockOf(rec []byte) uint64 { return binary.BigEndian.Uint64(rec[:8]) }

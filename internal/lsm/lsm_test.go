@@ -1,0 +1,631 @@
+package lsm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"github.com/backlogfs/backlog/internal/btree"
+	"github.com/backlogfs/backlog/internal/storage"
+)
+
+const testRecSize = 16 // block u64 | payload u64
+
+func rec16(block, payload uint64) []byte {
+	r := make([]byte, testRecSize)
+	binary.BigEndian.PutUint64(r, block)
+	binary.BigEndian.PutUint64(r[8:], payload)
+	return r
+}
+
+func openTestDB(t *testing.T, fs storage.VFS, partitions int) *DB {
+	t.Helper()
+	opts := Options{
+		Tables:        []TableSpec{{Name: "from", RecordSize: testRecSize}, {Name: "to", RecordSize: testRecSize}},
+		Partitions:    partitions,
+		PartitionSpan: 1000,
+		Cache:         btree.NewCache(4096),
+	}
+	db, err := Open(fs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// flushRecords writes one Level-0 run per partition for the given table
+// and commits at the given CP.
+func flushRecords(t *testing.T, db *DB, table string, cp uint64, recs [][]byte) {
+	t.Helper()
+	sorted := append([][]byte(nil), recs...)
+	sort.Slice(sorted, func(i, j int) bool {
+		return string(sorted[i]) < string(sorted[j])
+	})
+	builders := map[int]*RunBuilder{}
+	for _, r := range sorted {
+		p := db.PartitionOf(binary.BigEndian.Uint64(r[:8]))
+		b, ok := builders[p]
+		if !ok {
+			var err error
+			b, err = db.NewRunBuilder(table, p, 0, cp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			builders[p] = b
+		}
+		if err := b.Add(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	edit := db.NewEdit().SetCP(cp)
+	for _, b := range builders {
+		ref, ok, err := b.Finish()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			edit.AddRun(ref)
+		}
+	}
+	if err := edit.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func collect(t *testing.T, tbl *Table, block uint64) [][]byte {
+	t.Helper()
+	var out [][]byte
+	if err := tbl.CollectBlock(block, func(rec []byte) bool {
+		out = append(out, append([]byte(nil), rec...))
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestFlushAndCollect(t *testing.T) {
+	fs := storage.NewMemFS()
+	db := openTestDB(t, fs, 1)
+	flushRecords(t, db, "from", 1, [][]byte{rec16(5, 100), rec16(5, 101), rec16(9, 1)})
+	flushRecords(t, db, "from", 2, [][]byte{rec16(5, 102), rec16(7, 50)})
+
+	got := collect(t, db.Table("from"), 5)
+	if len(got) != 3 {
+		t.Fatalf("block 5: got %d records, want 3", len(got))
+	}
+	for i, want := range []uint64{100, 101, 102} {
+		if binary.BigEndian.Uint64(got[i][8:]) != want {
+			t.Fatalf("record %d payload = %d, want %d", i, binary.BigEndian.Uint64(got[i][8:]), want)
+		}
+	}
+	if got := collect(t, db.Table("from"), 6); len(got) != 0 {
+		t.Fatalf("block 6: got %d records, want 0", len(got))
+	}
+	if db.CP() != 2 {
+		t.Fatalf("CP = %d, want 2", db.CP())
+	}
+}
+
+func TestDuplicateAcrossRunsSuppressed(t *testing.T) {
+	fs := storage.NewMemFS()
+	db := openTestDB(t, fs, 1)
+	flushRecords(t, db, "from", 1, [][]byte{rec16(5, 100)})
+	flushRecords(t, db, "from", 2, [][]byte{rec16(5, 100)})
+	got := collect(t, db.Table("from"), 5)
+	if len(got) != 1 {
+		t.Fatalf("duplicate record emitted %d times, want 1", len(got))
+	}
+}
+
+func TestReopenPersists(t *testing.T) {
+	fs := storage.NewMemFS()
+	db := openTestDB(t, fs, 1)
+	flushRecords(t, db, "from", 1, [][]byte{rec16(1, 10), rec16(2, 20)})
+	flushRecords(t, db, "to", 1, [][]byte{rec16(1, 11)})
+
+	db2 := openTestDB(t, fs, 1)
+	if db2.CP() != 1 {
+		t.Fatalf("reopened CP = %d", db2.CP())
+	}
+	if got := collect(t, db2.Table("from"), 2); len(got) != 1 {
+		t.Fatalf("reopened from-block-2: %d records", len(got))
+	}
+	if got := collect(t, db2.Table("to"), 1); len(got) != 1 {
+		t.Fatalf("reopened to-block-1: %d records", len(got))
+	}
+}
+
+func TestCrashBeforeCommitRecoversOldState(t *testing.T) {
+	fs := storage.NewMemFS()
+	db := openTestDB(t, fs, 1)
+	flushRecords(t, db, "from", 1, [][]byte{rec16(1, 10)})
+
+	// Write a run but crash before the manifest commit.
+	b, err := db.NewRunBuilder("from", 0, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Add(rec16(2, 20)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := b.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	fs.Crash()
+
+	db2 := openTestDB(t, fs, 1)
+	if db2.CP() != 1 {
+		t.Fatalf("CP after crash = %d, want 1", db2.CP())
+	}
+	if got := collect(t, db2.Table("from"), 2); len(got) != 0 {
+		t.Fatalf("uncommitted record visible after crash")
+	}
+	// The orphan run file must have been collected.
+	names, _ := fs.List()
+	for _, n := range names {
+		for _, r := range db2.Table("from").Runs(0) {
+			if n == r.Name() {
+				goto live
+			}
+		}
+		if n == "MANIFEST" {
+			continue
+		}
+		t.Fatalf("orphan file %q survived recovery", n)
+	live:
+	}
+}
+
+func TestCrashAfterCommitKeepsNewState(t *testing.T) {
+	fs := storage.NewMemFS()
+	db := openTestDB(t, fs, 1)
+	flushRecords(t, db, "from", 1, [][]byte{rec16(1, 10)})
+	flushRecords(t, db, "from", 2, [][]byte{rec16(2, 20)})
+	fs.Crash()
+	db2 := openTestDB(t, fs, 1)
+	if db2.CP() != 2 {
+		t.Fatalf("CP after crash = %d, want 2", db2.CP())
+	}
+	if got := collect(t, db2.Table("from"), 2); len(got) != 1 {
+		t.Fatalf("committed record lost by crash")
+	}
+}
+
+func TestDeletionVector(t *testing.T) {
+	fs := storage.NewMemFS()
+	db := openTestDB(t, fs, 1)
+	flushRecords(t, db, "from", 1, [][]byte{rec16(1, 10), rec16(1, 11), rec16(2, 20)})
+
+	tbl := db.Table("from")
+	tbl.DeleteRecord(rec16(1, 10))
+	if got := collect(t, tbl, 1); len(got) != 1 || binary.BigEndian.Uint64(got[0][8:]) != 11 {
+		t.Fatalf("DV filter failed: %v", got)
+	}
+	if !tbl.DVDirty() {
+		t.Fatal("DV not marked dirty")
+	}
+
+	// Persist and reopen.
+	if err := db.NewEdit().FlushDV("from").Commit(); err != nil {
+		t.Fatal(err)
+	}
+	db2 := openTestDB(t, fs, 1)
+	tbl2 := db2.Table("from")
+	if tbl2.DVLen() != 1 {
+		t.Fatalf("reopened DV has %d entries", tbl2.DVLen())
+	}
+	if got := collect(t, tbl2, 1); len(got) != 1 {
+		t.Fatalf("DV filter lost on reopen: %v", got)
+	}
+
+	// MergedIter also respects the DV.
+	it, err := tbl2.MergedIter(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var n int
+	for {
+		_, ok, err := it.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		n++
+	}
+	if n != 2 {
+		t.Fatalf("MergedIter saw %d records, want 2", n)
+	}
+
+	// Clearing and flushing drops the DV file.
+	tbl2.ClearDV()
+	if err := db2.NewEdit().FlushDV("from").Commit(); err != nil {
+		t.Fatal(err)
+	}
+	db3 := openTestDB(t, fs, 1)
+	if db3.Table("from").DVLen() != 0 {
+		t.Fatal("cleared DV came back")
+	}
+	if got := collect(t, db3.Table("from"), 1); len(got) != 2 {
+		t.Fatalf("records after DV clear: %d, want 2", len(got))
+	}
+}
+
+func TestCompactionReplacesRuns(t *testing.T) {
+	fs := storage.NewMemFS()
+	db := openTestDB(t, fs, 1)
+	for cp := uint64(1); cp <= 5; cp++ {
+		flushRecords(t, db, "from", cp, [][]byte{rec16(cp, cp*10)})
+	}
+	tbl := db.Table("from")
+	if len(tbl.Runs(0)) != 5 {
+		t.Fatalf("run count = %d, want 5", len(tbl.Runs(0)))
+	}
+
+	// Merge all runs into one Level-1 run.
+	it, err := tbl.MergedIter(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb, err := db.NewRunBuilder("from", 0, 1, db.CP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		rec, ok, err := it.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		if err := nb.Add(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ref, ok, err := nb.Finish()
+	if err != nil || !ok {
+		t.Fatalf("Finish: ok=%v err=%v", ok, err)
+	}
+	edit := db.NewEdit().AddRun(ref)
+	for _, r := range tbl.Runs(0) {
+		edit.DropRun("from", r.Name())
+	}
+	if err := edit.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	if len(tbl.Runs(0)) != 1 || tbl.Runs(0)[0].Level() != 1 {
+		t.Fatalf("after compaction: %d runs, level %d", len(tbl.Runs(0)), tbl.Runs(0)[0].Level())
+	}
+	for blk := uint64(1); blk <= 5; blk++ {
+		if got := collect(t, tbl, blk); len(got) != 1 {
+			t.Fatalf("block %d lost by compaction", blk)
+		}
+	}
+	// The old run files are gone from disk.
+	names, _ := fs.List()
+	runFiles := 0
+	for _, n := range names {
+		if len(n) > 4 && n[len(n)-4:] == ".run" {
+			runFiles++
+		}
+	}
+	if runFiles != 1 {
+		t.Fatalf("%d run files on disk after compaction, want 1", runFiles)
+	}
+}
+
+func TestPartitioning(t *testing.T) {
+	fs := storage.NewMemFS()
+	db := openTestDB(t, fs, 4) // span 1000
+	if p := db.PartitionOf(0); p != 0 {
+		t.Fatalf("PartitionOf(0) = %d", p)
+	}
+	if p := db.PartitionOf(999); p != 0 {
+		t.Fatalf("PartitionOf(999) = %d", p)
+	}
+	if p := db.PartitionOf(1000); p != 1 {
+		t.Fatalf("PartitionOf(1000) = %d", p)
+	}
+	if p := db.PartitionOf(1 << 40); p != 3 {
+		t.Fatalf("PartitionOf(huge) = %d, want last partition", p)
+	}
+	lo, hi := db.PartitionRange(1)
+	if lo != 1000 || hi != 1999 {
+		t.Fatalf("PartitionRange(1) = [%d, %d]", lo, hi)
+	}
+	lo, hi = db.PartitionRange(3)
+	if lo != 3000 || hi != ^uint64(0) {
+		t.Fatalf("PartitionRange(3) = [%d, %d]", lo, hi)
+	}
+
+	recs := [][]byte{rec16(5, 1), rec16(1500, 2), rec16(2500, 3), rec16(9999, 4)}
+	flushRecords(t, db, "from", 1, recs)
+	tbl := db.Table("from")
+	for p := 0; p < 4; p++ {
+		if len(tbl.Runs(p)) != 1 {
+			t.Fatalf("partition %d has %d runs, want 1", p, len(tbl.Runs(p)))
+		}
+	}
+	for _, r := range recs {
+		blk := binary.BigEndian.Uint64(r[:8])
+		if got := collect(t, tbl, blk); len(got) != 1 {
+			t.Fatalf("block %d: %d records", blk, len(got))
+		}
+	}
+}
+
+func TestBloomPrunesRuns(t *testing.T) {
+	fs := storage.NewMemFS()
+	db := openTestDB(t, fs, 1)
+	// Two runs with disjoint but interleaved block sets.
+	flushRecords(t, db, "from", 1, [][]byte{rec16(10, 1), rec16(30, 1)})
+	flushRecords(t, db, "from", 2, [][]byte{rec16(20, 1), rec16(40, 1)})
+
+	tbl := db.Table("from")
+	runs := tbl.Runs(0)
+	if len(runs) != 2 {
+		t.Fatalf("%d runs", len(runs))
+	}
+	// Block 20 is inside run 0's [min,max] range but should be rejected by
+	// its bloom filter with high probability.
+	if runs[0].MayContainBlock(20) {
+		t.Log("bloom false positive for block 20 (possible but unlikely)")
+	}
+	if !runs[0].MayContainBlock(10) || !runs[1].MayContainBlock(20) {
+		t.Fatal("bloom false negative")
+	}
+	// Out-of-range blocks are always rejected.
+	if runs[0].MayContainBlock(5) || runs[0].MayContainBlock(50) {
+		t.Fatal("range check failed")
+	}
+}
+
+func TestEmptyBuilderProducesNoRun(t *testing.T) {
+	fs := storage.NewMemFS()
+	db := openTestDB(t, fs, 1)
+	b, err := db.NewRunBuilder("from", 0, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ok, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("empty builder produced a run")
+	}
+	names, _ := fs.List()
+	if len(names) != 0 {
+		t.Fatalf("empty builder left files: %v", names)
+	}
+}
+
+func TestAbortRemovesFile(t *testing.T) {
+	fs := storage.NewMemFS()
+	db := openTestDB(t, fs, 1)
+	b, err := db.NewRunBuilder("from", 0, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Add(rec16(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	b.Abort()
+	names, _ := fs.List()
+	if len(names) != 0 {
+		t.Fatalf("abort left files: %v", names)
+	}
+}
+
+func TestOpenValidation(t *testing.T) {
+	fs := storage.NewMemFS()
+	if _, err := Open(fs, Options{}); err == nil {
+		t.Fatal("Open with no tables succeeded")
+	}
+	if _, err := Open(fs, Options{
+		Tables:     []TableSpec{{Name: "t", RecordSize: 16}},
+		Partitions: 2,
+	}); err == nil {
+		t.Fatal("Open with partitions but no span succeeded")
+	}
+	if _, err := Open(fs, Options{
+		Tables: []TableSpec{{Name: "t", RecordSize: 4}},
+	}); err == nil {
+		t.Fatal("Open with tiny record size succeeded")
+	}
+	if _, err := Open(fs, Options{
+		Tables: []TableSpec{{Name: "t", RecordSize: 16}, {Name: "t", RecordSize: 16}},
+	}); err == nil {
+		t.Fatal("Open with duplicate tables succeeded")
+	}
+}
+
+func TestReopenWithDifferentPartitionsFails(t *testing.T) {
+	fs := storage.NewMemFS()
+	db := openTestDB(t, fs, 2)
+	flushRecords(t, db, "from", 1, [][]byte{rec16(1, 1)})
+	_, err := Open(fs, Options{
+		Tables:        []TableSpec{{Name: "from", RecordSize: testRecSize}, {Name: "to", RecordSize: testRecSize}},
+		Partitions:    3,
+		PartitionSpan: 1000,
+	})
+	if err == nil {
+		t.Fatal("partition count mismatch accepted")
+	}
+}
+
+func TestMergeIterRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 20; trial++ {
+		// Build several sorted slices with overlaps and duplicates.
+		all := map[string]bool{}
+		var iters []RecIter
+		for s := 0; s < 1+rng.Intn(5); s++ {
+			var recs [][]byte
+			for i := 0; i < rng.Intn(50); i++ {
+				r := rec16(uint64(rng.Intn(20)), uint64(rng.Intn(10)))
+				recs = append(recs, r)
+			}
+			sort.Slice(recs, func(i, j int) bool { return string(recs[i]) < string(recs[j]) })
+			// Dedupe within a slice (sources are individually duplicate-free).
+			var ded [][]byte
+			for i, r := range recs {
+				if i > 0 && string(r) == string(recs[i-1]) {
+					continue
+				}
+				ded = append(ded, r)
+				all[string(r)] = true
+			}
+			iters = append(iters, NewSliceIter(ded))
+		}
+		m, err := NewMergeIter(iters...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []string
+		for {
+			rec, ok, err := m.Next()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				break
+			}
+			got = append(got, string(rec))
+		}
+		want := make([]string, 0, len(all))
+		for r := range all {
+			want = append(want, r)
+		}
+		sort.Strings(want)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: merged %d records, want %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: record %d mismatch", trial, i)
+			}
+		}
+	}
+}
+
+func TestSizeBytesTracksRuns(t *testing.T) {
+	fs := storage.NewMemFS()
+	db := openTestDB(t, fs, 1)
+	if db.SizeBytes() != 0 {
+		t.Fatalf("empty DB SizeBytes = %d", db.SizeBytes())
+	}
+	flushRecords(t, db, "from", 1, [][]byte{rec16(1, 1)})
+	if db.SizeBytes() == 0 {
+		t.Fatal("SizeBytes = 0 after flush")
+	}
+	if db.RunCount() != 1 {
+		t.Fatalf("RunCount = %d", db.RunCount())
+	}
+	if db.Table("from").TotalRecords() != 1 {
+		t.Fatalf("TotalRecords = %d", db.Table("from").TotalRecords())
+	}
+}
+
+func TestManyCPsRunAccumulation(t *testing.T) {
+	fs := storage.NewMemFS()
+	db := openTestDB(t, fs, 1)
+	const cps = 50
+	for cp := uint64(1); cp <= cps; cp++ {
+		flushRecords(t, db, "from", cp, [][]byte{rec16(cp%7, cp)})
+	}
+	if got := len(db.Table("from").Runs(0)); got != cps {
+		t.Fatalf("accumulated %d runs, want %d", got, cps)
+	}
+	// All records for block 3 are found across the runs.
+	var want int
+	for cp := uint64(1); cp <= cps; cp++ {
+		if cp%7 == 3 {
+			want++
+		}
+	}
+	if got := collect(t, db.Table("from"), 3); len(got) != want {
+		t.Fatalf("block 3: %d records, want %d", len(got), want)
+	}
+}
+
+func BenchmarkFlush32kRecords(b *testing.B) {
+	recs := make([][]byte, 32000)
+	for i := range recs {
+		recs[i] = rec16(uint64(i), uint64(i))
+	}
+	b.ReportAllocs()
+	for n := 0; n < b.N; n++ {
+		fs := storage.NewMemFS()
+		db, err := Open(fs, Options{
+			Tables: []TableSpec{{Name: "from", RecordSize: testRecSize}},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rb, err := db.NewRunBuilder("from", 0, 0, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range recs {
+			if err := rb.Add(r); err != nil {
+				b.Fatal(err)
+			}
+		}
+		ref, _, err := rb.Finish()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := db.NewEdit().SetCP(1).AddRun(ref).Commit(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCollectBlockAcrossRuns(b *testing.B) {
+	fs := storage.NewMemFS()
+	db, err := Open(fs, Options{
+		Tables: []TableSpec{{Name: "from", RecordSize: testRecSize}},
+		Cache:  btree.NewCache(1 << 13),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// 20 runs of 1000 records each.
+	for cp := uint64(1); cp <= 20; cp++ {
+		rb, err := db.NewRunBuilder("from", 0, 0, cp)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < 1000; i++ {
+			if err := rb.Add(rec16(uint64(i)*20+cp, cp)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		ref, _, err := rb.Finish()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := db.NewEdit().SetCP(cp).AddRun(ref).Commit(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	tbl := db.Table("from")
+	rng := rand.New(rand.NewSource(5))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		blk := uint64(rng.Intn(20000))
+		if err := tbl.CollectBlock(blk, func([]byte) bool { return true }); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+var _ = fmt.Sprintf // keep fmt for debugging helpers

@@ -1,0 +1,248 @@
+package lsm
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/backlogfs/backlog/internal/bloom"
+	"github.com/backlogfs/backlog/internal/btree"
+	"github.com/backlogfs/backlog/internal/storage"
+)
+
+// Run is a handle to one immutable read-store file.
+type Run struct {
+	name      string
+	level     int
+	records   uint64
+	minBlock  uint64
+	maxBlock  uint64
+	cp        uint64
+	sizeBytes int64
+
+	table *Table
+
+	mu     sync.Mutex
+	reader *btree.Reader
+	filter *bloom.Filter
+	noBF   bool // run carries no bloom filter
+}
+
+// Name returns the run's file name.
+func (r *Run) Name() string { return r.name }
+
+// Level returns 0 for per-CP runs and 1 for compacted runs.
+func (r *Run) Level() int { return r.level }
+
+// Records returns the number of records in the run.
+func (r *Run) Records() uint64 { return r.records }
+
+// CreatedAtCP returns the consistency point at which the run was written.
+func (r *Run) CreatedAtCP() uint64 { return r.cp }
+
+// MinBlock and MaxBlock bound the block numbers present in the run.
+func (r *Run) MinBlock() uint64 { return r.minBlock }
+
+// MaxBlock returns the largest block number present in the run.
+func (r *Run) MaxBlock() uint64 { return r.maxBlock }
+
+func (db *DB) openRun(t *Table, rm runManifest) (*Run, error) {
+	f, err := db.vfs.Open(rm.Name)
+	if err != nil {
+		return nil, fmt.Errorf("lsm: opening run: %w", err)
+	}
+	rd, err := btree.Open(f, db.cache)
+	if err != nil {
+		return nil, fmt.Errorf("lsm: run %s: %w", rm.Name, err)
+	}
+	if rd.RecordSize() != t.spec.RecordSize {
+		return nil, fmt.Errorf("lsm: run %s record size %d, table %q wants %d",
+			rm.Name, rd.RecordSize(), t.spec.Name, t.spec.RecordSize)
+	}
+	return &Run{
+		name:      rm.Name,
+		level:     rm.Level,
+		records:   rm.Records,
+		minBlock:  rm.MinBlock,
+		maxBlock:  rm.MaxBlock,
+		cp:        rm.CP,
+		sizeBytes: rd.SizeBytes(),
+		table:     t,
+		reader:    rd,
+	}, nil
+}
+
+// MayContainBlock consults the run's key range and Bloom filter. A false
+// result is definitive.
+func (r *Run) MayContainBlock(block uint64) bool {
+	if block < r.minBlock || block > r.maxBlock {
+		return false
+	}
+	if r.table.db.opts.DisableBloom {
+		return true
+	}
+	f, err := r.bloomFilter()
+	if err != nil || f == nil {
+		// No filter (or unreadable): must assume presence.
+		return true
+	}
+	return f.MayContain(block)
+}
+
+func (r *Run) bloomFilter() (*bloom.Filter, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.filter != nil || r.noBF {
+		return r.filter, nil
+	}
+	data, err := r.reader.BloomBytes()
+	if err != nil {
+		return nil, err
+	}
+	if data == nil {
+		r.noBF = true
+		return nil, nil
+	}
+	f, err := bloom.Unmarshal(data)
+	if err != nil {
+		return nil, err
+	}
+	r.filter = f
+	return f, nil
+}
+
+// SeekGE returns an iterator over the run positioned at the first record
+// >= key.
+func (r *Run) SeekGE(key []byte) (*btree.Iterator, error) {
+	return r.reader.SeekGE(key)
+}
+
+// First returns an iterator over the whole run.
+func (r *Run) First() (*btree.Iterator, error) {
+	return r.reader.First()
+}
+
+// RunBuilder accumulates sorted records into a new run file. Builders are
+// created by DB.NewRunBuilder and produce a RunRef to be installed by a
+// later Commit.
+type RunBuilder struct {
+	db        *DB
+	table     *Table
+	partition int
+	level     int
+	cp        uint64
+
+	name   string
+	file   storage.File
+	writer *btree.Writer
+	filter *bloom.Filter
+
+	minBlock, maxBlock uint64
+	prevBlock          uint64
+	any                bool
+}
+
+// NewRunBuilder starts a new run for (table, partition). Level 0 marks a
+// per-CP flush; level 1 a compacted run. The run file is created
+// immediately but becomes visible only when its RunRef is committed.
+func (db *DB) NewRunBuilder(table string, partition, level int, cp uint64) (*RunBuilder, error) {
+	t := db.tables[table]
+	if t == nil {
+		return nil, fmt.Errorf("lsm: unknown table %q", table)
+	}
+	if partition < 0 || partition >= db.opts.Partitions {
+		return nil, fmt.Errorf("lsm: partition %d out of range", partition)
+	}
+	id := db.m.NextID
+	db.m.NextID++
+	name := fmt.Sprintf("%s.p%03d.%010d.run", table, partition, id)
+	f, err := db.vfs.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	w, err := btree.NewWriter(f, t.spec.RecordSize)
+	if err != nil {
+		return nil, err
+	}
+	maxBF := t.spec.BloomMaxBytes
+	if maxBF == 0 {
+		maxBF = bloom.DefaultFilterBytes
+	}
+	return &RunBuilder{
+		db:        db,
+		table:     t,
+		partition: partition,
+		level:     level,
+		cp:        cp,
+		name:      name,
+		file:      f,
+		writer:    w,
+		filter:    bloom.New(maxBF, bloom.DefaultHashes),
+	}, nil
+}
+
+// Add appends a record (strictly ascending order required).
+func (b *RunBuilder) Add(rec []byte) error {
+	if err := b.writer.Append(rec); err != nil {
+		return err
+	}
+	blk := blockOf(rec)
+	if blk != b.prevBlock || !b.any {
+		// The filter indexes block numbers; add each distinct block once.
+		b.filter.Add(blk)
+	}
+	if !b.any {
+		b.minBlock = blk
+		b.any = true
+	}
+	b.prevBlock = blk
+	b.maxBlock = blk
+	return nil
+}
+
+// Count returns the number of records added so far.
+func (b *RunBuilder) Count() uint64 { return b.writer.Count() }
+
+// RunRef identifies a finished, not-yet-committed run.
+type RunRef struct {
+	table     string
+	partition int
+	rm        runManifest
+}
+
+// Finish completes the run file (bloom + header + sync) and returns its
+// reference. Empty builders return a zero RunRef with ok=false and remove
+// their file.
+func (b *RunBuilder) Finish() (ref RunRef, ok bool, err error) {
+	if b.writer.Count() == 0 {
+		b.file.Close()
+		if err := b.db.vfs.Remove(b.name); err != nil {
+			return RunRef{}, false, err
+		}
+		return RunRef{}, false, nil
+	}
+	// Shrink the filter to the paper's target false-positive rate when the
+	// run holds few records ("If an RS contains a smaller number of
+	// records, we appropriately shrink its Bloom filter", Section 5.1).
+	b.filter.ShrinkToFit(0.024)
+	if err := b.writer.Finish(b.filter.Marshal()); err != nil {
+		return RunRef{}, false, err
+	}
+	return RunRef{
+		table:     b.table.spec.Name,
+		partition: b.partition,
+		rm: runManifest{
+			Name:     b.name,
+			Level:    b.level,
+			Records:  b.writer.Count(),
+			MinBlock: b.minBlock,
+			MaxBlock: b.maxBlock,
+			CP:       b.cp,
+		},
+	}, true, nil
+}
+
+// Abort removes a builder's file without committing it.
+func (b *RunBuilder) Abort() {
+	b.file.Close()
+	_ = b.db.vfs.Remove(b.name)
+}

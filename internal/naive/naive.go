@@ -1,0 +1,316 @@
+// Package naive implements the strawman back-reference design of paper
+// Section 4.1: a single on-disk Conceptual table, updated in place.
+//
+// Every block allocation inserts a record; every deallocation performs a
+// read-modify-write to stamp the record's "to" field. The paper reports
+// that with this approach "the file system slowed down to a crawl after
+// only a few hundred consistency points" — the table outgrows the cache
+// and every operation turns into a random page read (and a deferred random
+// page write at the next checkpoint). The ablation benchmark regenerates
+// that curve against Backlog.
+//
+// The table is an update-in-place paged file sorted by record key, with an
+// in-memory page directory and an LRU page cache. The directory itself is
+// kept in memory (rebuilding it on open is not needed for the ablation).
+package naive
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"github.com/backlogfs/backlog/internal/core"
+	"github.com/backlogfs/backlog/internal/storage"
+)
+
+const (
+	recSize    = core.CombinedSize // identity + from + to
+	perPage    = storage.PageSize / recSize
+	splitRatio = 2 // pages split in half when full
+)
+
+// Tracker is the naive baseline; it implements fsim.RefTracker.
+type Tracker struct {
+	vfs  storage.VFS
+	file storage.File
+
+	// directory[i] is the smallest key on page i's lower bound; pages are
+	// in key order. Entries reference page slots in the file.
+	directory []dirEntry
+	nextPage  int64
+
+	cache      map[int64]*pageBuf
+	cacheCap   int
+	cacheClock []int64 // FIFO eviction order (approximation of LRU)
+
+	stats Stats
+}
+
+type dirEntry struct {
+	minKey []byte
+	page   int64
+}
+
+type pageBuf struct {
+	page  int64
+	n     int
+	data  []byte // n * recSize bytes
+	dirty bool
+}
+
+// Stats counts baseline activity.
+type Stats struct {
+	Inserts     uint64
+	Updates     uint64
+	PageSplits  uint64
+	Checkpoints uint64
+}
+
+// New creates a naive tracker storing its table in vfs. cacheBytes bounds
+// the page cache (the paper's fsim experiments used 32 MB).
+func New(vfs storage.VFS, cacheBytes int64) (*Tracker, error) {
+	f, err := vfs.Create("conceptual.tbl")
+	if err != nil {
+		return nil, err
+	}
+	cap := int(cacheBytes / storage.PageSize)
+	if cap < 4 {
+		cap = 4
+	}
+	return &Tracker{
+		vfs:      vfs,
+		file:     f,
+		cache:    make(map[int64]*pageBuf),
+		cacheCap: cap,
+	}, nil
+}
+
+// Stats returns a snapshot of counters.
+func (t *Tracker) Stats() Stats { return t.stats }
+
+// key returns the sort key of a record (identity prefix; from/to excluded
+// so that alloc and dealloc find the same slot region).
+func key(ref core.Ref) []byte {
+	rec := core.EncodeCombined(core.CombinedRec{Ref: ref})
+	return rec[:40]
+}
+
+// AddRef inserts a Conceptual record with to = Infinity.
+func (t *Tracker) AddRef(ref core.Ref, cp uint64) {
+	rec := core.EncodeCombined(core.CombinedRec{Ref: ref, From: cp, To: core.Infinity})
+	t.insert(rec)
+	t.stats.Inserts++
+}
+
+// RemoveRef performs the read-modify-write: find the live record for ref
+// and stamp its to field.
+func (t *Tracker) RemoveRef(ref core.Ref, cp uint64) {
+	t.stats.Updates++
+	k := key(ref)
+	pi := t.pageFor(k)
+	if pi < 0 {
+		return // nothing recorded (shouldn't happen in a valid workload)
+	}
+	pb, err := t.load(t.directory[pi].page)
+	if err != nil {
+		return
+	}
+	for i := 0; i < pb.n; i++ {
+		rec := pb.data[i*recSize : (i+1)*recSize]
+		if !bytes.Equal(rec[:40], k) {
+			continue
+		}
+		c := core.DecodeCombined(rec)
+		if c.To == core.Infinity {
+			c.To = cp
+			copy(rec, core.EncodeCombined(c))
+			pb.dirty = true
+			return
+		}
+	}
+}
+
+// insert places rec into its sorted position, splitting pages as needed.
+func (t *Tracker) insert(rec []byte) {
+	if len(t.directory) == 0 {
+		pb := &pageBuf{page: t.allocPage(), dirty: true}
+		pb.data = append(pb.data, rec...)
+		pb.n = 1
+		t.install(pb)
+		t.directory = []dirEntry{{minKey: append([]byte(nil), rec[:40]...), page: pb.page}}
+		return
+	}
+	pi := t.pageFor(rec[:40])
+	if pi < 0 {
+		pi = 0
+	}
+	pb, err := t.load(t.directory[pi].page)
+	if err != nil {
+		return
+	}
+	// Insert sorted.
+	pos := sort.Search(pb.n, func(i int) bool {
+		return bytes.Compare(pb.data[i*recSize:(i+1)*recSize], rec) >= 0
+	})
+	pb.data = append(pb.data, make([]byte, recSize)...)
+	copy(pb.data[(pos+1)*recSize:], pb.data[pos*recSize:pb.n*recSize])
+	copy(pb.data[pos*recSize:], rec)
+	pb.n++
+	pb.dirty = true
+	if pb.n >= perPage {
+		t.split(pi, pb)
+	}
+	if pos == 0 {
+		t.directory[pi].minKey = append(t.directory[pi].minKey[:0], rec[:40]...)
+	}
+}
+
+// split divides a full page in two.
+func (t *Tracker) split(pi int, pb *pageBuf) {
+	half := pb.n / splitRatio
+	right := &pageBuf{page: t.allocPage(), dirty: true}
+	right.data = append(right.data, pb.data[half*recSize:pb.n*recSize]...)
+	right.n = pb.n - half
+	pb.data = pb.data[:half*recSize]
+	pb.n = half
+	pb.dirty = true
+	t.install(right)
+	entry := dirEntry{
+		minKey: append([]byte(nil), right.data[:40]...),
+		page:   right.page,
+	}
+	t.directory = append(t.directory, dirEntry{})
+	copy(t.directory[pi+2:], t.directory[pi+1:])
+	t.directory[pi+1] = entry
+	t.stats.PageSplits++
+}
+
+// pageFor returns the directory index owning key k (last entry with
+// minKey <= k).
+func (t *Tracker) pageFor(k []byte) int {
+	lo, hi := 0, len(t.directory)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bytes.Compare(t.directory[mid].minKey, k) <= 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo - 1
+}
+
+func (t *Tracker) allocPage() int64 {
+	p := t.nextPage
+	t.nextPage++
+	return p
+}
+
+// load returns the page buffer, reading from storage on a cache miss.
+func (t *Tracker) load(page int64) (*pageBuf, error) {
+	if pb, ok := t.cache[page]; ok {
+		return pb, nil
+	}
+	buf := make([]byte, storage.PageSize)
+	if _, err := t.file.ReadAt(buf, page*storage.PageSize); err != nil {
+		return nil, fmt.Errorf("naive: reading page %d: %w", page, err)
+	}
+	n := int(buf[0]) | int(buf[1])<<8
+	if n > perPage {
+		return nil, fmt.Errorf("naive: corrupt page %d", page)
+	}
+	pb := &pageBuf{page: page, n: n, data: buf[2 : 2+n*recSize]}
+	t.install(pb)
+	return pb, nil
+}
+
+// install caches a page, evicting (and writing back) old pages as needed.
+func (t *Tracker) install(pb *pageBuf) {
+	t.cache[pb.page] = pb
+	t.cacheClock = append(t.cacheClock, pb.page)
+	for len(t.cache) > t.cacheCap {
+		victim := t.cacheClock[0]
+		t.cacheClock = t.cacheClock[1:]
+		v, ok := t.cache[victim]
+		if !ok {
+			continue
+		}
+		if v.dirty {
+			_ = t.writeBack(v)
+		}
+		delete(t.cache, victim)
+	}
+}
+
+func (t *Tracker) writeBack(pb *pageBuf) error {
+	buf := make([]byte, storage.PageSize)
+	buf[0] = byte(pb.n)
+	buf[1] = byte(pb.n >> 8)
+	copy(buf[2:], pb.data[:pb.n*recSize])
+	if _, err := t.file.WriteAt(buf, pb.page*storage.PageSize); err != nil {
+		return err
+	}
+	pb.dirty = false
+	return nil
+}
+
+// Checkpoint writes back every dirty page and syncs — the naive design has
+// no write buffering beyond the page cache, so a CP flushes scattered
+// random pages instead of one sequential run.
+func (t *Tracker) Checkpoint(cp uint64) error {
+	for _, pb := range t.cache {
+		if pb.dirty {
+			if err := t.writeBack(pb); err != nil {
+				return err
+			}
+		}
+	}
+	t.stats.Checkpoints++
+	return t.file.Sync()
+}
+
+// Records returns the total number of records in the table (walking the
+// directory; test helper).
+func (t *Tracker) Records() (uint64, error) {
+	var n uint64
+	for _, d := range t.directory {
+		pb, err := t.load(d.page)
+		if err != nil {
+			return 0, err
+		}
+		n += uint64(pb.n)
+	}
+	return n, nil
+}
+
+// QueryBlock returns the records of one block, for sanity tests.
+func (t *Tracker) QueryBlock(block uint64) ([]core.CombinedRec, error) {
+	k := key(core.Ref{Block: block})
+	pi := t.pageFor(k)
+	if pi < 0 {
+		pi = 0
+	}
+	var out []core.CombinedRec
+	for ; pi < len(t.directory); pi++ {
+		pb, err := t.load(t.directory[pi].page)
+		if err != nil {
+			return nil, err
+		}
+		done := false
+		for i := 0; i < pb.n; i++ {
+			c := core.DecodeCombined(pb.data[i*recSize : (i+1)*recSize])
+			if c.Block < block {
+				continue
+			}
+			if c.Block > block {
+				done = true
+				break
+			}
+			out = append(out, c)
+		}
+		if done {
+			break
+		}
+	}
+	return out, nil
+}

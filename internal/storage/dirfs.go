@@ -1,0 +1,150 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// DirFS is a VFS backed by a directory on the real file system. It meters
+// I/O the same way MemFS does but does not model disk time (the real disk
+// provides it). DirFS is what cmd/backlogctl uses for persistent databases.
+type DirFS struct {
+	dir string
+
+	mu    sync.Mutex
+	stats Stats
+}
+
+// NewDirFS returns a VFS rooted at dir, creating the directory if needed.
+func NewDirFS(dir string) (*DirFS, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("storage: mkdir %q: %w", dir, err)
+	}
+	return &DirFS{dir: dir}, nil
+}
+
+// Dir returns the root directory.
+func (d *DirFS) Dir() string { return d.dir }
+
+func (d *DirFS) path(name string) string { return filepath.Join(d.dir, name) }
+
+// Create implements VFS.
+func (d *DirFS) Create(name string) (File, error) {
+	f, err := os.OpenFile(d.path(name), os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		if errors.Is(err, fs.ErrExist) {
+			return nil, fmt.Errorf("create %q: %w", name, ErrExist)
+		}
+		return nil, err
+	}
+	d.mu.Lock()
+	d.stats.FilesCreated++
+	d.mu.Unlock()
+	return &dirFile{fs: d, f: f}, nil
+}
+
+// Open implements VFS.
+func (d *DirFS) Open(name string) (File, error) {
+	f, err := os.OpenFile(d.path(name), os.O_RDWR, 0o644)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, fmt.Errorf("open %q: %w", name, ErrNotExist)
+		}
+		return nil, err
+	}
+	return &dirFile{fs: d, f: f}, nil
+}
+
+// Remove implements VFS.
+func (d *DirFS) Remove(name string) error {
+	if err := os.Remove(d.path(name)); err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return fmt.Errorf("remove %q: %w", name, ErrNotExist)
+		}
+		return err
+	}
+	d.mu.Lock()
+	d.stats.FilesRemoved++
+	d.mu.Unlock()
+	return nil
+}
+
+// Rename implements VFS.
+func (d *DirFS) Rename(oldName, newName string) error {
+	if err := os.Rename(d.path(oldName), d.path(newName)); err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return fmt.Errorf("rename %q: %w", oldName, ErrNotExist)
+		}
+		return err
+	}
+	return nil
+}
+
+// List implements VFS.
+func (d *DirFS) List() ([]string, error) {
+	entries, err := os.ReadDir(d.dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Stats implements VFS.
+func (d *DirFS) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}
+
+type dirFile struct {
+	fs *DirFS
+	f  *os.File
+}
+
+func (f *dirFile) ReadAt(p []byte, off int64) (int, error) {
+	n, err := f.f.ReadAt(p, off)
+	f.fs.mu.Lock()
+	f.fs.stats.PageReads += pagesSpanned(off, n)
+	f.fs.stats.BytesRead += int64(n)
+	f.fs.mu.Unlock()
+	return n, err
+}
+
+func (f *dirFile) WriteAt(p []byte, off int64) (int, error) {
+	n, err := f.f.WriteAt(p, off)
+	f.fs.mu.Lock()
+	f.fs.stats.PageWrites += pagesSpanned(off, n)
+	f.fs.stats.BytesWritten += int64(n)
+	f.fs.mu.Unlock()
+	return n, err
+}
+
+func (f *dirFile) Size() (int64, error) {
+	info, err := f.f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return info.Size(), nil
+}
+
+func (f *dirFile) Sync() error {
+	f.fs.mu.Lock()
+	f.fs.stats.Syncs++
+	f.fs.mu.Unlock()
+	return f.f.Sync()
+}
+
+func (f *dirFile) Close() error { return f.f.Close() }

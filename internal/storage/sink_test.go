@@ -1,0 +1,82 @@
+package storage
+
+import (
+	"io"
+	"testing"
+)
+
+func TestSinkMetersWithoutRetaining(t *testing.T) {
+	fs := NewMemFS()
+	s := fs.CreateSink("data")
+	payload := make([]byte, 3*PageSize)
+	for i := range payload {
+		payload[i] = 0xEE
+	}
+	before := fs.Stats()
+	if _, err := s.WriteAt(payload, 0); err != nil {
+		t.Fatal(err)
+	}
+	d := fs.Stats().Sub(before)
+	if d.PageWrites != 3 || d.BytesWritten != int64(len(payload)) {
+		t.Fatalf("sink write metered %+v", d)
+	}
+	size, err := s.Size()
+	if err != nil || size != int64(len(payload)) {
+		t.Fatalf("Size = %d, %v", size, err)
+	}
+	// Reads return zeros (nothing retained) but are metered.
+	buf := make([]byte, 8)
+	if _, err := s.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range buf {
+		if b != 0 {
+			t.Fatal("sink retained data")
+		}
+	}
+	if _, err := s.ReadAt(buf, size+100); err != io.EOF {
+		t.Fatalf("read past EOF: %v", err)
+	}
+	// Short read at the tail.
+	n, err := s.ReadAt(buf, size-3)
+	if n != 3 || err != io.EOF {
+		t.Fatalf("tail read n=%d err=%v", n, err)
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Sinks don't appear in List and don't interact with Crash.
+	names, _ := fs.List()
+	if len(names) != 0 {
+		t.Fatalf("sink listed: %v", names)
+	}
+	fs.Crash()
+	if sz, _ := s.Size(); sz != size {
+		t.Fatal("crash affected sink size")
+	}
+}
+
+func TestSinkDiskTimeCharged(t *testing.T) {
+	fs := NewMemFS()
+	fs.SetDiskModel(DiskModel{SeekNanos: 0, WriteSeekNanos: 0, BytesPerSecond: 1 << 20})
+	s := fs.CreateSink("data")
+	before := fs.Stats().DiskNanos
+	if _, err := s.WriteAt(make([]byte, 1<<20), 0); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := fs.Stats().DiskNanos - before
+	if elapsed < 900_000_000 || elapsed > 1_100_000_000 {
+		t.Fatalf("1 MB at 1 MB/s took %d ns, want ≈1s", elapsed)
+	}
+}
+
+func TestSinkNegativeOffset(t *testing.T) {
+	fs := NewMemFS()
+	s := fs.CreateSink("data")
+	if _, err := s.WriteAt([]byte("x"), -1); err == nil {
+		t.Fatal("negative offset accepted")
+	}
+}

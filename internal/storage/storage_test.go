@@ -1,0 +1,341 @@
+package storage
+
+import (
+	"errors"
+	"io"
+	"testing"
+	"testing/quick"
+)
+
+func TestPagesSpanned(t *testing.T) {
+	cases := []struct {
+		off  int64
+		n    int
+		want int64
+	}{
+		{0, 0, 0},
+		{0, 1, 1},
+		{0, PageSize, 1},
+		{0, PageSize + 1, 2},
+		{1, PageSize, 2},
+		{PageSize - 1, 2, 2},
+		{PageSize, PageSize, 1},
+		{100, -5, 0},
+		{3 * PageSize, 4 * PageSize, 4},
+	}
+	for _, c := range cases {
+		if got := pagesSpanned(c.off, c.n); got != c.want {
+			t.Errorf("pagesSpanned(%d, %d) = %d, want %d", c.off, c.n, got, c.want)
+		}
+	}
+}
+
+func TestPagesSpannedProperty(t *testing.T) {
+	// Property: splitting a write in two never spans fewer pages than the
+	// single write, and at most one more page.
+	f := func(off uint32, n1, n2 uint16) bool {
+		o := int64(off)
+		whole := pagesSpanned(o, int(n1)+int(n2))
+		split := pagesSpanned(o, int(n1)) + pagesSpanned(o+int64(n1), int(n2))
+		return split >= whole && split <= whole+1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMemFSCreateOpenRemove(t *testing.T) {
+	fs := NewMemFS()
+	f, err := fs.Create("a")
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	if _, err := fs.Create("a"); !errors.Is(err, ErrExist) {
+		t.Fatalf("duplicate Create: got %v, want ErrExist", err)
+	}
+	if _, err := fs.Open("missing"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("Open missing: got %v, want ErrNotExist", err)
+	}
+	if _, err := f.WriteAt([]byte("hello"), 0); err != nil {
+		t.Fatalf("WriteAt: %v", err)
+	}
+	g, err := fs.Open("a")
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	buf := make([]byte, 5)
+	if _, err := g.ReadAt(buf, 0); err != nil {
+		t.Fatalf("ReadAt: %v", err)
+	}
+	if string(buf) != "hello" {
+		t.Fatalf("read %q, want %q", buf, "hello")
+	}
+	if err := fs.Remove("a"); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+	if err := fs.Remove("a"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("double Remove: got %v, want ErrNotExist", err)
+	}
+}
+
+func TestMemFSReadPastEOF(t *testing.T) {
+	fs := NewMemFS()
+	f, _ := fs.Create("a")
+	if _, err := f.WriteAt([]byte("abc"), 0); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 10)
+	n, err := f.ReadAt(buf, 0)
+	if n != 3 || err != io.EOF {
+		t.Fatalf("short read: n=%d err=%v, want 3, io.EOF", n, err)
+	}
+	if _, err := f.ReadAt(buf, 100); err != io.EOF {
+		t.Fatalf("read past EOF: err=%v, want io.EOF", err)
+	}
+}
+
+func TestMemFSSparseWrite(t *testing.T) {
+	fs := NewMemFS()
+	f, _ := fs.Create("a")
+	if _, err := f.WriteAt([]byte("x"), 10000); err != nil {
+		t.Fatal(err)
+	}
+	size, _ := f.Size()
+	if size != 10001 {
+		t.Fatalf("size = %d, want 10001", size)
+	}
+	buf := make([]byte, 1)
+	if _, err := f.ReadAt(buf, 500); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 0 {
+		t.Fatalf("hole not zero: %v", buf[0])
+	}
+}
+
+func TestMemFSRename(t *testing.T) {
+	fs := NewMemFS()
+	f, _ := fs.Create("tmp")
+	if _, err := f.WriteAt([]byte("data"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename("tmp", "final"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Open("tmp"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("old name still present: %v", err)
+	}
+	g, err := fs.Open("final")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	if _, err := g.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "data" {
+		t.Fatalf("read %q after rename", buf)
+	}
+	names, _ := fs.List()
+	if len(names) != 1 || names[0] != "final" {
+		t.Fatalf("List = %v", names)
+	}
+}
+
+func TestMemFSStatsMeterPages(t *testing.T) {
+	fs := NewMemFS()
+	f, _ := fs.Create("a")
+	before := fs.Stats()
+	payload := make([]byte, 3*PageSize)
+	if _, err := f.WriteAt(payload, 0); err != nil {
+		t.Fatal(err)
+	}
+	d := fs.Stats().Sub(before)
+	if d.PageWrites != 3 {
+		t.Fatalf("PageWrites = %d, want 3", d.PageWrites)
+	}
+	if d.BytesWritten != int64(3*PageSize) {
+		t.Fatalf("BytesWritten = %d", d.BytesWritten)
+	}
+	// Unaligned write spanning a page boundary counts both pages.
+	before = fs.Stats()
+	if _, err := f.WriteAt(make([]byte, 2), PageSize-1); err != nil {
+		t.Fatal(err)
+	}
+	if d := fs.Stats().Sub(before); d.PageWrites != 2 {
+		t.Fatalf("boundary PageWrites = %d, want 2", d.PageWrites)
+	}
+}
+
+func TestMemFSDiskModelSequential(t *testing.T) {
+	fs := NewMemFS()
+	fs.SetDiskModel(DiskModel{SeekNanos: 1000, WriteSeekNanos: 1000, BytesPerSecond: 1 << 30})
+	f, _ := fs.Create("a")
+	page := make([]byte, PageSize)
+	if _, err := f.WriteAt(page, 0); err != nil {
+		t.Fatal(err)
+	}
+	t0 := fs.Stats().DiskNanos
+	// Sequential continuation: no seek charged.
+	if _, err := f.WriteAt(page, PageSize); err != nil {
+		t.Fatal(err)
+	}
+	seq := fs.Stats().DiskNanos - t0
+	t1 := fs.Stats().DiskNanos
+	// Random jump: seek charged.
+	if _, err := f.WriteAt(page, 100*PageSize); err != nil {
+		t.Fatal(err)
+	}
+	rnd := fs.Stats().DiskNanos - t1
+	if rnd <= seq {
+		t.Fatalf("random I/O (%d ns) not slower than sequential (%d ns)", rnd, seq)
+	}
+	if rnd-seq != 1000 {
+		t.Fatalf("seek penalty = %d, want 1000", rnd-seq)
+	}
+}
+
+func TestMemFSCrashDiscardsUnsynced(t *testing.T) {
+	fs := NewMemFS()
+	f, _ := fs.Create("durable")
+	if _, err := f.WriteAt([]byte("v1"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("v2"), 0); err != nil {
+		t.Fatal(err)
+	}
+	g, _ := fs.Create("ephemeral")
+	if _, err := g.WriteAt([]byte("gone"), 0); err != nil {
+		t.Fatal(err)
+	}
+
+	fs.Crash()
+
+	if _, err := fs.Open("ephemeral"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("unsynced file survived crash: %v", err)
+	}
+	h, err := fs.Open("durable")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 2)
+	if _, err := h.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "v1" {
+		t.Fatalf("after crash read %q, want %q", buf, "v1")
+	}
+}
+
+func TestMemFSFailureInjection(t *testing.T) {
+	fs := NewMemFS()
+	fs.SetFailurePlan(FailurePlan{FailAfterPageWrites: 2})
+	f, _ := fs.Create("a")
+	page := make([]byte, PageSize)
+	if _, err := f.WriteAt(page, 0); err != nil {
+		t.Fatalf("write 1: %v", err)
+	}
+	if _, err := f.WriteAt(page, PageSize); err != nil {
+		t.Fatalf("write 2: %v", err)
+	}
+	if _, err := f.WriteAt(page, 2*PageSize); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write 3: got %v, want ErrInjected", err)
+	}
+}
+
+func TestMemFSTornWrite(t *testing.T) {
+	fs := NewMemFS()
+	fs.SetFailurePlan(FailurePlan{FailAfterPageWrites: 1, TornWrite: true})
+	f, _ := fs.Create("a")
+	payload := make([]byte, 2*PageSize)
+	for i := range payload {
+		payload[i] = 0xAB
+	}
+	n, err := f.WriteAt(payload, 0)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if n != PageSize {
+		t.Fatalf("torn write applied %d bytes, want %d", n, PageSize)
+	}
+	size, _ := f.Size()
+	if size != PageSize {
+		t.Fatalf("size after torn write = %d, want %d", size, PageSize)
+	}
+}
+
+func TestDirFSRoundTrip(t *testing.T) {
+	d, err := NewDirFS(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := d.Create("run.0001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("payload"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Create("run.0001"); !errors.Is(err, ErrExist) {
+		t.Fatalf("duplicate Create: %v", err)
+	}
+	g, err := d.Open("run.0001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 7)
+	if _, err := g.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "payload" {
+		t.Fatalf("read %q", buf)
+	}
+	size, err := g.Size()
+	if err != nil || size != 7 {
+		t.Fatalf("Size = %d, %v", size, err)
+	}
+	if err := g.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Rename("run.0001", "run.final"); err != nil {
+		t.Fatal(err)
+	}
+	names, err := d.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 || names[0] != "run.final" {
+		t.Fatalf("List = %v", names)
+	}
+	if err := d.Remove("run.final"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Remove("run.final"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("double remove: %v", err)
+	}
+	st := d.Stats()
+	if st.PageWrites == 0 || st.PageReads == 0 || st.Syncs != 1 {
+		t.Fatalf("stats not metered: %+v", st)
+	}
+}
+
+func TestStatsAddSub(t *testing.T) {
+	a := Stats{PageReads: 5, PageWrites: 7, BytesRead: 100, Syncs: 1}
+	b := Stats{PageReads: 2, PageWrites: 3, BytesRead: 40}
+	sum := a.Add(b)
+	if sum.PageReads != 7 || sum.PageWrites != 10 || sum.BytesRead != 140 {
+		t.Fatalf("Add = %+v", sum)
+	}
+	if diff := sum.Sub(b); diff != a {
+		t.Fatalf("Sub = %+v, want %+v", diff, a)
+	}
+}

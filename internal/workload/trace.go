@@ -1,0 +1,273 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+
+	"github.com/backlogfs/backlog/internal/fsim"
+)
+
+// OpType enumerates NFS-trace operation kinds relevant to back-reference
+// maintenance. Reads appear in the trace (they set the paper's 1 write :
+// 2 reads mix) but generate no block operations.
+type OpType uint8
+
+// Trace operation kinds.
+const (
+	OpRead OpType = iota
+	OpWrite
+	OpCreate
+	OpRemove
+	OpSetattr // file truncation, the dominant op of the paper's "dip" span
+)
+
+// TraceOp is one synthesized NFS operation.
+type TraceOp struct {
+	// Hour is the trace hour the op belongs to (0-based).
+	Hour int
+	// Type is the operation kind.
+	Type OpType
+	// Blocks is the I/O size in blocks for writes/creates.
+	Blocks int
+}
+
+// TraceConfig parameterizes the EECS03-like trace synthesizer
+// (Section 6.2.2). The published properties it reproduces: a research
+// home-directory workload spanning 16 days, write-rich (one write for every
+// two reads), mostly small files, diurnal load variation with occasional
+// near-idle spikes, and a multi-hour span dominated by setattr
+// (truncation) traffic.
+type TraceConfig struct {
+	// Hours is the trace length (the paper uses the first 16 days = 384
+	// hours).
+	Hours int
+	// BaseOpsPerHour is the mean operation count of a busy hour
+	// (scaled down in benchmarks).
+	BaseOpsPerHour int
+	// SetattrSpan is the [start, end) hour range with truncate-heavy
+	// traffic (the paper observes it between hours 200 and 250).
+	SetattrSpan [2]int
+	// Seed makes the trace deterministic.
+	Seed int64
+}
+
+// DefaultTraceConfig mirrors the paper's 16-day trace, scaled by
+// opsPerHour.
+func DefaultTraceConfig(opsPerHour int) TraceConfig {
+	return TraceConfig{
+		Hours:          384,
+		BaseOpsPerHour: opsPerHour,
+		SetattrSpan:    [2]int{200, 250},
+		Seed:           42,
+	}
+}
+
+// GenerateTrace synthesizes the full operation list hour by hour.
+func GenerateTrace(cfg TraceConfig) []TraceOp {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var ops []TraceOp
+	for h := 0; h < cfg.Hours; h++ {
+		load := hourLoad(rng, h)
+		n := int(load * float64(cfg.BaseOpsPerHour))
+		if n < 4 {
+			n = 4
+		}
+		truncateHeavy := h >= cfg.SetattrSpan[0] && h < cfg.SetattrSpan[1]
+		for i := 0; i < n; i++ {
+			ops = append(ops, sampleOp(rng, h, truncateHeavy))
+		}
+	}
+	return ops
+}
+
+// hourLoad models diurnal variation with occasional near-idle spikes: the
+// paper's overhead spikes align with periods of low load, where constant
+// per-CP cost is amortized over few operations.
+func hourLoad(rng *rand.Rand, hour int) float64 {
+	day := float64(hour%24) / 24
+	// Daytime peak around 15:00, nighttime trough.
+	diurnal := 0.55 + 0.45*math.Sin(2*math.Pi*(day-0.375))
+	noise := 0.75 + 0.5*rng.Float64()
+	load := diurnal * noise
+	if rng.Float64() < 0.04 {
+		load *= 0.05 // near-idle hour
+	}
+	return load
+}
+
+func sampleOp(rng *rand.Rand, hour int, truncateHeavy bool) TraceOp {
+	op := TraceOp{Hour: hour}
+	x := rng.Float64()
+	if truncateHeavy {
+		// High load with a large proportion of setattr (truncations) whose
+		// block operations mostly cancel within a CP.
+		switch {
+		case x < 0.40:
+			op.Type = OpSetattr
+		case x < 0.55:
+			op.Type = OpWrite
+			op.Blocks = 1 + rng.Intn(4)
+		case x < 0.62:
+			op.Type = OpCreate
+			op.Blocks = fileBlocks(rng)
+		case x < 0.67:
+			op.Type = OpRemove
+		default:
+			op.Type = OpRead
+		}
+		return op
+	}
+	// Normal mix: 1 write per 2 reads, with create/remove churn.
+	switch {
+	case x < 0.60:
+		op.Type = OpRead
+	case x < 0.84:
+		op.Type = OpWrite
+		op.Blocks = 1 + rng.Intn(6)
+	case x < 0.92:
+		op.Type = OpCreate
+		op.Blocks = fileBlocks(rng)
+	case x < 0.97:
+		op.Type = OpRemove
+	default:
+		op.Type = OpSetattr
+	}
+	return op
+}
+
+// fileBlocks draws a new-file size: 90% small (home-directory profile).
+func fileBlocks(rng *rand.Rand) int {
+	if rng.Float64() < 0.90 {
+		return 1 + rng.Intn(8)
+	}
+	return 16 + rng.Intn(112)
+}
+
+// Player executes a synthesized trace against an fsim.FS, taking a
+// checkpoint every CPsPerHour-th of an hour (the paper's configuration is
+// one CP per 10 seconds = 360 CPs/hour; benchmarks scale this down) and
+// running snapshot rotation on a true hourly schedule.
+type Player struct {
+	fs  *fsim.FS
+	rng *rand.Rand
+
+	// CPsPerHour is how many checkpoints represent one trace hour.
+	CPsPerHour int
+
+	rotation *Rotation
+	files    []fileRef
+	cpIndex  uint64
+}
+
+// NewPlayer builds a trace player. cpsPerHour must be >= 1.
+func NewPlayer(fs *fsim.FS, cpsPerHour int, seed int64) *Player {
+	if cpsPerHour < 1 {
+		cpsPerHour = 1
+	}
+	rot := DefaultRotation()
+	rot.HourlyEveryCPs = cpsPerHour // a snapshot per trace hour
+	return &Player{
+		fs:         fs,
+		rng:        rand.New(rand.NewSource(seed)),
+		CPsPerHour: cpsPerHour,
+		rotation:   NewRotation(rot, 0),
+	}
+}
+
+// HourStats summarizes the execution of one trace hour.
+type HourStats struct {
+	Hour     int
+	BlockOps uint64 // block operations issued (adds + removes)
+	TraceOps int    // trace operations replayed (including reads)
+	CPs      int
+}
+
+// PlayHour executes all ops of one hour, spreading them across the hour's
+// checkpoints. ops must all carry the same Hour.
+func (p *Player) PlayHour(hour int, ops []TraceOp) (HourStats, error) {
+	stats := HourStats{Hour: hour}
+	startOps := p.fs.Stats().BlockOps
+	perCP := (len(ops) + p.CPsPerHour - 1) / p.CPsPerHour
+	if perCP < 1 {
+		perCP = 1
+	}
+	i := 0
+	for cp := 0; cp < p.CPsPerHour; cp++ {
+		for j := 0; j < perCP && i < len(ops); j, i = j+1, i+1 {
+			if err := p.apply(ops[i]); err != nil {
+				return stats, err
+			}
+			stats.TraceOps++
+		}
+		p.cpIndex++
+		if err := p.rotation.Tick(p.fs, p.cpIndex); err != nil {
+			return stats, err
+		}
+		if _, err := p.fs.Checkpoint(); err != nil {
+			return stats, err
+		}
+		stats.CPs++
+	}
+	if p.cpIndex%256 == 0 {
+		p.fs.Reclaim()
+	}
+	stats.BlockOps = p.fs.Stats().BlockOps - startOps
+	return stats, nil
+}
+
+func (p *Player) apply(op TraceOp) error {
+	switch op.Type {
+	case OpRead:
+		return nil // reads produce no block operations
+	case OpCreate:
+		ino, err := p.fs.CreateFile(0)
+		if err != nil {
+			return err
+		}
+		if err := p.fs.WriteFile(0, ino, 0, op.Blocks); err != nil {
+			return err
+		}
+		p.files = append(p.files, fileRef{ino: ino, size: op.Blocks})
+	case OpWrite:
+		if len(p.files) == 0 {
+			return nil
+		}
+		f := &p.files[p.rng.Intn(len(p.files))]
+		off := 0
+		if f.size > 0 {
+			off = p.rng.Intn(f.size)
+		}
+		if err := p.fs.WriteFile(0, f.ino, uint64(off), op.Blocks); err != nil {
+			return err
+		}
+		if off+op.Blocks > f.size {
+			f.size = off + op.Blocks
+		}
+	case OpRemove:
+		if len(p.files) == 0 {
+			return nil
+		}
+		i := p.rng.Intn(len(p.files))
+		if err := p.fs.DeleteFile(0, p.files[i].ino); err != nil {
+			return err
+		}
+		p.files = append(p.files[:i], p.files[i+1:]...)
+	case OpSetattr:
+		// Truncation: most truncated blocks were written recently, so
+		// their add/remove pairs cancel within the CP (the paper's
+		// overhead dip). Model: write a few blocks to a file, then
+		// truncate them off within the same CP.
+		if len(p.files) == 0 {
+			return nil
+		}
+		f := &p.files[p.rng.Intn(len(p.files))]
+		grow := 1 + p.rng.Intn(3)
+		if err := p.fs.WriteFile(0, f.ino, uint64(f.size), grow); err != nil {
+			return err
+		}
+		if err := p.fs.TruncateFile(0, f.ino, uint64(f.size)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,227 @@
+package workload
+
+import (
+	"testing"
+
+	"github.com/backlogfs/backlog/internal/core"
+	"github.com/backlogfs/backlog/internal/fsim"
+	"github.com/backlogfs/backlog/internal/storage"
+)
+
+func newTrackedFS(t *testing.T, dedup float64) (*fsim.FS, *core.Engine) {
+	t.Helper()
+	cat := core.NewMemCatalog()
+	eng, err := core.Open(core.Options{VFS: storage.NewMemFS(), Catalog: cat})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := fsim.New(fsim.Config{Tracker: eng, Catalog: cat, DedupRate: dedup, Seed: 5})
+	return fs, eng
+}
+
+func TestSyntheticRunsAndVerifies(t *testing.T) {
+	fs, eng := newTrackedFS(t, 0.10)
+	cfg := DefaultSyntheticConfig(500)
+	cfg.Snapshots = RotationConfig{HourlyEveryCPs: 3, HourlyKeep: 2, NightlyEveryHours: 2, NightlyKeep: 2}
+	cfg.CloneLifetimeCP = 5
+	cfg.ClonesPer100CP = 50 // force clone activity in a short run
+	gen := NewSynthetic(fs, cfg)
+
+	var totalOps uint64
+	for i := 0; i < 30; i++ {
+		cp, ops, err := gen.RunCP()
+		if err != nil {
+			t.Fatalf("cp %d: %v", i, err)
+		}
+		if cp == 0 {
+			t.Fatal("zero CP")
+		}
+		if ops < uint64(cfg.OpsPerCP) {
+			t.Fatalf("CP %d issued only %d ops, want >= %d", cp, ops, cfg.OpsPerCP)
+		}
+		totalOps += ops
+	}
+	if gen.LiveFileCount() == 0 {
+		t.Fatal("no files survive the workload")
+	}
+	if fs.Stats().Clones == 0 {
+		t.Fatal("no clones created at 50/100CP rate over 30 CPs")
+	}
+	if fs.Stats().Snapshots == 0 {
+		t.Fatal("no snapshots taken")
+	}
+	// Ground truth equivalence after the whole run.
+	if err := fs.VerifyBackrefs(eng); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.VerifyBackrefs(eng); err != nil {
+		t.Fatalf("after compaction: %v", err)
+	}
+}
+
+func TestRotationRetention(t *testing.T) {
+	fs, _ := newTrackedFS(t, 0)
+	ino, _ := fs.CreateFile(0)
+	if err := fs.WriteFile(0, ino, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	rot := NewRotation(RotationConfig{HourlyEveryCPs: 1, HourlyKeep: 4, NightlyEveryHours: 8, NightlyKeep: 4}, 0)
+	for cp := uint64(1); cp <= 40; cp++ {
+		if err := fs.WriteFile(0, ino, 0, 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := rot.Tick(fs, cp); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fs.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	retained := rot.Retained()
+	// 4 hourly + up to 4 nightly, with possible overlap.
+	if len(retained) < 4 || len(retained) > 8 {
+		t.Fatalf("retained %d snapshots: %v", len(retained), retained)
+	}
+	// The catalog must agree exactly with the rotation's view.
+	catSnaps := fs.Catalog().Snapshots(0)
+	if len(catSnaps) != len(retained) {
+		t.Fatalf("catalog %v vs rotation %v", catSnaps, retained)
+	}
+	for i := range catSnaps {
+		if catSnaps[i] != retained[i] {
+			t.Fatalf("catalog %v vs rotation %v", catSnaps, retained)
+		}
+	}
+}
+
+func TestTraceGeneratorProperties(t *testing.T) {
+	cfg := DefaultTraceConfig(200)
+	cfg.Hours = 300
+	ops := GenerateTrace(cfg)
+	if len(ops) == 0 {
+		t.Fatal("empty trace")
+	}
+	var reads, writes, setattrs, normalSetattrs, spanSetattrs, spanOps, normalOps int
+	for _, op := range ops {
+		inSpan := op.Hour >= cfg.SetattrSpan[0] && op.Hour < cfg.SetattrSpan[1]
+		if inSpan {
+			spanOps++
+		} else {
+			normalOps++
+		}
+		switch op.Type {
+		case OpRead:
+			reads++
+		case OpWrite:
+			writes++
+		case OpSetattr:
+			setattrs++
+			if inSpan {
+				spanSetattrs++
+			} else {
+				normalSetattrs++
+			}
+		}
+	}
+	// Write-rich: roughly one write per two reads outside the span.
+	ratio := float64(reads) / float64(writes)
+	if ratio < 1.2 || ratio > 3.5 {
+		t.Fatalf("read/write ratio = %.2f, want ≈2", ratio)
+	}
+	// The setattr span is much denser in truncations.
+	spanRate := float64(spanSetattrs) / float64(spanOps)
+	normalRate := float64(normalSetattrs) / float64(normalOps)
+	if spanRate < 4*normalRate {
+		t.Fatalf("setattr span not pronounced: span=%.3f normal=%.3f", spanRate, normalRate)
+	}
+	// Determinism.
+	ops2 := GenerateTrace(cfg)
+	if len(ops) != len(ops2) {
+		t.Fatal("trace not deterministic")
+	}
+	for i := range ops {
+		if ops[i] != ops2[i] {
+			t.Fatal("trace not deterministic")
+		}
+	}
+}
+
+func TestTraceLoadVariation(t *testing.T) {
+	cfg := DefaultTraceConfig(500)
+	cfg.Hours = 240
+	ops := GenerateTrace(cfg)
+	perHour := make([]int, cfg.Hours)
+	for _, op := range ops {
+		perHour[op.Hour]++
+	}
+	min, max := perHour[0], perHour[0]
+	for _, n := range perHour {
+		if n < min {
+			min = n
+		}
+		if n > max {
+			max = n
+		}
+	}
+	if max < 3*min {
+		t.Fatalf("load variation too flat: min=%d max=%d", min, max)
+	}
+}
+
+func TestPlayerExecutesTrace(t *testing.T) {
+	fs, eng := newTrackedFS(t, 0.10)
+	cfg := DefaultTraceConfig(120)
+	cfg.Hours = 24
+	ops := GenerateTrace(cfg)
+	player := NewPlayer(fs, 4, 9)
+
+	byHour := map[int][]TraceOp{}
+	for _, op := range ops {
+		byHour[op.Hour] = append(byHour[op.Hour], op)
+	}
+	var totalBlockOps uint64
+	for h := 0; h < cfg.Hours; h++ {
+		st, err := player.PlayHour(h, byHour[h])
+		if err != nil {
+			t.Fatalf("hour %d: %v", h, err)
+		}
+		if st.CPs != 4 {
+			t.Fatalf("hour %d ran %d CPs, want 4", h, st.CPs)
+		}
+		totalBlockOps += st.BlockOps
+	}
+	if totalBlockOps == 0 {
+		t.Fatal("trace produced no block operations")
+	}
+	if err := fs.VerifyBackrefs(eng); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetattrSpanPrunes(t *testing.T) {
+	// During the truncate-heavy span, most block ops cancel within a CP:
+	// the engine's prune counters must be visibly engaged.
+	fs, eng := newTrackedFS(t, 0)
+	player := NewPlayer(fs, 2, 3)
+	var ops []TraceOp
+	// Seed some files first.
+	for i := 0; i < 30; i++ {
+		ops = append(ops, TraceOp{Hour: 0, Type: OpCreate, Blocks: 4})
+	}
+	for i := 0; i < 200; i++ {
+		ops = append(ops, TraceOp{Hour: 0, Type: OpSetattr})
+	}
+	if _, err := player.PlayHour(0, ops); err != nil {
+		t.Fatal(err)
+	}
+	st := eng.Stats()
+	if st.PrunedAdds+st.PrunedRemoves == 0 {
+		t.Fatal("truncate-heavy traffic engaged no pruning")
+	}
+	if err := fs.VerifyBackrefs(eng); err != nil {
+		t.Fatal(err)
+	}
+}
