@@ -10,6 +10,9 @@ package backlog
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"github.com/backlogfs/backlog/internal/btrfssim"
@@ -431,6 +434,66 @@ func maxInt(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// --- Parallel ingest: sharded write path vs single write store ---
+
+// BenchmarkParallelIngest drives AddRef from GOMAXPROCS goroutines with
+// periodic parallel-flush checkpoints, once against the paper's single
+// write store (shards=1) and once against the sharded write path
+// (shards=GOMAXPROCS). The per-op time ratio between the two sub-benchmarks
+// is the ingest speedup from sharding.
+func BenchmarkParallelIngest(b *testing.B) {
+	for _, shards := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			eng, err := core.Open(core.Options{
+				VFS:         storage.NewMemFS(),
+				Catalog:     core.NewMemCatalog(),
+				WriteShards: shards,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			var (
+				workerIDs atomic.Uint64
+				ops       atomic.Uint64
+				cp        atomic.Uint64
+				cpMu      sync.Mutex
+			)
+			cp.Store(1)
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				w := workerIDs.Add(1)
+				base := w << 40
+				var i uint64
+				for pb.Next() {
+					eng.AddRef(core.Ref{Block: base + i, Inode: w, Offset: i, Length: 1}, cp.Load())
+					i++
+					// Whichever worker crosses the cadence boundary drains
+					// all shards with a parallel flush; cpMu keeps CP
+					// numbers committing in order.
+					if n := ops.Add(1); n%100_000 == 0 {
+						cpMu.Lock()
+						next := cp.Load() + 1
+						err := eng.Checkpoint(next)
+						if err == nil {
+							cp.Store(next)
+						}
+						cpMu.Unlock()
+						if err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}
+			})
+			b.StopTimer()
+			if err := eng.Checkpoint(cp.Load() + 1); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
 }
 
 // --- End-to-end facade benchmark ---

@@ -38,6 +38,7 @@ func main() {
 	dir := fs.String("dir", "", "database directory (required)")
 	block := fs.Uint64("block", 0, "block number (query)")
 	n := fs.Int("n", 1, "number of consecutive blocks to query")
+	shards := fs.Int("shards", 0, "write-store shards (0 = GOMAXPROCS)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
@@ -46,7 +47,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	db, err := backlog.Open(backlog.Config{Dir: *dir})
+	db, err := backlog.Open(backlog.Config{Dir: *dir, WriteShards: *shards})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "backlogctl:", err)
 		os.Exit(1)
@@ -58,6 +59,7 @@ func main() {
 		st := db.Stats()
 		fmt.Printf("consistency point: %d\n", db.CP())
 		fmt.Printf("database size:     %d bytes\n", db.SizeBytes())
+		fmt.Printf("write shards:      %d\n", db.WriteShards())
 		fmt.Printf("refs added:        %d\n", st.RefsAdded)
 		fmt.Printf("refs removed:      %d\n", st.RefsRemoved)
 		fmt.Printf("checkpoints:       %d\n", st.Checkpoints)

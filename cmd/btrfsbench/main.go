@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	btrfsbench [-files 8192] [-scale full]
+//	btrfsbench [-files 8192] [-scale full] [-shards 8]
 package main
 
 import (
@@ -21,6 +21,7 @@ import (
 func main() {
 	files := flag.Int("files", 0, "file count for microbenchmarks (0 = scale default)")
 	scale := flag.String("scale", "small", "small|full")
+	shards := flag.Int("shards", 1, "Backlog write-store shards (1 = paper-faithful single write store, 0 = GOMAXPROCS)")
 	flag.Parse()
 
 	cfg := experiments.DefaultTable1Config()
@@ -33,6 +34,7 @@ func main() {
 	if *files > 0 {
 		cfg.MicroFiles = *files
 	}
+	cfg.WriteShards = *shards
 
 	rows, err := experiments.RunTable1(cfg)
 	if err != nil {

@@ -24,7 +24,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("experiment", "all", "fig5|fig6|fig7|fig8|fig9|fig10|naive|all")
+	exp := flag.String("experiment", "all", "fig5|fig6|fig7|fig8|fig9|fig10|naive|ingest|all")
 	scale := flag.String("scale", "small", "small|full")
 	flag.Parse()
 
@@ -48,6 +48,7 @@ func main() {
 	run("fig9", runFig9)
 	run("fig10", runFig10)
 	run("naive", runNaive)
+	run("ingest", runIngest)
 }
 
 func tw() *tabwriter.Writer {
@@ -213,6 +214,24 @@ func runNaive(full bool) error {
 			b = res.Backlog[i]
 		}
 		fmt.Fprintf(w, "%d\t%.3f\t%.2f\t%.3f\t%.2f\n", n.CP, n.IOPerOp, n.TimePerOpUS, b.IOPerOp, b.TimePerOpUS)
+	}
+	return w.Flush()
+}
+
+func runIngest(full bool) error {
+	fmt.Println("Ingest scaling: parallel AddRef throughput by write-shard count (not a paper figure)")
+	cfg := experiments.DefaultIngestConfig()
+	if full {
+		cfg.Ops = 4_000_000
+	}
+	pts, err := experiments.RunIngest(cfg)
+	if err != nil {
+		return err
+	}
+	w := tw()
+	fmt.Fprintln(w, "shards\tops\tops/sec\tspeedup vs 1 shard")
+	for _, p := range pts {
+		fmt.Fprintf(w, "%d\t%d\t%.0f\t%.2fx\n", p.Shards, p.Ops, p.OpsPerSec, p.Speedup)
 	}
 	return w.Flush()
 }

@@ -1,0 +1,3 @@
+module github.com/backlogfs/backlog
+
+go 1.24

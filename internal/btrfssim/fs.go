@@ -48,6 +48,9 @@ type Config struct {
 	OpsPerTransaction int
 	// VFS to store everything in; nil creates a fresh MemFS.
 	VFS *storage.MemFS
+	// WriteShards is passed through to the Backlog engine in ModeBacklog
+	// (0 = engine default of GOMAXPROCS).
+	WriteShards int
 }
 
 // FS is the simulated btrfs file layer.
@@ -127,7 +130,7 @@ func New(cfg Config) (*FS, error) {
 	}
 	if cfg.Mode == ModeBacklog {
 		fs.cat = core.NewMemCatalog()
-		eng, err := core.Open(core.Options{VFS: cfg.VFS, Catalog: fs.cat})
+		eng, err := core.Open(core.Options{VFS: cfg.VFS, Catalog: fs.cat, WriteShards: cfg.WriteShards})
 		if err != nil {
 			return nil, err
 		}

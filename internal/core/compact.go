@@ -20,7 +20,7 @@ func (e *Engine) Compact() error {
 			return err
 		}
 	}
-	e.stats.Compactions++
+	e.stats.compactions.Add(1)
 	return nil
 }
 
@@ -32,7 +32,7 @@ func (e *Engine) CompactPartition(p int) error {
 	if err := e.compactPartition(p); err != nil {
 		return err
 	}
-	e.stats.Compactions++
+	e.stats.compactions.Add(1)
 	return nil
 }
 
@@ -108,13 +108,21 @@ func (e *Engine) compactPartition(p int) error {
 	}
 
 	edit := e.db.NewEdit()
+	var added []lsm.RunRef
 	if ref, ok, err := newFrom.Finish(); err != nil {
+		newFrom.Abort()
 		newComb.Abort()
 		return err
 	} else if ok {
 		edit.AddRun(ref)
+		added = append(added, ref)
 	}
 	if ref, ok, err := newComb.Finish(); err != nil {
+		newComb.Abort()
+		// The From run finished but its edit will never commit.
+		for _, r := range added {
+			e.db.DiscardRun(r)
+		}
 		return err
 	} else if ok {
 		edit.AddRun(ref)
@@ -128,11 +136,20 @@ func (e *Engine) compactPartition(p int) error {
 	for _, r := range combTbl.Runs(p) {
 		edit.DropRun(TableCombined, r.Name())
 	}
-	fromTbl.ClearDVPartition(p)
-	toTbl.ClearDVPartition(p)
-	combTbl.ClearDVPartition(p)
+	clearedFrom := fromTbl.ClearDVPartition(p)
+	clearedTo := toTbl.ClearDVPartition(p)
+	clearedComb := combTbl.ClearDVPartition(p)
 	edit.FlushDV(TableFrom).FlushDV(TableTo).FlushDV(TableCombined)
-	return edit.Commit()
+	if err := edit.Commit(); err != nil {
+		// The commit did not land (a failed Commit removes its added run
+		// files itself): the old runs are still live, so the deletion
+		// vectors that hide their dead records must come back.
+		fromTbl.RestoreDV(clearedFrom)
+		toTbl.RestoreDV(clearedTo)
+		combTbl.RestoreDV(clearedComb)
+		return err
+	}
+	return nil
 }
 
 // emitGroup joins one identity group, applies the purge policy, and writes
@@ -157,7 +174,7 @@ func (e *Engine) emitGroup(g groupRecs, newFrom, newComb *lsm.RunBuilder) error 
 
 	for _, iv := range complete {
 		if !e.keepInterval(line, iv.from, iv.to) {
-			e.stats.RecordsPurged++
+			e.stats.recordsPurged.Add(1)
 			continue
 		}
 		rec := EncodeCombined(CombinedRec{
@@ -171,7 +188,7 @@ func (e *Engine) emitGroup(g groupRecs, newFrom, newComb *lsm.RunBuilder) error 
 	sort.Slice(incomplete, func(i, j int) bool { return incomplete[i] < incomplete[j] })
 	for _, f := range incomplete {
 		if !e.keepInterval(line, f, Infinity) {
-			e.stats.RecordsPurged++
+			e.stats.recordsPurged.Add(1)
 			continue
 		}
 		rec := EncodeFrom(FromRec{

@@ -2,10 +2,13 @@ package core
 
 import (
 	"errors"
-	"fmt"
+	"runtime"
+	"sort"
 	"sync"
+	"sync/atomic"
 
 	"github.com/backlogfs/backlog/internal/btree"
+	"github.com/backlogfs/backlog/internal/errgroup"
 	"github.com/backlogfs/backlog/internal/lsm"
 	"github.com/backlogfs/backlog/internal/memtree"
 	"github.com/backlogfs/backlog/internal/storage"
@@ -29,6 +32,12 @@ type Options struct {
 	// HashPartitioning routes blocks to partitions by hash instead of by
 	// contiguous range (Section 5.3's alternative scheme).
 	HashPartitioning bool
+	// WriteShards is the number of hash-partitioned write-store shards
+	// (default runtime.GOMAXPROCS(0)). Each shard has its own mutex and
+	// From/To/Combined trees, so concurrent AddRef/RemoveRef calls on
+	// different shards never contend, and Checkpoint flushes all shards in
+	// parallel. 1 reproduces the paper's single write store.
+	WriteShards int
 	// BloomMaxBytes caps From/To run filters (default 32 KB).
 	BloomMaxBytes int
 	// CombinedBloomMaxBytes caps Combined run filters (default 1 MB).
@@ -54,20 +63,52 @@ type Stats struct {
 	Relocations    uint64
 }
 
+// counters is the internal atomic mirror of Stats; shard-parallel AddRef
+// and RemoveRef bump these without taking any engine-wide lock.
+type counters struct {
+	refsAdded      atomic.Uint64
+	refsRemoved    atomic.Uint64
+	prunedAdds     atomic.Uint64
+	prunedRemoves  atomic.Uint64
+	checkpoints    atomic.Uint64
+	compactions    atomic.Uint64
+	recordsFlushed atomic.Uint64
+	recordsPurged  atomic.Uint64
+	queries        atomic.Uint64
+	relocations    atomic.Uint64
+}
+
+// writeShard is one hash partition of the write store: a mutex plus the
+// per-table in-memory trees. A reference with physical block b lives in
+// shard mix64(b) % N, so proactive pruning (which pairs an AddRef with a
+// same-CP RemoveRef of the same Ref) always finds both entries under one
+// shard lock.
+type writeShard struct {
+	mu       sync.Mutex
+	from     *memtree.Tree[FromRec]
+	to       *memtree.Tree[ToRec]
+	combined *memtree.Tree[CombinedRec] // used only by relocation
+}
+
 // Engine is the Backlog back-reference database.
+//
+// Concurrency: mu is the structural lock. AddRef, RemoveRef, Query, and
+// QueryRange acquire it shared and then lock the single shard owning the
+// block, so updates and queries on different shards run in parallel.
+// Checkpoint, Compact, and RelocateBlock acquire it exclusively: they
+// mutate LSM structure (run lists, deletion vectors) that shared holders
+// read without further locking.
 type Engine struct {
-	mu      sync.Mutex
+	mu      sync.RWMutex
 	opts    Options
 	vfs     storage.VFS
 	catalog Catalog
 	db      *lsm.DB
 	cache   *btree.Cache
 
-	wsFrom     *memtree.Tree[FromRec]
-	wsTo       *memtree.Tree[ToRec]
-	wsCombined *memtree.Tree[CombinedRec] // used only by relocation
+	shards []*writeShard
 
-	stats Stats
+	stats counters
 }
 
 // Open opens or creates a Backlog database.
@@ -109,52 +150,90 @@ func Open(opts Options) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
+	nShards := opts.WriteShards
+	if nShards <= 0 {
+		nShards = runtime.GOMAXPROCS(0)
+	}
+	shards := make([]*writeShard, nShards)
+	for i := range shards {
+		shards[i] = &writeShard{
+			from:     memtree.New(lessFrom),
+			to:       memtree.New(lessTo),
+			combined: memtree.New(lessCombined),
+		}
+	}
 	return &Engine{
-		opts:       opts,
-		vfs:        opts.VFS,
-		catalog:    opts.Catalog,
-		db:         db,
-		cache:      cache,
-		wsFrom:     memtree.New(lessFrom),
-		wsTo:       memtree.New(lessTo),
-		wsCombined: memtree.New(lessCombined),
+		opts:    opts,
+		vfs:     opts.VFS,
+		catalog: opts.Catalog,
+		db:      db,
+		cache:   cache,
+		shards:  shards,
 	}, nil
 }
 
+// shardOf returns the write-store shard owning a block. The hash
+// decorrelates the shard index from block-allocation locality so
+// sequential writers spread across shards.
+func (e *Engine) shardOf(block uint64) *writeShard {
+	if len(e.shards) == 1 {
+		return e.shards[0]
+	}
+	return e.shards[lsm.Mix64(block)%uint64(len(e.shards))]
+}
+
+// WriteShards returns the number of write-store shards.
+func (e *Engine) WriteShards() int { return len(e.shards) }
+
 // CP returns the last durable consistency point number.
 func (e *Engine) CP() uint64 {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	return e.db.CP()
 }
 
 // Stats returns a snapshot of the engine's counters.
 func (e *Engine) Stats() Stats {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.stats
+	return Stats{
+		RefsAdded:      e.stats.refsAdded.Load(),
+		RefsRemoved:    e.stats.refsRemoved.Load(),
+		PrunedAdds:     e.stats.prunedAdds.Load(),
+		PrunedRemoves:  e.stats.prunedRemoves.Load(),
+		Checkpoints:    e.stats.checkpoints.Load(),
+		Compactions:    e.stats.compactions.Load(),
+		RecordsFlushed: e.stats.recordsFlushed.Load(),
+		RecordsPurged:  e.stats.recordsPurged.Load(),
+		Queries:        e.stats.queries.Load(),
+		Relocations:    e.stats.relocations.Load(),
+	}
 }
 
 // SizeBytes returns the on-disk size of the back-reference database.
 func (e *Engine) SizeBytes() int64 {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	return e.db.SizeBytes()
 }
 
 // RunCount returns the number of live read-store runs.
 func (e *Engine) RunCount() int {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	return e.db.RunCount()
 }
 
 // WSLen returns the number of buffered write-store entries (From + To +
-// Combined).
+// Combined) across all shards.
 func (e *Engine) WSLen() int {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.wsFrom.Len() + e.wsTo.Len() + e.wsCombined.Len()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	var n int
+	for _, s := range e.shards {
+		s.mu.Lock()
+		n += s.from.Len() + s.to.Len() + s.combined.Len()
+		s.mu.Unlock()
+	}
+	return n
 }
 
 // ClearCaches drops the shared page cache; the query experiments do this
@@ -173,16 +252,19 @@ func (e *Engine) AddRef(ref Ref, cp uint64) {
 	if ref.Length == 0 {
 		ref.Length = 1
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.stats.RefsAdded++
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	e.stats.refsAdded.Add(1)
+	s := e.shardOf(ref.Block)
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if !e.opts.DisablePruning {
-		if e.wsTo.Delete(ToRec{Ref: ref, To: cp}) {
-			e.stats.PrunedAdds++
+		if s.to.Delete(ToRec{Ref: ref, To: cp}) {
+			e.stats.prunedAdds.Add(1)
 			return
 		}
 	}
-	e.wsFrom.Insert(FromRec{Ref: ref, From: cp})
+	s.from.Insert(FromRec{Ref: ref, From: cp})
 }
 
 // RemoveRef records that ref ceased to be live at CP cp. If the reference
@@ -192,100 +274,137 @@ func (e *Engine) RemoveRef(ref Ref, cp uint64) {
 	if ref.Length == 0 {
 		ref.Length = 1
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.stats.RefsRemoved++
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	e.stats.refsRemoved.Add(1)
+	s := e.shardOf(ref.Block)
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if !e.opts.DisablePruning {
-		if e.wsFrom.Delete(FromRec{Ref: ref, From: cp}) {
-			e.stats.PrunedRemoves++
+		if s.from.Delete(FromRec{Ref: ref, From: cp}) {
+			e.stats.prunedRemoves.Add(1)
 			return
 		}
 	}
-	e.wsTo.Insert(ToRec{Ref: ref, To: cp})
+	s.to.Insert(ToRec{Ref: ref, To: cp})
 }
 
 // Checkpoint flushes the write stores to new Level-0 runs and commits them
-// together with the CP number. After Checkpoint returns, all references up
-// to cp are durable. The write stores are empty afterwards.
+// together with the CP number. All shards flush in parallel — each sorts
+// and writes its own runs — and the manifest edit installing every run is
+// applied once, atomically, after all shard flushes succeed. After
+// Checkpoint returns, all references up to cp are durable and the write
+// stores are empty. On error the write stores are left intact, so the
+// caller can retry or replay.
 func (e *Engine) Checkpoint(cp uint64) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	edit := e.db.NewEdit().SetCP(cp)
 
-	flushed, err := flushWS(e.db, edit, TableFrom, cp, e.wsFrom, func(r FromRec) (uint64, []byte) {
-		return r.Block, EncodeFrom(r)
-	})
-	if err != nil {
+	type flushResult struct {
+		refs  []lsm.RunRef
+		count uint64
+	}
+	results := make([]flushResult, len(e.shards))
+	var g errgroup.Group
+	for i, s := range e.shards {
+		i, s := i, s
+		g.Go(func() error {
+			res := &results[i]
+			n, err := flushWS(e.db, &res.refs, TableFrom, cp, s.from, func(r FromRec) (uint64, []byte) {
+				return r.Block, EncodeFrom(r)
+			})
+			if err != nil {
+				return err
+			}
+			res.count += n
+			n, err = flushWS(e.db, &res.refs, TableTo, cp, s.to, func(r ToRec) (uint64, []byte) {
+				return r.Block, EncodeTo(r)
+			})
+			if err != nil {
+				return err
+			}
+			res.count += n
+			n, err = flushWS(e.db, &res.refs, TableCombined, cp, s.combined, func(r CombinedRec) (uint64, []byte) {
+				return r.Block, EncodeCombined(r)
+			})
+			if err != nil {
+				return err
+			}
+			res.count += n
+			return nil
+		})
+	}
+	if err := g.Wait(); err != nil {
+		// Shards that finished runs before another shard failed leave
+		// complete but uncommitted files behind; drop them now instead of
+		// waiting for orphan collection at the next Open.
+		for _, res := range results {
+			for _, ref := range res.refs {
+				e.db.DiscardRun(ref)
+			}
+		}
 		return err
 	}
-	n2, err := flushWS(e.db, edit, TableTo, cp, e.wsTo, func(r ToRec) (uint64, []byte) {
-		return r.Block, EncodeTo(r)
-	})
-	if err != nil {
-		return err
+
+	edit := e.db.NewEdit().SetCP(cp)
+	var flushed uint64
+	for _, res := range results {
+		for _, ref := range res.refs {
+			edit.AddRun(ref)
+		}
+		flushed += res.count
 	}
-	n3, err := flushWS(e.db, edit, TableCombined, cp, e.wsCombined, func(r CombinedRec) (uint64, []byte) {
-		return r.Block, EncodeCombined(r)
-	})
-	if err != nil {
-		return err
-	}
+	// AddRun transferred ownership of the run files: a Commit that fails
+	// before its commit point removes them itself.
 	if err := edit.Commit(); err != nil {
 		return err
 	}
-	e.wsFrom.Clear()
-	e.wsTo.Clear()
-	e.wsCombined.Clear()
-	e.stats.Checkpoints++
-	e.stats.RecordsFlushed += flushed + n2 + n3
+	for _, s := range e.shards {
+		s.from.Clear()
+		s.to.Clear()
+		s.combined.Clear()
+	}
+	e.stats.checkpoints.Add(1)
+	e.stats.recordsFlushed.Add(flushed)
 	return nil
 }
 
-// flushWS writes one table's write store into per-partition Level-0 runs,
-// appending AddRun entries to edit. The tree iterates in ascending record
-// order, and partition boundaries are ascending in block, so each
-// partition's builder receives a sorted stream.
-func flushWS[T any](db *lsm.DB, edit *lsm.Edit, table string, cp uint64,
+// flushWS writes one shard's write store for one table into per-partition
+// Level-0 runs, appending each finished run's ref to *refs as soon as it
+// completes (so a caller cleaning up after a failure sees every run built
+// so far). The tree iterates in ascending record order, so each
+// partition's builder receives a sorted stream; builders stay open per
+// partition, which keeps one run per (shard, partition) even when hash
+// partitioning interleaves partition visits.
+func flushWS[T any](db *lsm.DB, refs *[]lsm.RunRef, table string, cp uint64,
 	ws *memtree.Tree[T], enc func(T) (uint64, []byte)) (uint64, error) {
 	if ws.Len() == 0 {
 		return 0, nil
 	}
 	var (
-		builder *lsm.RunBuilder
-		curPart = -1
-		count   uint64
-		retErr  error
+		builders = map[int]*lsm.RunBuilder{}
+		count    uint64
+		retErr   error
 	)
-	finish := func() bool {
-		if builder == nil {
-			return true
+	abortAll := func() {
+		for _, b := range builders {
+			b.Abort()
 		}
-		ref, ok, err := builder.Finish()
-		if err != nil {
-			retErr = err
-			return false
-		}
-		if ok {
-			edit.AddRun(ref)
-		}
-		builder = nil
-		return true
 	}
 	ws.Ascend(func(item T) bool {
 		block, rec := enc(item)
 		p := db.PartitionOf(block)
-		if p != curPart {
-			if !finish() {
-				return false
-			}
-			b, err := db.NewRunBuilder(table, p, 0, cp)
+		b := builders[p]
+		if b == nil {
+			nb, err := db.NewRunBuilder(table, p, 0, cp)
 			if err != nil {
 				retErr = err
 				return false
 			}
-			builder, curPart = b, p
+			builders[p] = nb
+			b = nb
 		}
-		if err := builder.Add(rec); err != nil {
+		if err := b.Add(rec); err != nil {
 			retErr = err
 			return false
 		}
@@ -293,13 +412,28 @@ func flushWS[T any](db *lsm.DB, edit *lsm.Edit, table string, cp uint64,
 		return true
 	})
 	if retErr != nil {
-		if builder != nil {
-			builder.Abort()
-		}
+		abortAll()
 		return 0, retErr
 	}
-	if !finish() {
-		return 0, retErr
+	parts := make([]int, 0, len(builders))
+	for p := range builders {
+		parts = append(parts, p)
+	}
+	sort.Ints(parts)
+	for i, p := range parts {
+		ref, ok, err := builders[p].Finish()
+		if err != nil {
+			// Abort the failing builder too: its partial file would
+			// otherwise linger as an orphan until the next Open.
+			builders[p].Abort()
+			for _, q := range parts[i+1:] {
+				builders[q].Abort()
+			}
+			return 0, err
+		}
+		if ok {
+			*refs = append(*refs, ref)
+		}
 	}
 	return count, nil
 }
@@ -316,7 +450,12 @@ func (e *Engine) RelocateBlock(oldBlock, newBlock uint64) error {
 	if oldBlock == newBlock {
 		return nil
 	}
-	e.stats.Relocations++
+	e.stats.relocations.Add(1)
+
+	// The exclusive lock excludes every shared holder, so both shards'
+	// trees are safe to touch without their shard mutexes.
+	src := e.shardOf(oldBlock)
+	dst := e.shardOf(newBlock)
 
 	// Run records: hide via deletion vectors, reinsert re-keyed.
 	fromTbl := e.db.Table(TableFrom)
@@ -338,7 +477,7 @@ func (e *Engine) RelocateBlock(oldBlock, newBlock uint64) error {
 	err = collect(fromTbl, func(rec []byte) {
 		r := DecodeFrom(rec)
 		r.Block = newBlock
-		e.wsFrom.Insert(r)
+		dst.from.Insert(r)
 	})
 	if err != nil {
 		return err
@@ -346,7 +485,7 @@ func (e *Engine) RelocateBlock(oldBlock, newBlock uint64) error {
 	err = collect(e.db.Table(TableTo), func(rec []byte) {
 		r := DecodeTo(rec)
 		r.Block = newBlock
-		e.wsTo.Insert(r)
+		dst.to.Insert(r)
 	})
 	if err != nil {
 		return err
@@ -354,27 +493,28 @@ func (e *Engine) RelocateBlock(oldBlock, newBlock uint64) error {
 	err = collect(e.db.Table(TableCombined), func(rec []byte) {
 		r := DecodeCombined(rec)
 		r.Block = newBlock
-		e.wsCombined.Insert(r)
+		dst.combined.Insert(r)
 	})
 	if err != nil {
 		return err
 	}
 
-	// Write-store records: re-key in place.
-	rekeyFrom := collectWSFrom(e.wsFrom, oldBlock)
+	// Write-store records: re-key from the old block's shard into the new
+	// block's shard.
+	rekeyFrom := collectWSFrom(src.from, oldBlock)
 	for _, r := range rekeyFrom {
-		e.wsFrom.Delete(r)
+		src.from.Delete(r)
 		r.Block = newBlock
-		e.wsFrom.Insert(r)
+		dst.from.Insert(r)
 	}
-	rekeyTo := collectWSTo(e.wsTo, oldBlock)
+	rekeyTo := collectWSTo(src.to, oldBlock)
 	for _, r := range rekeyTo {
-		e.wsTo.Delete(r)
+		src.to.Delete(r)
 		r.Block = newBlock
-		e.wsTo.Insert(r)
+		dst.to.Insert(r)
 	}
 	var rekeyC []CombinedRec
-	e.wsCombined.Scan(CombinedRec{Ref: Ref{Block: oldBlock}}, func(r CombinedRec) bool {
+	src.combined.Scan(CombinedRec{Ref: Ref{Block: oldBlock}}, func(r CombinedRec) bool {
 		if r.Block != oldBlock {
 			return false
 		}
@@ -382,9 +522,9 @@ func (e *Engine) RelocateBlock(oldBlock, newBlock uint64) error {
 		return true
 	})
 	for _, r := range rekeyC {
-		e.wsCombined.Delete(r)
+		src.combined.Delete(r)
 		r.Block = newBlock
-		e.wsCombined.Insert(r)
+		dst.combined.Insert(r)
 	}
 	return nil
 }
@@ -418,5 +558,3 @@ func (e *Engine) Catalog() Catalog { return e.catalog }
 
 // DB exposes the underlying LSM store for tests and tooling.
 func (e *Engine) DB() *lsm.DB { return e.db }
-
-var _ = fmt.Sprintf

@@ -50,11 +50,12 @@ type interval struct {
 // (From ⋈ To across runs and write stores, plus precomputed Combined
 // records) expanded through clone inheritance and masked against existing
 // snapshots. Owners with no surviving version and no live reference are
-// omitted.
+// omitted. Queries hold the structural lock shared, so they run
+// concurrently with each other and with updates to other shards.
 func (e *Engine) Query(block uint64) ([]Owner, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.stats.Queries++
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	e.stats.queries.Add(1)
 	return e.queryLocked(block)
 }
 
@@ -97,16 +98,20 @@ func (e *Engine) combinedForBlock(block uint64) (map[identity][]interval, error)
 	}
 
 	// Write-store records. The paper guarantees all entries of the current
-	// CP are in memory; they participate in queries immediately.
-	froms = append(froms, collectWSFrom(e.wsFrom, block)...)
-	tos = append(tos, collectWSTo(e.wsTo, block)...)
-	e.wsCombined.Scan(CombinedRec{Ref: Ref{Block: block}}, func(r CombinedRec) bool {
+	// CP are in memory; they participate in queries immediately. A block's
+	// entries all live in one shard, so one shard lock suffices.
+	s := e.shardOf(block)
+	s.mu.Lock()
+	froms = append(froms, collectWSFrom(s.from, block)...)
+	tos = append(tos, collectWSTo(s.to, block)...)
+	s.combined.Scan(CombinedRec{Ref: Ref{Block: block}}, func(r CombinedRec) bool {
 		if r.Block != block {
 			return false
 		}
 		combineds = append(combineds, r)
 		return true
 	})
+	s.mu.Unlock()
 
 	// Group by identity.
 	fromsBy := map[identity][]uint64{}
@@ -293,11 +298,11 @@ func maskOwners(groups map[identity][]interval, cat Catalog) []Owner {
 // benchmarks (Section 6.4): consecutive sorted queries share pages via the
 // cache.
 func (e *Engine) QueryRange(block uint64, n int, visit func(block uint64, owners []Owner) bool) error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	for i := 0; i < n; i++ {
 		b := block + uint64(i)
-		e.stats.Queries++
+		e.stats.queries.Add(1)
 		owners, err := e.queryLocked(b)
 		if err != nil {
 			return err

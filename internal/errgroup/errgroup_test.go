@@ -1,0 +1,46 @@
+package errgroup
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWaitCollectsFirstError(t *testing.T) {
+	var g Group
+	errBoom := errors.New("boom")
+	var ran atomic.Int32
+	for i := 0; i < 8; i++ {
+		i := i
+		g.Go(func() error {
+			ran.Add(1)
+			if i == 3 {
+				return errBoom
+			}
+			return nil
+		})
+	}
+	if err := g.Wait(); !errors.Is(err, errBoom) {
+		t.Fatalf("Wait = %v, want %v", err, errBoom)
+	}
+	if ran.Load() != 8 {
+		t.Fatalf("ran %d goroutines, want 8", ran.Load())
+	}
+}
+
+func TestWaitNilOnSuccess(t *testing.T) {
+	var g Group
+	for i := 0; i < 4; i++ {
+		g.Go(func() error { return nil })
+	}
+	if err := g.Wait(); err != nil {
+		t.Fatalf("Wait = %v, want nil", err)
+	}
+}
+
+func TestZeroGroupWait(t *testing.T) {
+	var g Group
+	if err := g.Wait(); err != nil {
+		t.Fatalf("empty Wait = %v, want nil", err)
+	}
+}

@@ -54,6 +54,11 @@ func NewEnv(cfg EnvConfig) (*Env, error) {
 		CacheBytes:     cfg.CacheBytes,
 		DisableBloom:   cfg.DisableBloom,
 		DisablePruning: cfg.DisablePruning,
+		// The paper's figures assume one run per table per consistency
+		// point; a GOMAXPROCS-dependent shard count would change run
+		// counts (and thus the space and query series) with the machine.
+		// RunIngest is the experiment that exercises sharding.
+		WriteShards: 1,
 	})
 	if err != nil {
 		return nil, err

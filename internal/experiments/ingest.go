@@ -1,0 +1,162 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/backlogfs/backlog/internal/core"
+	"github.com/backlogfs/backlog/internal/storage"
+)
+
+// IngestConfig parameterizes the parallel-ingest scaling experiment. It is
+// not a paper figure: the paper's prototype serialized updates behind the
+// file system's consistency-point machinery, whereas this reproduction
+// shards the write store so ingest scales with cores (see the engine
+// docs). The experiment sweeps shard counts and reports throughput.
+type IngestConfig struct {
+	// Ops is the number of AddRef calls per configuration.
+	Ops int
+	// Goroutines is the number of concurrent writers (default GOMAXPROCS).
+	Goroutines int
+	// OpsPerCP is the checkpoint cadence (default 50k ops).
+	OpsPerCP int
+	// Shards lists the write-shard counts to sweep (default 1, 2, 4, ...,
+	// GOMAXPROCS).
+	Shards []int
+}
+
+// DefaultIngestConfig returns the small-scale default.
+func DefaultIngestConfig() IngestConfig {
+	return IngestConfig{Ops: 400_000, OpsPerCP: 50_000}
+}
+
+// IngestPoint is one swept configuration's result.
+type IngestPoint struct {
+	Shards    int
+	Ops       int
+	Nanos     int64
+	OpsPerSec float64
+	// Speedup is throughput relative to the single-shard configuration
+	// when the sweep includes shards=1, else to the first configuration.
+	Speedup float64
+}
+
+// RunIngest drives cfg.Ops AddRef calls from cfg.Goroutines goroutines
+// against an in-memory engine for each shard count, with periodic
+// parallel-flush checkpoints, and reports ingest throughput.
+func RunIngest(cfg IngestConfig) ([]IngestPoint, error) {
+	if cfg.Ops <= 0 {
+		cfg.Ops = DefaultIngestConfig().Ops
+	}
+	if cfg.Goroutines <= 0 {
+		cfg.Goroutines = runtime.GOMAXPROCS(0)
+	}
+	if cfg.OpsPerCP <= 0 {
+		cfg.OpsPerCP = DefaultIngestConfig().OpsPerCP
+	}
+	if len(cfg.Shards) == 0 {
+		for s := 1; s < runtime.GOMAXPROCS(0); s *= 2 {
+			cfg.Shards = append(cfg.Shards, s)
+		}
+		cfg.Shards = append(cfg.Shards, runtime.GOMAXPROCS(0))
+	}
+
+	var points []IngestPoint
+	for _, shards := range cfg.Shards {
+		ops, nanos, err := ingestOnce(shards, cfg.Ops, cfg.Goroutines, cfg.OpsPerCP)
+		if err != nil {
+			return nil, fmt.Errorf("shards=%d: %w", shards, err)
+		}
+		points = append(points, IngestPoint{
+			Shards:    shards,
+			Ops:       ops,
+			Nanos:     nanos,
+			OpsPerSec: float64(ops) / (float64(nanos) / 1e9),
+		})
+	}
+	baseline := points[0]
+	for _, p := range points {
+		if p.Shards == 1 {
+			baseline = p
+			break
+		}
+	}
+	for i := range points {
+		points[i].Speedup = points[i].OpsPerSec / baseline.OpsPerSec
+	}
+	return points, nil
+}
+
+// ingestOnce runs one swept configuration and returns the number of ops
+// actually executed (cfg.Ops rounded down to a multiple of goroutines)
+// and the elapsed nanoseconds.
+func ingestOnce(shards, ops, goroutines, opsPerCP int) (int, int64, error) {
+	eng, err := core.Open(core.Options{
+		VFS:         storage.NewMemFS(),
+		Catalog:     core.NewMemCatalog(),
+		WriteShards: shards,
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	var (
+		wg       sync.WaitGroup
+		counter  atomic.Uint64
+		cp       atomic.Uint64
+		cpMu     sync.Mutex
+		errOnce  sync.Once
+		firstErr error
+	)
+	cp.Store(1)
+	perWorker := ops / goroutines
+	if perWorker == 0 {
+		return 0, 0, fmt.Errorf("ops=%d is less than goroutines=%d", ops, goroutines)
+	}
+	start := time.Now()
+	for w := 0; w < goroutines; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			base := uint64(w) << 40
+			for i := 0; i < perWorker; i++ {
+				eng.AddRef(core.Ref{
+					Block:  base + uint64(i),
+					Inode:  uint64(w + 1),
+					Offset: uint64(i),
+					Length: 1,
+				}, cp.Load())
+				// Whichever worker crosses a checkpoint boundary drains
+				// every shard with a parallel flush. cpMu serializes CP
+				// allocation with the Checkpoint call so CP numbers
+				// commit in order.
+				if n := counter.Add(1); n%uint64(opsPerCP) == 0 {
+					cpMu.Lock()
+					next := cp.Load() + 1
+					err := eng.Checkpoint(next)
+					if err == nil {
+						cp.Store(next)
+					}
+					cpMu.Unlock()
+					if err != nil {
+						errOnce.Do(func() { firstErr = err })
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return 0, 0, firstErr
+	}
+	cpMu.Lock()
+	err = eng.Checkpoint(cp.Load() + 1)
+	cpMu.Unlock()
+	if err != nil {
+		return 0, 0, err
+	}
+	return perWorker * goroutines, time.Since(start).Nanoseconds(), nil
+}

@@ -1,0 +1,21 @@
+package experiments
+
+import "testing"
+
+func TestRunIngestSweep(t *testing.T) {
+	pts, err := RunIngest(IngestConfig{Ops: 20_000, Goroutines: 4, OpsPerCP: 5_000, Shards: []int{1, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("points = %d, want 2", len(pts))
+	}
+	for _, p := range pts {
+		if p.Ops != 20_000 || p.OpsPerSec <= 0 || p.Speedup <= 0 {
+			t.Fatalf("malformed point: %+v", p)
+		}
+	}
+	if pts[0].Shards != 1 || pts[0].Speedup != 1 {
+		t.Fatalf("baseline point malformed: %+v", pts[0])
+	}
+}

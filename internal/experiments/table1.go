@@ -16,6 +16,9 @@ type Table1Config struct {
 	VarmailIters int
 	PostmarkTx   int
 	Seed         int64
+	// WriteShards configures the Backlog engine's write-store sharding
+	// (0 = engine default of GOMAXPROCS).
+	WriteShards int
 }
 
 // DefaultTable1Config returns the scaled default.
@@ -54,7 +57,7 @@ func RunTable1(cfg Table1Config) ([]Table1Row, error) {
 		measure func(mode btrfssim.Mode) (float64, error)
 	}
 	newFS := func(mode btrfssim.Mode, opsPerTx int) (*btrfssim.FS, error) {
-		return btrfssim.New(btrfssim.Config{Mode: mode, OpsPerTransaction: opsPerTx})
+		return btrfssim.New(btrfssim.Config{Mode: mode, OpsPerTransaction: opsPerTx, WriteShards: cfg.WriteShards})
 	}
 	msPerOp := func(fs *btrfssim.FS, start time.Time, startDisk int64, ops int) float64 {
 		elapsed := time.Since(start).Nanoseconds() + fs.VFS().Stats().DiskNanos - startDisk

@@ -54,10 +54,21 @@ func (e *Edit) FlushDV(table string) *Edit {
 
 // Commit applies the edit: writes dirty deletion vectors, writes and syncs
 // the new manifest, atomically renames it into place, updates in-memory
-// state, and finally deletes dropped files. On error before the rename, the
-// on-disk state is unchanged.
+// state, and finally deletes dropped files. A non-nil error always means
+// the edit did not commit: the on-disk state is unchanged and the files
+// behind added runs have been removed (AddRun transfers ownership, so
+// callers never clean up after a failed Commit). Post-commit dropped-file
+// deletion is best-effort and never reported — leftovers are orphans
+// collected by the next Open.
 func (e *Edit) Commit() error {
 	db := e.db
+	// fail cleans up after a pre-commit-point error.
+	fail := func(err error) error {
+		for _, ref := range e.add {
+			_ = db.vfs.Remove(ref.rm.Name)
+		}
+		return err
+	}
 
 	// Build the next manifest from in-memory state plus this edit.
 	next := manifest{Version: 1, CP: db.m.CP, NextID: db.m.NextID,
@@ -94,11 +105,11 @@ func (e *Edit) Commit() error {
 	for _, ref := range e.add {
 		t := db.tables[ref.table]
 		if t == nil {
-			return fmt.Errorf("lsm: commit references unknown table %q", ref.table)
+			return fail(fmt.Errorf("lsm: commit references unknown table %q", ref.table))
 		}
 		r, err := db.openRun(t, ref.rm)
 		if err != nil {
-			return err
+			return fail(err)
 		}
 		newRuns[ref.table][ref.partition] = append(newRuns[ref.table][ref.partition], r)
 	}
@@ -119,7 +130,7 @@ func (e *Edit) Commit() error {
 			next.NextID++
 			fname := fmt.Sprintf("dv.%s.%010d", name, id)
 			if err := t.writeDV(fname); err != nil {
-				return err
+				return fail(err)
 			}
 			newDVFiles[name] = fname
 		}
@@ -151,7 +162,7 @@ func (e *Edit) Commit() error {
 	}
 
 	if err := writeManifest(db.vfs, next); err != nil {
-		return err
+		return fail(err)
 	}
 
 	// Point of no return: swap in-memory state.
@@ -164,19 +175,19 @@ func (e *Edit) Commit() error {
 		t.dvDirty = false
 	}
 
-	// Best-effort deletion of dropped files.
-	for table, names := range e.drop {
-		_ = table
+	// Best-effort deletion of dropped files. Failures are not reported:
+	// the commit already happened, and a file that could not be removed is
+	// no longer referenced by the manifest, so the next Open collects it
+	// as an orphan. Swallowing these errors is what makes the invariant
+	// "Commit returned an error ⟺ the edit did not commit" hold, which
+	// the engine's retry and deletion-vector-restore paths rely on.
+	for _, names := range e.drop {
 		for _, n := range names {
-			if err := db.vfs.Remove(n); err != nil && !errors.Is(err, storage.ErrNotExist) {
-				return err
-			}
+			_ = db.vfs.Remove(n)
 		}
 	}
 	for _, n := range dvToDelete {
-		if err := db.vfs.Remove(n); err != nil && !errors.Is(err, storage.ErrNotExist) {
-			return err
-		}
+		_ = db.vfs.Remove(n)
 	}
 	return nil
 }
@@ -258,15 +269,29 @@ func (t *Table) ClearDVRange(lo, hi uint64) {
 }
 
 // ClearDVPartition removes deletion-vector entries routed to partition p
-// (under either range or hash partitioning). Compaction of one partition
-// calls this after physically dropping the partition's deleted records,
-// leaving other partitions' entries in place.
-func (t *Table) ClearDVPartition(p int) {
+// (under either range or hash partitioning) and returns the removed
+// records. Compaction of one partition calls this after physically
+// dropping the partition's deleted records, leaving other partitions'
+// entries in place; if the commit then fails, the caller restores the
+// returned records with RestoreDV so in-memory reads keep hiding them.
+func (t *Table) ClearDVPartition(p int) []string {
+	var cleared []string
 	for rec := range t.dv {
 		if t.db.PartitionOf(blockOf([]byte(rec))) == p {
 			delete(t.dv, rec)
 			t.dvDirty = true
+			cleared = append(cleared, rec)
 		}
+	}
+	return cleared
+}
+
+// RestoreDV re-inserts deletion-vector entries removed by a Clear that was
+// part of a commit that subsequently failed.
+func (t *Table) RestoreDV(recs []string) {
+	for _, rec := range recs {
+		t.dv[rec] = struct{}{}
+		t.dvDirty = true
 	}
 }
 

@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"sync"
 
 	"github.com/backlogfs/backlog/internal/btree"
 	"github.com/backlogfs/backlog/internal/storage"
@@ -74,6 +75,11 @@ type Options struct {
 }
 
 // DB is a multi-table LSM store with a single atomic manifest.
+//
+// DB is not internally synchronized except for run-ID allocation (idMu):
+// callers serialize structural operations (Commit, compaction) themselves,
+// but may create RunBuilders from multiple goroutines concurrently — the
+// engine's parallel checkpoint flush relies on this.
 type DB struct {
 	vfs   storage.VFS
 	opts  Options
@@ -81,6 +87,10 @@ type DB struct {
 
 	tables map[string]*Table
 	m      manifest
+
+	// idMu guards m.NextID allocation in NewRunBuilder, which concurrent
+	// shard flushes call in parallel.
+	idMu sync.Mutex
 }
 
 // Table is one logical table of a DB.
@@ -170,7 +180,7 @@ func (db *DB) PartitionOf(block uint64) int {
 		return 0
 	}
 	if db.opts.HashPartitioning {
-		return int(mix64(block) % uint64(db.opts.Partitions))
+		return int(Mix64(block) % uint64(db.opts.Partitions))
 	}
 	p := int(block / db.opts.PartitionSpan)
 	if p >= db.opts.Partitions {
@@ -179,8 +189,11 @@ func (db *DB) PartitionOf(block uint64) int {
 	return p
 }
 
-// mix64 is the SplitMix64 finalizer, used for hash partitioning.
-func mix64(x uint64) uint64 {
+// Mix64 is the SplitMix64 finalizer. It drives hash partitioning here and
+// write-store sharding in internal/core — both derive their index from the
+// same hash (mod P partitions, mod N shards), so a shard maps onto whole
+// partitions whenever N divides P.
+func Mix64(x uint64) uint64 {
 	x += 0x9e3779b97f4a7c15
 	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
 	x = (x ^ (x >> 27)) * 0x94d049bb133111eb

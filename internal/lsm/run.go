@@ -152,8 +152,10 @@ func (db *DB) NewRunBuilder(table string, partition, level int, cp uint64) (*Run
 	if partition < 0 || partition >= db.opts.Partitions {
 		return nil, fmt.Errorf("lsm: partition %d out of range", partition)
 	}
+	db.idMu.Lock()
 	id := db.m.NextID
 	db.m.NextID++
+	db.idMu.Unlock()
 	name := fmt.Sprintf("%s.p%03d.%010d.run", table, partition, id)
 	f, err := db.vfs.Create(name)
 	if err != nil {
@@ -211,7 +213,8 @@ type RunRef struct {
 
 // Finish completes the run file (bloom + header + sync) and returns its
 // reference. Empty builders return a zero RunRef with ok=false and remove
-// their file.
+// their file. The builder's write handle is closed in every path; a later
+// Commit reopens the file by name.
 func (b *RunBuilder) Finish() (ref RunRef, ok bool, err error) {
 	if b.writer.Count() == 0 {
 		b.file.Close()
@@ -225,6 +228,10 @@ func (b *RunBuilder) Finish() (ref RunRef, ok bool, err error) {
 	// records, we appropriately shrink its Bloom filter", Section 5.1).
 	b.filter.ShrinkToFit(0.024)
 	if err := b.writer.Finish(b.filter.Marshal()); err != nil {
+		b.file.Close()
+		return RunRef{}, false, err
+	}
+	if err := b.file.Close(); err != nil {
 		return RunRef{}, false, err
 	}
 	return RunRef{
@@ -245,4 +252,16 @@ func (b *RunBuilder) Finish() (ref RunRef, ok bool, err error) {
 func (b *RunBuilder) Abort() {
 	b.file.Close()
 	_ = b.db.vfs.Remove(b.name)
+}
+
+// DiscardRun removes the file behind a finished run that was never handed
+// to an Edit (once AddRun is called, a failed Commit removes the file
+// itself). The parallel checkpoint flush uses it to clean up runs from
+// shards that completed before another shard's flush failed; uncleaned
+// files would otherwise linger as orphans until the next Open.
+func (db *DB) DiscardRun(ref RunRef) {
+	if ref.rm.Name == "" {
+		return
+	}
+	_ = db.vfs.Remove(ref.rm.Name)
 }
