@@ -33,6 +33,28 @@
 // as it merges per-CP runs. Set WriteShards to 1 to reproduce the paper's
 // single write store.
 //
+// # Durability
+//
+// By default (DurabilityCheckpointOnly) reference updates become durable
+// only at consistency points, the paper's model: a crash loses everything
+// buffered since the last Checkpoint, exactly like file-system state past
+// the last consistency point, and Section 5.4's recovery story assumes
+// the file system's own journal replays those operations. Deployments
+// without such a journal can set Config.Durability instead:
+//
+//   - DurabilityBuffered appends every AddRef/RemoveRef/RelocateBlock to
+//     a write-ahead log (internal/wal) without fsync. A clean Close
+//     preserves everything; a crash can lose recent updates but never
+//     corrupts the database.
+//   - DurabilitySync group-commits the log: concurrent updates are
+//     batched into a single write-and-fsync by a single-flight leader, so
+//     an acknowledged update survives any crash at a per-batch (not
+//     per-op) fsync cost.
+//
+// Open replays the log tail — tolerating a torn final record — to rebuild
+// the write stores, and Checkpoint retires the log, so queries and paper
+// experiments behave identically in every mode.
+//
 // # Build, test, bench
 //
 // The module has no dependencies outside the standard library:
@@ -74,6 +96,7 @@ import (
 
 	"github.com/backlogfs/backlog/internal/core"
 	"github.com/backlogfs/backlog/internal/storage"
+	"github.com/backlogfs/backlog/internal/wal"
 )
 
 // Ref identifies one logical reference to a physical extent. Length is in
@@ -90,6 +113,27 @@ type Stats = core.Stats
 
 // Infinity is the To value of a still-live reference.
 const Infinity = core.Infinity
+
+// Durability selects when reference updates become crash-durable; see the
+// Durability section of the package documentation.
+type Durability = wal.Durability
+
+const (
+	// DurabilityCheckpointOnly (the default) makes updates durable only
+	// at consistency points — the paper's behavior. Buffered references
+	// are discarded by a crash or Close.
+	DurabilityCheckpointOnly = wal.CheckpointOnly
+	// DurabilityBuffered appends updates to a write-ahead log without
+	// fsync: a clean Close preserves them, a crash may not.
+	DurabilityBuffered = wal.Buffered
+	// DurabilitySync group-commits the write-ahead log with one fsync per
+	// batch: an acknowledged update survives any crash.
+	DurabilitySync = wal.Sync
+)
+
+// ParseDurability parses a durability mode name ("checkpoint-only",
+// "buffered", or "sync") as used by the -durability CLI flags.
+func ParseDurability(s string) (Durability, error) { return wal.ParseDurability(s) }
 
 // Config configures Open.
 type Config struct {
@@ -111,6 +155,10 @@ type Config struct {
 	// on different shards never contend, and Checkpoint flushes all shards
 	// in parallel. Set to 1 for the paper's single write store.
 	WriteShards int
+	// Durability selects when reference updates become crash-durable
+	// (default DurabilityCheckpointOnly; see the package documentation's
+	// Durability section).
+	Durability Durability
 }
 
 // DB is a back-reference database.
@@ -149,6 +197,7 @@ func Open(cfg Config) (*DB, error) {
 		Partitions:    cfg.Partitions,
 		PartitionSpan: cfg.PartitionSpan,
 		WriteShards:   cfg.WriteShards,
+		Durability:    cfg.Durability,
 	})
 	if err != nil {
 		return nil, err
@@ -281,19 +330,40 @@ func (db *DB) CP() uint64 { return db.eng.CP() }
 // Stats returns cumulative engine counters.
 func (db *DB) Stats() Stats { return db.eng.Stats() }
 
+// DurabilityErr reports the database's sticky durability error, if any. A
+// non-nil error means a write-ahead-log append failed, so updates
+// acknowledged since then are only as durable as DurabilityCheckpointOnly
+// until the next successful Checkpoint (which makes everything buffered
+// durable in the read store and clears the error). Applications running
+// with DurabilitySync that relay durability promises to their own clients
+// should poll this. Always nil in DurabilityCheckpointOnly mode.
+func (db *DB) DurabilityErr() error { return db.eng.WALErr() }
+
 // WriteShards returns the number of write-store shards in use.
 func (db *DB) WriteShards() int { return db.eng.WriteShards() }
+
+// Durability returns the configured durability mode.
+func (db *DB) Durability() Durability { return db.eng.Durability() }
 
 // SizeBytes returns the database's on-disk size.
 func (db *DB) SizeBytes() int64 { return db.eng.SizeBytes() }
 
-// Close persists the catalog. The database itself is consistent as of the
-// last Checkpoint; buffered (un-checkpointed) references are discarded,
-// exactly like file system state past the last consistency point.
+// Close persists the catalog and flushes buffered references according to
+// the configured durability mode. With DurabilityBuffered or
+// DurabilitySync the write-ahead log is synced and kept, so a reopened
+// database replays every reference accepted before Close — nothing is
+// lost. With DurabilityCheckpointOnly (the default, the paper's model)
+// buffered (un-checkpointed) references are discarded, exactly like file
+// system state past the last consistency point; call Checkpoint before
+// Close to keep them.
 func (db *DB) Close() error {
 	if db.closed {
 		return nil
 	}
 	db.closed = true
-	return db.saveCatalog()
+	err := db.eng.Close()
+	if serr := db.saveCatalog(); err == nil {
+		err = serr
+	}
+	return err
 }

@@ -179,6 +179,67 @@ func TestQueryRange(t *testing.T) {
 	}
 }
 
+// TestCloseFlushesPerDurabilityMode checks the DB.Close contract: with a
+// write-ahead log (Buffered/Sync) references accepted after the last
+// Checkpoint survive a clean close and reopen; with CheckpointOnly they
+// are discarded, the paper's behavior.
+func TestCloseFlushesPerDurabilityMode(t *testing.T) {
+	for _, mode := range []Durability{DurabilityCheckpointOnly, DurabilityBuffered, DurabilitySync} {
+		t.Run(mode.String(), func(t *testing.T) {
+			dir := t.TempDir()
+			db, err := Open(Config{Dir: dir, Durability: mode})
+			if err != nil {
+				t.Fatal(err)
+			}
+			db.AddRef(Ref{Block: 42, Inode: 3, Offset: 1, Line: 0}, 1)
+			if err := db.Checkpoint(1); err != nil {
+				t.Fatal(err)
+			}
+			// Buffered past the checkpoint: kept or discarded by Close
+			// depending on the mode.
+			db.AddRef(Ref{Block: 43, Inode: 3, Offset: 2, Line: 0}, 2)
+			db.RemoveRef(Ref{Block: 42, Inode: 3, Offset: 1, Line: 0}, 2)
+			if err := db.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			db2, err := Open(Config{Dir: dir, Durability: mode})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer db2.Close()
+			o42, err := db2.Query(42)
+			if err != nil {
+				t.Fatal(err)
+			}
+			o43, err := db2.Query(43)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if mode == DurabilityCheckpointOnly {
+				if len(o42) != 1 || !o42[0].Live {
+					t.Fatalf("checkpointed ref = %+v", o42)
+				}
+				if len(o43) != 0 {
+					t.Fatalf("un-checkpointed ref survived: %+v", o43)
+				}
+			} else {
+				// The replayed RemoveRef closed the interval; with no
+				// snapshot retaining [1, 2) the owner is masked out.
+				if len(o42) != 0 {
+					t.Fatalf("removed ref still visible: %+v", o42)
+				}
+				if len(o43) != 1 || !o43[0].Live {
+					t.Fatalf("buffered ref lost by Close: %+v", o43)
+				}
+				if st := db2.Stats(); st.WALReplayed != 2 {
+					t.Fatalf("WALReplayed = %d, want 2", st.WALReplayed)
+				}
+			}
+		})
+	}
+}
+
 func TestCompactKeepsAnswers(t *testing.T) {
 	db := openMem(t)
 	defer db.Close()

@@ -39,6 +39,7 @@ func main() {
 	block := fs.Uint64("block", 0, "block number (query)")
 	n := fs.Int("n", 1, "number of consecutive blocks to query")
 	shards := fs.Int("shards", 0, "write-store shards (0 = GOMAXPROCS)")
+	durability := fs.String("durability", "checkpoint-only", "durability mode: checkpoint-only|buffered|sync")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
@@ -46,8 +47,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "backlogctl: -dir is required")
 		os.Exit(2)
 	}
+	dmode, err := backlog.ParseDurability(*durability)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "backlogctl:", err)
+		os.Exit(2)
+	}
 
-	db, err := backlog.Open(backlog.Config{Dir: *dir, WriteShards: *shards})
+	db, err := backlog.Open(backlog.Config{Dir: *dir, WriteShards: *shards, Durability: dmode})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "backlogctl:", err)
 		os.Exit(1)
@@ -60,6 +66,10 @@ func main() {
 		fmt.Printf("consistency point: %d\n", db.CP())
 		fmt.Printf("database size:     %d bytes\n", db.SizeBytes())
 		fmt.Printf("write shards:      %d\n", db.WriteShards())
+		fmt.Printf("durability:        %s\n", db.Durability())
+		if st.WALReplayed > 0 {
+			fmt.Printf("wal replayed:      %d\n", st.WALReplayed)
+		}
 		fmt.Printf("refs added:        %d\n", st.RefsAdded)
 		fmt.Printf("refs removed:      %d\n", st.RefsRemoved)
 		fmt.Printf("checkpoints:       %d\n", st.Checkpoints)

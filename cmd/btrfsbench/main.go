@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	btrfsbench [-files 8192] [-scale full] [-shards 8]
+//	btrfsbench [-files 8192] [-scale full] [-shards 8] [-durability sync]
 package main
 
 import (
@@ -16,13 +16,21 @@ import (
 	"text/tabwriter"
 
 	"github.com/backlogfs/backlog/internal/experiments"
+	"github.com/backlogfs/backlog/internal/wal"
 )
 
 func main() {
 	files := flag.Int("files", 0, "file count for microbenchmarks (0 = scale default)")
 	scale := flag.String("scale", "small", "small|full")
 	shards := flag.Int("shards", 1, "Backlog write-store shards (1 = paper-faithful single write store, 0 = GOMAXPROCS)")
+	durability := flag.String("durability", "checkpoint-only",
+		"Backlog durability mode: checkpoint-only (paper-faithful)|buffered|sync")
 	flag.Parse()
+	dmode, err := wal.ParseDurability(*durability)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	cfg := experiments.DefaultTable1Config()
 	if *scale == "small" {
@@ -35,6 +43,7 @@ func main() {
 		cfg.MicroFiles = *files
 	}
 	cfg.WriteShards = *shards
+	cfg.Durability = dmode
 
 	rows, err := experiments.RunTable1(cfg)
 	if err != nil {

@@ -6,6 +6,7 @@ import (
 
 	"github.com/backlogfs/backlog/internal/core"
 	"github.com/backlogfs/backlog/internal/storage"
+	"github.com/backlogfs/backlog/internal/wal"
 )
 
 // Mode selects the back-reference configuration of Table 1.
@@ -51,6 +52,9 @@ type Config struct {
 	// WriteShards is passed through to the Backlog engine in ModeBacklog
 	// (0 = engine default of GOMAXPROCS).
 	WriteShards int
+	// Durability is passed through to the Backlog engine in ModeBacklog
+	// (default wal.CheckpointOnly, the paper's configuration).
+	Durability wal.Durability
 }
 
 // FS is the simulated btrfs file layer.
@@ -130,7 +134,7 @@ func New(cfg Config) (*FS, error) {
 	}
 	if cfg.Mode == ModeBacklog {
 		fs.cat = core.NewMemCatalog()
-		eng, err := core.Open(core.Options{VFS: cfg.VFS, Catalog: fs.cat, WriteShards: cfg.WriteShards})
+		eng, err := core.Open(core.Options{VFS: cfg.VFS, Catalog: fs.cat, WriteShards: cfg.WriteShards, Durability: cfg.Durability})
 		if err != nil {
 			return nil, err
 		}

@@ -12,6 +12,7 @@ import (
 	"github.com/backlogfs/backlog/internal/lsm"
 	"github.com/backlogfs/backlog/internal/memtree"
 	"github.com/backlogfs/backlog/internal/storage"
+	"github.com/backlogfs/backlog/internal/wal"
 )
 
 // Options configures an Engine.
@@ -47,6 +48,18 @@ type Options struct {
 	// DisableBloom makes queries consult every run regardless of its
 	// Bloom filter (ablation).
 	DisableBloom bool
+	// Durability selects when reference updates become crash-durable
+	// (default wal.CheckpointOnly, the paper's behavior: buffered updates
+	// are lost on crash). wal.Buffered appends every update to a
+	// write-ahead log without fsync; wal.Sync group-commits with an fsync
+	// per batch, so an acknowledged update survives any crash. Open
+	// replays the log tail into the write stores, and Checkpoint retires
+	// it.
+	Durability wal.Durability
+	// WALSegmentBytes rotates write-ahead-log segments
+	// (wal.DefaultSegmentBytes if zero). Only used when Durability is not
+	// CheckpointOnly.
+	WALSegmentBytes int64
 }
 
 // Stats counts engine activity. All counters are cumulative.
@@ -61,6 +74,9 @@ type Stats struct {
 	RecordsPurged  uint64 // records dropped by compaction
 	Queries        uint64
 	Relocations    uint64
+	WALAppends     uint64 // records appended to the write-ahead log
+	WALBatches     uint64 // WAL group-commit flushes (one WriteAt+Sync each)
+	WALReplayed    uint64 // records replayed from the WAL at Open
 }
 
 // counters is the internal atomic mirror of Stats; shard-parallel AddRef
@@ -107,6 +123,25 @@ type Engine struct {
 	cache   *btree.Cache
 
 	shards []*writeShard
+
+	// wal is the write-ahead log (nil in CheckpointOnly mode). Updaters
+	// append under the shared structural lock; Checkpoint truncates under
+	// the exclusive lock, which is what lets wal.Truncate assume no
+	// append is in flight.
+	wal *wal.Log
+	// walReplayed counts records replayed at Open.
+	walReplayed uint64
+	// staleWAL notes that CheckpointOnly-mode Open found and replayed
+	// leftover segments from a Buffered/Sync incarnation; the next
+	// Checkpoint deletes them.
+	staleWAL bool
+
+	// walErrMu guards walErr, the sticky durability error: a WAL append
+	// failed, so updates acknowledged since then are NOT crash-durable
+	// despite the configured mode. A successful Checkpoint clears it
+	// (the updates become durable in the read store).
+	walErrMu sync.Mutex
+	walErr   error
 
 	stats counters
 }
@@ -162,14 +197,77 @@ func Open(opts Options) (*Engine, error) {
 			combined: memtree.New(lessCombined),
 		}
 	}
-	return &Engine{
+	e := &Engine{
 		opts:    opts,
 		vfs:     opts.VFS,
 		catalog: opts.Catalog,
 		db:      db,
 		cache:   cache,
 		shards:  shards,
-	}, nil
+	}
+	if err := e.openWAL(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// openWAL recovers the write-ahead log tail into the write stores and, in
+// Buffered/Sync modes, opens the log for appending. In CheckpointOnly
+// mode leftover segments (from a previous Buffered/Sync incarnation) are
+// still replayed — silently dropping them would lose acknowledged updates
+// on a mere configuration change — and retired at the next Checkpoint.
+func (e *Engine) openWAL() error {
+	var rec wal.Recovered
+	if e.opts.Durability == wal.CheckpointOnly {
+		r, err := wal.Recover(e.vfs)
+		if err != nil {
+			return err
+		}
+		rec = r
+		e.staleWAL = r.Found
+	} else {
+		log, r, err := wal.Open(e.vfs, wal.Options{
+			Durability:   e.opts.Durability,
+			SegmentBytes: e.opts.WALSegmentBytes,
+		})
+		if err != nil {
+			return err
+		}
+		e.wal = log
+		rec = r
+	}
+	// Replay only records newer than the last committed checkpoint. A
+	// crash between a manifest commit and the log truncation it triggers
+	// leaves records that are already durable in the read store; their CP
+	// tags do not exceed the manifest's, so this filter skips them
+	// (double-applying an AddRef would flush a duplicate From record).
+	base := e.db.CP()
+	if rec.MarkCP > base {
+		base = rec.MarkCP
+	}
+	for _, r := range rec.Records {
+		if r.CP <= base {
+			continue
+		}
+		switch r.Op {
+		case wal.OpAddRef:
+			e.applyAdd(Ref{Block: r.Block, Inode: r.Inode, Offset: r.Offset, Line: r.Line, Length: r.Length}, r.CP)
+		case wal.OpRemoveRef:
+			e.applyRemove(Ref{Block: r.Block, Inode: r.Inode, Offset: r.Offset, Line: r.Line, Length: r.Length}, r.CP)
+		case wal.OpRelocate:
+			if err := e.relocate(r.Block, r.NewBlock); err != nil {
+				if e.wal != nil {
+					// Release the log this Open will never hand out; a
+					// caller retrying Open must not accumulate open
+					// segments.
+					e.wal.Close()
+				}
+				return err
+			}
+		}
+		e.walReplayed++
+	}
+	return nil
 }
 
 // shardOf returns the write-store shard owning a block. The hash
@@ -194,7 +292,7 @@ func (e *Engine) CP() uint64 {
 
 // Stats returns a snapshot of the engine's counters.
 func (e *Engine) Stats() Stats {
-	return Stats{
+	st := Stats{
 		RefsAdded:      e.stats.refsAdded.Load(),
 		RefsRemoved:    e.stats.refsRemoved.Load(),
 		PrunedAdds:     e.stats.prunedAdds.Load(),
@@ -205,7 +303,39 @@ func (e *Engine) Stats() Stats {
 		RecordsPurged:  e.stats.recordsPurged.Load(),
 		Queries:        e.stats.queries.Load(),
 		Relocations:    e.stats.relocations.Load(),
+		WALReplayed:    e.walReplayed,
 	}
+	if e.wal != nil {
+		ws := e.wal.Stats()
+		st.WALAppends = ws.Appends
+		st.WALBatches = ws.Batches
+	}
+	return st
+}
+
+// Durability returns the engine's configured durability mode.
+func (e *Engine) Durability() wal.Durability { return e.opts.Durability }
+
+// Close releases the engine. In Buffered mode it syncs the write-ahead
+// log first, so a clean shutdown preserves every buffered reference for
+// replay at the next Open; in Sync mode everything is already durable. In
+// CheckpointOnly mode buffered references are discarded, exactly like
+// file-system state past the last consistency point. Close returns the
+// sticky WAL durability error, if any.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	// e.wal stays set after Close (wal.Log rejects further appends
+	// itself): nilling it here would race the unsynchronized reads in
+	// Stats, which is documented as safe to call concurrently.
+	var err error
+	if e.wal != nil {
+		err = e.wal.Close()
+	}
+	if werr := e.WALErr(); err == nil && werr != nil {
+		err = werr
+	}
+	return err
 }
 
 // SizeBytes returns the on-disk size of the back-reference database.
@@ -247,13 +377,38 @@ func (e *Engine) ClearCaches() {
 // AddRef records that ref became live at CP cp. If the same reference was
 // removed earlier within the same CP interval, the two cancel: the To entry
 // is deleted from the write store and the original interval simply
-// continues (proactive pruning, Section 5.1).
+// continues (proactive pruning, Section 5.1). In Buffered/Sync durability
+// modes the update is logged before it is applied; in Sync mode AddRef
+// returns only after the log record is group-committed to disk.
+//
+// The cp tag must be greater than the last committed checkpoint number:
+// crash recovery treats logged records with cp <= the manifest's CP as
+// already flushed and skips them. Consistency-point callers (fsim-style:
+// ops tagged N, then Checkpoint(N), then ops tagged N+1) satisfy this
+// naturally; callers racing AddRef against Checkpoint must not reuse a CP
+// number that may already have committed, or those updates — while
+// correctly applied in memory — are not protected by the log.
 func (e *Engine) AddRef(ref Ref, cp uint64) {
 	if ref.Length == 0 {
 		ref.Length = 1
 	}
 	e.mu.RLock()
 	defer e.mu.RUnlock()
+	if e.wal != nil {
+		if err := e.wal.Append(wal.Record{
+			Op: wal.OpAddRef, CP: cp,
+			Block: ref.Block, Inode: ref.Inode, Offset: ref.Offset, Line: ref.Line, Length: ref.Length,
+		}); err != nil {
+			e.noteWALErr(err)
+		}
+	}
+	e.applyAdd(ref, cp)
+}
+
+// applyAdd inserts an AddRef into the write store. Callers hold the
+// structural lock shared (or have exclusive access during Open replay);
+// the owning shard's mutex provides the fine-grained exclusion.
+func (e *Engine) applyAdd(ref Ref, cp uint64) {
 	e.stats.refsAdded.Add(1)
 	s := e.shardOf(ref.Block)
 	s.mu.Lock()
@@ -269,13 +424,27 @@ func (e *Engine) AddRef(ref Ref, cp uint64) {
 
 // RemoveRef records that ref ceased to be live at CP cp. If the reference
 // was added within the same CP interval, both entries are pruned and
-// nothing reaches disk.
+// nothing reaches disk. Logged like AddRef in Buffered/Sync modes.
 func (e *Engine) RemoveRef(ref Ref, cp uint64) {
 	if ref.Length == 0 {
 		ref.Length = 1
 	}
 	e.mu.RLock()
 	defer e.mu.RUnlock()
+	if e.wal != nil {
+		if err := e.wal.Append(wal.Record{
+			Op: wal.OpRemoveRef, CP: cp,
+			Block: ref.Block, Inode: ref.Inode, Offset: ref.Offset, Line: ref.Line, Length: ref.Length,
+		}); err != nil {
+			e.noteWALErr(err)
+		}
+	}
+	e.applyRemove(ref, cp)
+}
+
+// applyRemove is RemoveRef's write-store mutation; see applyAdd for the
+// locking contract.
+func (e *Engine) applyRemove(ref Ref, cp uint64) {
 	e.stats.refsRemoved.Add(1)
 	s := e.shardOf(ref.Block)
 	s.mu.Lock()
@@ -287,6 +456,33 @@ func (e *Engine) RemoveRef(ref Ref, cp uint64) {
 		}
 	}
 	s.to.Insert(ToRec{Ref: ref, To: cp})
+}
+
+// noteWALErr records a durability failure: the write-ahead log could not
+// persist a record, so updates since the failure are only as durable as
+// CheckpointOnly mode until the next successful Checkpoint (which clears
+// the error — everything buffered is then durable in the read store).
+func (e *Engine) noteWALErr(err error) {
+	e.walErrMu.Lock()
+	if e.walErr == nil {
+		e.walErr = err
+	}
+	e.walErrMu.Unlock()
+}
+
+// WALErr reports the sticky durability error, if any: non-nil means a log
+// append failed and acknowledged updates may not survive a crash until
+// the next successful Checkpoint.
+func (e *Engine) WALErr() error {
+	e.walErrMu.Lock()
+	defer e.walErrMu.Unlock()
+	return e.walErr
+}
+
+func (e *Engine) clearWALErr() {
+	e.walErrMu.Lock()
+	e.walErr = nil
+	e.walErrMu.Unlock()
 }
 
 // Checkpoint flushes the write stores to new Level-0 runs and commits them
@@ -354,6 +550,17 @@ func (e *Engine) Checkpoint(cp uint64) error {
 		}
 		flushed += res.count
 	}
+	// Relocations hide the old block's run records through in-memory
+	// deletion vectors; persist any dirty vectors with this commit.
+	// Without this, a crash after the checkpoint resurrects the
+	// relocated-away records next to their transplanted copies — and WAL
+	// replay cannot re-hide them, because it rightly skips relocate
+	// records the committed checkpoint already covers.
+	for _, table := range []string{TableFrom, TableTo, TableCombined} {
+		if e.db.Table(table).DVDirty() {
+			edit.FlushDV(table)
+		}
+	}
 	// AddRun transferred ownership of the run files: a Commit that fails
 	// before its commit point removes them itself.
 	if err := edit.Commit(); err != nil {
@@ -366,6 +573,26 @@ func (e *Engine) Checkpoint(cp uint64) error {
 	}
 	e.stats.checkpoints.Add(1)
 	e.stats.recordsFlushed.Add(flushed)
+
+	// Everything the log guarded is now durable in the read store: retire
+	// it. Truncate also resets any sticky append error — the records it
+	// failed to log were just committed through the manifest. A failure
+	// HERE must not be returned: the checkpoint itself committed and the
+	// write stores are gone, so the documented "on error, retry or
+	// replay" contract no longer applies; stale segments replay as no-ops
+	// (the CP filter skips them) and the failure is recorded as the
+	// sticky durability error instead.
+	if e.wal != nil {
+		e.clearWALErr()
+		if err := e.wal.Truncate(cp); err != nil {
+			e.noteWALErr(err)
+		}
+	} else if e.staleWAL {
+		if err := wal.RemoveAll(e.vfs); err == nil {
+			e.staleWAL = false
+		}
+		// On failure staleWAL stays set; the next checkpoint retries.
+	}
 	return nil
 }
 
@@ -450,10 +677,26 @@ func (e *Engine) RelocateBlock(oldBlock, newBlock uint64) error {
 	if oldBlock == newBlock {
 		return nil
 	}
+	if e.wal != nil {
+		// Tagged with the next CP number: the transplanted records become
+		// durable at the checkpoint that flushes them, so replay skips
+		// the record once that checkpoint has committed.
+		if err := e.wal.Append(wal.Record{
+			Op: wal.OpRelocate, CP: e.db.CP() + 1, Block: oldBlock, NewBlock: newBlock,
+		}); err != nil {
+			e.noteWALErr(err)
+		}
+	}
+	return e.relocate(oldBlock, newBlock)
+}
+
+// relocate is RelocateBlock's mutation, shared with WAL replay. Callers
+// hold the structural lock exclusively (or have exclusive access during
+// Open), which excludes every shared holder, so both shards' trees are
+// safe to touch without their shard mutexes.
+func (e *Engine) relocate(oldBlock, newBlock uint64) error {
 	e.stats.relocations.Add(1)
 
-	// The exclusive lock excludes every shared holder, so both shards'
-	// trees are safe to touch without their shard mutexes.
 	src := e.shardOf(oldBlock)
 	dst := e.shardOf(newBlock)
 

@@ -1,0 +1,184 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/backlogfs/backlog/internal/storage"
+	"github.com/backlogfs/backlog/internal/wal"
+)
+
+func walFiles(t *testing.T, vfs storage.VFS) []string {
+	t.Helper()
+	names, err := vfs.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []string
+	for _, n := range names {
+		if strings.HasPrefix(n, "wal-") {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// TestCheckpointOnlyTouchesNoWAL pins the paper-fidelity guarantee: the
+// default durability mode creates no log files and performs no log I/O,
+// so figure experiments are byte-identical to the pre-WAL engine.
+func TestCheckpointOnlyTouchesNoWAL(t *testing.T) {
+	vfs := storage.NewMemFS()
+	eng, err := Open(Options{VFS: vfs, Catalog: NewMemCatalog()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cp := uint64(1); cp <= 3; cp++ {
+		for i := uint64(0); i < 50; i++ {
+			eng.AddRef(ref(cp*1000+i, i, 0, 0), cp)
+		}
+		mustCheckpoint(t, eng, cp)
+	}
+	if err := eng.RelocateBlock(1000, 9999); err != nil {
+		t.Fatal(err)
+	}
+	if files := walFiles(t, vfs); len(files) != 0 {
+		t.Fatalf("CheckpointOnly mode created log files: %v", files)
+	}
+	st := eng.Stats()
+	if st.WALAppends != 0 || st.WALBatches != 0 || st.WALReplayed != 0 {
+		t.Fatalf("CheckpointOnly mode logged: %+v", st)
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCheckpointOnlyReplaysAndRetiresStaleWAL reopens a Sync-mode
+// database in CheckpointOnly mode: the leftover log tail must still be
+// replayed (silently dropping acknowledged references on a configuration
+// change would be data loss) and the segments retired at the next
+// checkpoint.
+func TestCheckpointOnlyReplaysAndRetiresStaleWAL(t *testing.T) {
+	vfs := storage.NewMemFS()
+	cat := NewMemCatalog()
+	eng, err := Open(Options{VFS: vfs, Catalog: cat, Durability: wal.Sync})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.AddRef(ref(1, 1, 0, 0), 1)
+	mustCheckpoint(t, eng, 1)
+	eng.AddRef(ref(2, 2, 0, 0), 2) // durable only in the log
+	vfs.Crash()
+
+	eng2, err := Open(Options{VFS: vfs, Catalog: cat}) // CheckpointOnly
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := eng2.Stats().WALReplayed; got != 1 {
+		t.Fatalf("replayed %d records, want 1", got)
+	}
+	if owners := mustQuery(t, eng2, 2); len(owners) != 1 {
+		t.Fatalf("logged ref lost on mode downgrade: %+v", owners)
+	}
+	if files := walFiles(t, vfs); len(files) == 0 {
+		t.Fatal("stale segments removed before the checkpoint that covers them")
+	}
+	mustCheckpoint(t, eng2, 2)
+	if files := walFiles(t, vfs); len(files) != 0 {
+		t.Fatalf("stale segments not retired at checkpoint: %v", files)
+	}
+	if owners := mustQuery(t, eng2, 2); len(owners) != 1 {
+		t.Fatalf("ref lost after checkpoint: %+v", owners)
+	}
+}
+
+// TestRelocationDurableAtCheckpoint pins the deletion-vector half of a
+// relocation: Checkpoint must persist the DVs hiding the old block's run
+// records, or a crash resurrects them next to the transplanted copies.
+// (WAL replay cannot re-hide them: it rightly skips relocate records a
+// committed checkpoint covers.) Checked in every durability mode — the
+// hole predates the WAL.
+func TestRelocationDurableAtCheckpoint(t *testing.T) {
+	for _, mode := range []wal.Durability{wal.CheckpointOnly, wal.Buffered, wal.Sync} {
+		t.Run(mode.String(), func(t *testing.T) {
+			vfs := storage.NewMemFS()
+			cat := NewMemCatalog()
+			open := func() *Engine {
+				eng, err := Open(Options{VFS: vfs, Catalog: cat, Durability: mode})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return eng
+			}
+			eng := open()
+			eng.AddRef(ref(10, 1, 0, 0), 1)
+			mustCheckpoint(t, eng, 1)
+			if err := eng.RelocateBlock(10, 500); err != nil {
+				t.Fatal(err)
+			}
+			mustCheckpoint(t, eng, 2)
+			vfs.Crash()
+
+			eng2 := open()
+			if owners := mustQuery(t, eng2, 10); len(owners) != 0 {
+				t.Fatalf("relocated-away reference resurrected by crash: %+v", owners)
+			}
+			owners := mustQuery(t, eng2, 500)
+			if len(owners) != 1 || !owners[0].Live {
+				t.Fatalf("transplanted reference = %+v", owners)
+			}
+		})
+	}
+}
+
+// TestSyncCrashRecoveryCore is the acceptance scenario at the engine
+// level: crash after AddRef, before Checkpoint, in Sync mode — reopening
+// loses nothing.
+func TestSyncCrashRecoveryCore(t *testing.T) {
+	vfs := storage.NewMemFS()
+	cat := NewMemCatalog()
+	open := func() *Engine {
+		eng, err := Open(Options{VFS: vfs, Catalog: cat, Durability: wal.Sync})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return eng
+	}
+	eng := open()
+	eng.AddRef(ref(10, 1, 0, 0), 1)
+	mustCheckpoint(t, eng, 1)
+	eng.AddRef(ref(11, 1, 1, 0), 2)
+	eng.RemoveRef(ref(10, 1, 0, 0), 2)
+	if err := eng.RelocateBlock(11, 500); err != nil {
+		t.Fatal(err)
+	}
+	vfs.Crash()
+
+	eng2 := open()
+	if owners := mustQuery(t, eng2, 11); len(owners) != 0 {
+		t.Fatalf("relocated-away block still owned: %+v", owners)
+	}
+	owners := mustQuery(t, eng2, 500)
+	if len(owners) != 1 || !owners[0].Live {
+		t.Fatalf("relocated ref = %+v", owners)
+	}
+	var live int
+	for _, o := range mustQuery(t, eng2, 10) {
+		if o.Live {
+			live++
+		}
+	}
+	if live != 0 {
+		t.Fatal("replayed RemoveRef lost")
+	}
+	// Crash AGAIN without a checkpoint: replay must be repeatable.
+	vfs.Crash()
+	eng3 := open()
+	if owners := mustQuery(t, eng3, 500); len(owners) != 1 {
+		t.Fatalf("second recovery lost the ref: %+v", owners)
+	}
+	mustCheckpoint(t, eng3, 2)
+	if owners := mustQuery(t, eng3, 500); len(owners) != 1 {
+		t.Fatalf("checkpoint after recovery lost the ref: %+v", owners)
+	}
+}

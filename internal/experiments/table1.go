@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"github.com/backlogfs/backlog/internal/btrfssim"
+	"github.com/backlogfs/backlog/internal/wal"
 )
 
 // Table1Config parameterizes the btrfs benchmarks (Table 1).
@@ -19,6 +20,10 @@ type Table1Config struct {
 	// WriteShards configures the Backlog engine's write-store sharding
 	// (0 = engine default of GOMAXPROCS).
 	WriteShards int
+	// Durability configures the Backlog engine's write-ahead logging
+	// (default wal.CheckpointOnly, the paper's configuration — Table 1
+	// numbers are only comparable to the paper in that mode).
+	Durability wal.Durability
 }
 
 // DefaultTable1Config returns the scaled default.
@@ -57,7 +62,7 @@ func RunTable1(cfg Table1Config) ([]Table1Row, error) {
 		measure func(mode btrfssim.Mode) (float64, error)
 	}
 	newFS := func(mode btrfssim.Mode, opsPerTx int) (*btrfssim.FS, error) {
-		return btrfssim.New(btrfssim.Config{Mode: mode, OpsPerTransaction: opsPerTx, WriteShards: cfg.WriteShards})
+		return btrfssim.New(btrfssim.Config{Mode: mode, OpsPerTransaction: opsPerTx, WriteShards: cfg.WriteShards, Durability: cfg.Durability})
 	}
 	msPerOp := func(fs *btrfssim.FS, start time.Time, startDisk int64, ops int) float64 {
 		elapsed := time.Since(start).Nanoseconds() + fs.VFS().Stats().DiskNanos - startDisk

@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"github.com/backlogfs/backlog/internal/core"
+	"github.com/backlogfs/backlog/internal/storage"
+	"github.com/backlogfs/backlog/internal/wal"
+)
+
+// WALSweepConfig parameterizes the write-ahead-log group-commit
+// experiment. It is not a paper figure: the paper's durability model is
+// CheckpointOnly (the fsim figure experiments pin it), and this sweep
+// quantifies what the optional Buffered/Sync modes cost and how group
+// commit amortizes the Sync mode's fsyncs. For each durability mode and
+// writer count, Ops AddRef calls are driven through an in-memory engine;
+// the interesting column is the emergent batch size (appends per
+// WriteAt+Sync), which grows with writer concurrency because a
+// single-flight leader flushes everything that buffered behind it.
+type WALSweepConfig struct {
+	// Ops is the number of AddRef calls per configuration.
+	Ops int
+	// Writers lists the concurrent writer counts to sweep (default 1, 2,
+	// 4, ..., GOMAXPROCS).
+	Writers []int
+	// Modes lists the durability modes to sweep (default Buffered, Sync).
+	Modes []wal.Durability
+}
+
+// DefaultWALSweepConfig returns the small-scale default.
+func DefaultWALSweepConfig() WALSweepConfig {
+	return WALSweepConfig{Ops: 100_000}
+}
+
+// WALSweepPoint is one swept configuration's result.
+type WALSweepPoint struct {
+	Mode      wal.Durability
+	Writers   int
+	Ops       int
+	OpsPerSec float64
+	// Batches is the number of physical log flushes; AvgBatch is
+	// Ops/Batches, the group-commit amortization factor.
+	Batches  uint64
+	AvgBatch float64
+	// Syncs counts storage-level fsyncs observed during the run.
+	Syncs int64
+}
+
+// RunWALSweep measures group-committed WAL append throughput across
+// durability modes and writer counts.
+func RunWALSweep(cfg WALSweepConfig) ([]WALSweepPoint, error) {
+	if cfg.Ops <= 0 {
+		cfg.Ops = DefaultWALSweepConfig().Ops
+	}
+	if len(cfg.Writers) == 0 {
+		for w := 1; w < runtime.GOMAXPROCS(0); w *= 2 {
+			cfg.Writers = append(cfg.Writers, w)
+		}
+		cfg.Writers = append(cfg.Writers, runtime.GOMAXPROCS(0))
+	}
+	if len(cfg.Modes) == 0 {
+		cfg.Modes = []wal.Durability{wal.Buffered, wal.Sync}
+	}
+	var points []WALSweepPoint
+	for _, mode := range cfg.Modes {
+		for _, writers := range cfg.Writers {
+			p, err := walSweepOnce(mode, writers, cfg.Ops)
+			if err != nil {
+				return nil, fmt.Errorf("mode=%s writers=%d: %w", mode, writers, err)
+			}
+			points = append(points, p)
+		}
+	}
+	return points, nil
+}
+
+func walSweepOnce(mode wal.Durability, writers, ops int) (WALSweepPoint, error) {
+	vfs := storage.NewMemFS()
+	eng, err := core.Open(core.Options{VFS: vfs, Catalog: core.NewMemCatalog(), Durability: mode})
+	if err != nil {
+		return WALSweepPoint{}, err
+	}
+	perWorker := ops / writers
+	if perWorker == 0 {
+		return WALSweepPoint{}, fmt.Errorf("ops=%d is less than writers=%d", ops, writers)
+	}
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			base := uint64(w) << 40
+			for i := 0; i < perWorker; i++ {
+				eng.AddRef(core.Ref{Block: base + uint64(i), Inode: uint64(w + 1), Offset: uint64(i), Length: 1}, 1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	nanos := time.Since(start).Nanoseconds()
+	if err := eng.WALErr(); err != nil {
+		return WALSweepPoint{}, err
+	}
+	st := eng.Stats()
+	total := perWorker * writers
+	p := WALSweepPoint{
+		Mode:      mode,
+		Writers:   writers,
+		Ops:       total,
+		OpsPerSec: float64(total) / (float64(nanos) / 1e9),
+		Batches:   st.WALBatches,
+		Syncs:     vfs.Stats().Syncs,
+	}
+	if st.WALBatches > 0 {
+		p.AvgBatch = float64(st.WALAppends) / float64(st.WALBatches)
+	}
+	if err := eng.Checkpoint(2); err != nil {
+		return WALSweepPoint{}, err
+	}
+	if err := eng.Close(); err != nil {
+		return WALSweepPoint{}, err
+	}
+	return p, nil
+}

@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"syscall"
 )
 
 // DirFS is a VFS backed by a directory on the real file system. It meters
@@ -32,6 +33,32 @@ func NewDirFS(dir string) (*DirFS, error) {
 func (d *DirFS) Dir() string { return d.dir }
 
 func (d *DirFS) path(name string) string { return filepath.Join(d.dir, name) }
+
+// SyncDir fsyncs the directory itself, making the current set of file
+// entries durable. Without it a power failure can lose the directory
+// entry of a fully-fsynced file. Rename calls it at the manifest commit
+// point (one fsync covers every run file created since the last commit);
+// the WAL calls it once per new segment, whose entry must be durable
+// before appends into it are acknowledged. Filesystems that reject fsync
+// on a directory fd (many FUSE/network mounts: EINVAL, ENOTSUP, ENOTTY)
+// are excused — hard-failing every commit there would be worse than
+// their genuinely weaker entry durability — but real I/O errors
+// propagate, since swallowing an EIO would acknowledge durability the
+// disk just refused to provide.
+func (d *DirFS) SyncDir() error {
+	f, err := os.Open(d.dir)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := f.Sync(); err != nil {
+		if errors.Is(err, errors.ErrUnsupported) || errors.Is(err, syscall.EINVAL) || errors.Is(err, syscall.ENOTTY) {
+			return nil
+		}
+		return err
+	}
+	return nil
+}
 
 // Create implements VFS.
 func (d *DirFS) Create(name string) (File, error) {
@@ -68,6 +95,9 @@ func (d *DirFS) Remove(name string) error {
 		}
 		return err
 	}
+	// No directory fsync: a removal entry lost to a crash merely
+	// resurrects a file that recovery already tolerates (lsm collects
+	// orphan runs; WAL replay skips checkpoint-covered records).
 	d.mu.Lock()
 	d.stats.FilesRemoved++
 	d.mu.Unlock()
@@ -82,7 +112,7 @@ func (d *DirFS) Rename(oldName, newName string) error {
 		}
 		return err
 	}
-	return nil
+	return d.SyncDir()
 }
 
 // List implements VFS.

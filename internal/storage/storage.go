@@ -53,6 +53,17 @@ type File interface {
 	Close() error
 }
 
+// DirSyncer is optionally implemented by a VFS whose directory entries
+// need an explicit fsync to become durable (DirFS). Callers that
+// acknowledge durability without a subsequent Rename commit — the
+// write-ahead log, whose segment entries must survive a crash as soon as
+// records in them are acknowledged — invoke it after creating a file.
+// MemFS entries are durable once the file is synced, so it does not
+// implement the interface.
+type DirSyncer interface {
+	SyncDir() error
+}
+
 // VFS is the minimal file system interface the storage layer requires.
 type VFS interface {
 	// Create creates a new empty file. It fails with ErrExist if the name
@@ -190,6 +201,14 @@ type FailurePlan struct {
 	// TornWrite, when true, makes the failing write apply a prefix of its
 	// payload before reporting the error (modeling a torn sector write).
 	TornWrite bool
+	// TornWriteDurable additionally makes the torn write's applied prefix
+	// — and only it — durable immediately, modeling sectors that reached
+	// the platter before power failed. Earlier unsynced writes to the
+	// file stay volatile. Without this, the torn prefix is discarded by
+	// Crash unless the file is synced afterwards — which an appender that
+	// just saw the write fail never does. The WAL torn-tail recovery
+	// tests use this to plant a genuinely durable half-written record.
+	TornWriteDurable bool
 }
 
 // MemFS is an in-memory VFS with I/O metering, a disk-time model, failure
@@ -416,6 +435,17 @@ func (f *memFile) WriteAt(p []byte, off int64) (int, error) {
 	f.fs.stats.BytesWritten += int64(n)
 	f.fs.accountSeek(f, off, n, true)
 	if injected != nil {
+		if f.fs.plan.TornWriteDurable && n > 0 {
+			// Only the sectors this write actually touched reach the
+			// platter; the gap between the old durable length and the
+			// write offset (never-synced, never-written-now) reads as
+			// zeros after a crash.
+			if int64(len(f.durable)) < end {
+				f.durable = append(f.durable, make([]byte, end-int64(len(f.durable)))...)
+			}
+			copy(f.durable[off:end], f.data[off:end])
+			f.synced = true
+		}
 		return n, injected
 	}
 	return n, nil

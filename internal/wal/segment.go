@@ -1,0 +1,261 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"github.com/backlogfs/backlog/internal/storage"
+)
+
+// Segment files are named wal-<16-digit index>.seg and begin with a
+// 16-byte header: an 8-byte magic, a 4-byte format version, and the low
+// 4 bytes of the segment index (a consistency cross-check against the
+// name). Records follow back to back. The names deliberately share no
+// suffix or prefix with lsm's run ("*.run") and deletion-vector ("dv.*")
+// files, so lsm orphan collection never touches them.
+const (
+	segPrefix     = "wal-"
+	segSuffix     = ".seg"
+	segHeaderSize = 16
+	segMagic      = "BKLGWAL\x01"
+	segVersion    = 1
+)
+
+func segmentName(index uint64) string {
+	return fmt.Sprintf("%s%016d%s", segPrefix, index, segSuffix)
+}
+
+// parseSegmentName extracts the index of a segment file name.
+func parseSegmentName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+		return 0, false
+	}
+	digits := name[len(segPrefix) : len(name)-len(segSuffix)]
+	if len(digits) != 16 {
+		return 0, false
+	}
+	idx, err := strconv.ParseUint(digits, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return idx, true
+}
+
+func encodeSegHeader(index uint64) []byte {
+	h := make([]byte, segHeaderSize)
+	copy(h, segMagic)
+	h[8] = segVersion
+	h[12] = byte(index >> 24)
+	h[13] = byte(index >> 16)
+	h[14] = byte(index >> 8)
+	h[15] = byte(index)
+	return h
+}
+
+// listSegments returns the indices of all segment files in vfs, ascending.
+func listSegments(vfs storage.VFS) ([]uint64, error) {
+	names, err := vfs.List()
+	if err != nil {
+		return nil, err
+	}
+	var idx []uint64
+	for _, name := range names {
+		if i, ok := parseSegmentName(name); ok {
+			idx = append(idx, i)
+		}
+	}
+	sort.Slice(idx, func(a, b int) bool { return idx[a] < idx[b] })
+	return idx, nil
+}
+
+// Recovered is the result of scanning the on-disk log.
+type Recovered struct {
+	// Records lists every durable record after the last checkpoint mark,
+	// in append order.
+	Records []Record
+	// MarkCP is the CP of the last checkpoint mark seen (0 if none).
+	MarkCP uint64
+	// Found reports whether any segment files existed at all.
+	Found bool
+}
+
+// tear locates a torn tail found during recovery: segment index and the
+// byte offset of the first unreadable frame.
+type tear struct {
+	found  bool
+	index  uint64
+	offset int64
+}
+
+// Recover scans the segments in vfs without opening a log for writing. A
+// torn or truncated tail of the final segment ends the scan cleanly (the
+// expected state after a crash mid-append); damage anywhere else is an
+// error.
+func Recover(vfs storage.VFS) (Recovered, error) {
+	rec, _, _, err := recoverLog(vfs)
+	return rec, err
+}
+
+// recoverLog is Recover plus the tear position (which Open uses to seal
+// the torn segment before appending past it) and the scanned segment
+// indices (so Open need not list the directory again).
+func recoverLog(vfs storage.VFS) (Recovered, tear, []uint64, error) {
+	segs, err := listSegments(vfs)
+	if err != nil {
+		return Recovered{}, tear{}, nil, err
+	}
+	rec := Recovered{Found: len(segs) > 0}
+	var tr tear
+	for i, idx := range segs {
+		final := i == len(segs)-1
+		torn, err := readSegment(vfs, idx, final, &rec, &tr)
+		if err != nil {
+			return rec, tr, segs, err
+		}
+		if torn && !final {
+			// A torn tail in a non-final segment is normally corruption —
+			// except when the next segment opens with a checkpoint mark:
+			// then this is a retired segment resurrected by a crash that
+			// beat its (un-fsynced) removal, its tear is the flush
+			// failure that preceded that checkpoint, and every record it
+			// holds is discarded by the mark anyway.
+			ok, err := segmentStartsWithMark(vfs, segs[i+1])
+			if err != nil {
+				return rec, tr, segs, err
+			}
+			if !ok {
+				return rec, tr, segs, fmt.Errorf("wal: segment %s corrupt (torn mid-log)", segmentName(idx))
+			}
+		}
+	}
+	return rec, tr, segs, nil
+}
+
+// segmentStartsWithMark reports whether a segment's first record is a
+// checkpoint mark.
+func segmentStartsWithMark(vfs storage.VFS, index uint64) (bool, error) {
+	f, err := vfs.Open(segmentName(index))
+	if err != nil {
+		return false, err
+	}
+	defer f.Close()
+	buf := make([]byte, segHeaderSize+frameHeaderSize+checkpointPayload)
+	if _, err := f.ReadAt(buf, 0); err != nil && !errors.Is(err, io.EOF) {
+		return false, err
+	}
+	r, _, derr := decodeFrame(buf[segHeaderSize:])
+	return derr == nil && r.Op == OpCheckpoint, nil
+}
+
+// readSegment parses one segment into rec. It reports torn=true when the
+// segment ends in an unreadable frame; for a final segment it also
+// records the tear position in tr (so Open can seal it), while for a
+// non-final segment the caller decides whether the tear is tolerable.
+func readSegment(vfs storage.VFS, index uint64, final bool, rec *Recovered, tr *tear) (torn bool, err error) {
+	name := segmentName(index)
+	f, err := vfs.Open(name)
+	if err != nil {
+		return false, err
+	}
+	defer f.Close()
+	size, err := f.Size()
+	if err != nil {
+		return false, err
+	}
+	buf := make([]byte, size)
+	if _, err := f.ReadAt(buf, 0); err != nil && !errors.Is(err, io.EOF) {
+		return false, fmt.Errorf("wal: reading %s: %w", name, err)
+	}
+	if len(buf) < segHeaderSize || string(buf[:8]) != segMagic || buf[8] != segVersion {
+		if final {
+			// A header cut short by a crash during segment creation: the
+			// segment holds nothing durable.
+			*tr = tear{found: true, index: index, offset: 0}
+			return true, nil
+		}
+		return false, fmt.Errorf("wal: segment %s has a bad header", name)
+	}
+	if got := uint64(buf[12])<<24 | uint64(buf[13])<<16 | uint64(buf[14])<<8 | uint64(buf[15]); got != index&0xffffffff {
+		// An intact header whose embedded index disagrees with the file
+		// name: a segment copied or restored under the wrong name. Never
+		// a torn creation (those fail the checks above), so never sealed
+		// over — replaying it in the wrong order could corrupt recovery.
+		return false, fmt.Errorf("wal: segment %s header claims index %d (restored under the wrong name?)", name, got)
+	}
+	off := segHeaderSize
+	for off < len(buf) {
+		r, n, derr := decodeFrame(buf[off:])
+		if derr != nil {
+			if final {
+				// Torn tail: everything before it is intact. Report the
+				// tear so Open can seal it with a segment-end mark before
+				// this segment stops being the final one.
+				*tr = tear{found: true, index: index, offset: int64(off)}
+			}
+			return true, nil
+		}
+		switch r.Op {
+		case OpSegmentEnd:
+			// The tail past this mark was torn in a previous incarnation
+			// and sealed; ignore it.
+			return false, nil
+		case OpCheckpoint:
+			// Everything logged before a committed consistency point is
+			// already durable in the read store; drop it.
+			rec.Records = rec.Records[:0]
+			rec.MarkCP = r.CP
+		default:
+			rec.Records = append(rec.Records, r)
+		}
+		off += n
+	}
+	return false, nil
+}
+
+// sealTear stamps a durable segment-end mark over a torn tail, keeping
+// the tear terminal once the segment is no longer the final one. A tear
+// at offset 0 means the header itself never became durable; the whole
+// segment is rewritten as an empty sealed one.
+func sealTear(vfs storage.VFS, tr tear) error {
+	name := segmentName(tr.index)
+	f, err := vfs.Open(name)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var buf []byte
+	if tr.offset == 0 {
+		buf = encodeSegHeader(tr.index)
+	}
+	buf = appendFrame(buf, Record{Op: OpSegmentEnd})
+	if _, err := f.WriteAt(buf, tr.offset); err != nil {
+		return fmt.Errorf("wal: sealing torn segment %s: %w", name, err)
+	}
+	// The seal must be durable in every mode: an unsynced seal could
+	// vanish in a crash after later segments became durable, reviving the
+	// "torn tail in a non-final segment" corruption error.
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("wal: syncing sealed segment %s: %w", name, err)
+	}
+	return nil
+}
+
+// RemoveAll deletes every segment file in vfs. The engine uses it to
+// retire leftover segments when running in CheckpointOnly mode after a
+// Buffered or Sync incarnation.
+func RemoveAll(vfs storage.VFS) error {
+	segs, err := listSegments(vfs)
+	if err != nil {
+		return err
+	}
+	for _, idx := range segs {
+		if err := vfs.Remove(segmentName(idx)); err != nil && !errors.Is(err, storage.ErrNotExist) {
+			return err
+		}
+	}
+	return nil
+}

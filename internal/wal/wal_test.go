@@ -1,0 +1,516 @@
+package wal
+
+import (
+	"errors"
+	"io"
+	"sync"
+	"testing"
+
+	"github.com/backlogfs/backlog/internal/storage"
+)
+
+func addRec(i int) Record {
+	return Record{Op: OpAddRef, Block: uint64(i), Inode: uint64(i * 2), Offset: uint64(i % 7), CP: uint64(i/10 + 1), Length: 1}
+}
+
+func mustOpen(t *testing.T, vfs storage.VFS, d Durability) (*Log, Recovered) {
+	t.Helper()
+	l, rec, err := Open(vfs, Options{Durability: d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l, rec
+}
+
+func TestAppendRecoverRoundtrip(t *testing.T) {
+	vfs := storage.NewMemFS()
+	l, rec := mustOpen(t, vfs, Sync)
+	if rec.Found {
+		t.Fatal("found segments in a fresh VFS")
+	}
+	want := []Record{
+		addRec(1),
+		{Op: OpRemoveRef, Block: 2, Inode: 4, CP: 1, Length: 1},
+		{Op: OpRelocate, Block: 5, NewBlock: 9, CP: 2},
+	}
+	for _, r := range want {
+		if err := l.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Recover(vfs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Found || len(got.Records) != len(want) {
+		t.Fatalf("recovered %d records (found=%v), want %d", len(got.Records), got.Found, len(want))
+	}
+	for i := range want {
+		if got.Records[i] != want[i] {
+			t.Fatalf("record %d: got %+v, want %+v", i, got.Records[i], want[i])
+		}
+	}
+}
+
+func TestGroupCommitConcurrent(t *testing.T) {
+	vfs := storage.NewMemFS()
+	l, _ := mustOpen(t, vfs, Sync)
+	const writers, perWriter = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				r := Record{Op: OpAddRef, Block: uint64(w)<<32 | uint64(i), Inode: uint64(w), Offset: uint64(i), CP: 1, Length: 1}
+				if err := l.Append(r); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := l.Stats()
+	if st.Appends != writers*perWriter {
+		t.Fatalf("appends = %d, want %d", st.Appends, writers*perWriter)
+	}
+	if st.Batches == 0 || st.Batches > st.Appends {
+		t.Fatalf("batches = %d out of range (appends %d)", st.Batches, st.Appends)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := Recover(vfs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[uint64]bool, writers*perWriter)
+	for _, r := range rec.Records {
+		seen[r.Block] = true
+	}
+	if len(seen) != writers*perWriter {
+		t.Fatalf("recovered %d distinct records, want %d", len(seen), writers*perWriter)
+	}
+}
+
+func TestRotation(t *testing.T) {
+	vfs := storage.NewMemFS()
+	l, _, err := Open(vfs, Options{Durability: Sync, SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 50 // 57-byte frames: several rotations at 256-byte segments
+	for i := 0; i < n; i++ {
+		if err := l.Append(addRec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if l.SegmentCount() < 3 {
+		t.Fatalf("segments = %d, want rotation", l.SegmentCount())
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := Recover(vfs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Records) != n {
+		t.Fatalf("recovered %d records across segments, want %d", len(rec.Records), n)
+	}
+	for i, r := range rec.Records {
+		if r.Block != uint64(i) {
+			t.Fatalf("record %d out of order: %+v", i, r)
+		}
+	}
+}
+
+func TestTruncateRetiresSegments(t *testing.T) {
+	vfs := storage.NewMemFS()
+	l, _, err := Open(vfs, Options{Durability: Sync, SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		if err := l.Append(addRec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Truncate(4); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.SegmentCount(); got != 1 {
+		t.Fatalf("segments after truncate = %d, want 1", got)
+	}
+	segs, err := listSegments(vfs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 1 {
+		t.Fatalf("segment files after truncate = %d, want 1", len(segs))
+	}
+	if err := l.Append(addRec(100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := Recover(vfs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.MarkCP != 4 {
+		t.Fatalf("MarkCP = %d, want 4", rec.MarkCP)
+	}
+	if len(rec.Records) != 1 || rec.Records[0].Block != 100 {
+		t.Fatalf("post-mark records = %+v", rec.Records)
+	}
+}
+
+func TestCrashDurabilityByMode(t *testing.T) {
+	t.Run("sync survives crash", func(t *testing.T) {
+		vfs := storage.NewMemFS()
+		l, _ := mustOpen(t, vfs, Sync)
+		for i := 0; i < 10; i++ {
+			if err := l.Append(addRec(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		vfs.Crash() // no Close
+		rec, err := Recover(vfs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rec.Records) != 10 {
+			t.Fatalf("recovered %d records, want 10", len(rec.Records))
+		}
+	})
+	t.Run("buffered loses crash, keeps close", func(t *testing.T) {
+		vfs := storage.NewMemFS()
+		l, _ := mustOpen(t, vfs, Buffered)
+		for i := 0; i < 10; i++ {
+			if err := l.Append(addRec(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		vfs.Crash()
+		rec, err := Recover(vfs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rec.Records) != 0 {
+			t.Fatalf("unsynced buffered records survived a crash: %d", len(rec.Records))
+		}
+
+		vfs2 := storage.NewMemFS()
+		l2, _ := mustOpen(t, vfs2, Buffered)
+		for i := 0; i < 10; i++ {
+			if err := l2.Append(addRec(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := l2.Close(); err != nil { // Close syncs
+			t.Fatal(err)
+		}
+		vfs2.Crash()
+		rec2, err := Recover(vfs2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rec2.Records) != 10 {
+			t.Fatalf("cleanly closed buffered log lost records: %d of 10", len(rec2.Records))
+		}
+	})
+}
+
+func TestTornTailIsTolerated(t *testing.T) {
+	vfs := storage.NewMemFS()
+	l, _ := mustOpen(t, vfs, Sync)
+	const n = 5
+	for i := 0; i < n; i++ {
+		if err := l.Append(addRec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := listSegments(vfs)
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("segments = %v (%v)", segs, err)
+	}
+	name := segmentName(segs[0])
+	f, err := vfs.Open(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	size, _ := f.Size()
+	buf := make([]byte, size)
+	if _, err := f.ReadAt(buf, 0); err != nil && !errors.Is(err, io.EOF) {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	// Rebuild the log with its final record cut mid-frame: the expected
+	// on-disk state after a crash during the last group-commit write.
+	for _, cut := range []int{1, frameHeaderSize - 1, frameHeaderSize + 3} {
+		tornVFS := storage.NewMemFS()
+		tf, err := tornVFS.Create(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tf.WriteAt(buf[:len(buf)-cut], 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := tf.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		rec, err := Recover(tornVFS)
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if len(rec.Records) != n-1 {
+			t.Fatalf("cut %d: recovered %d records, want %d", cut, len(rec.Records), n-1)
+		}
+	}
+}
+
+// TestTornTailSealedAtOpen is the regression test for a recovery
+// livelock: a torn tail is tolerated while its segment is final, but
+// Open appends into a NEW segment — so without sealing, the next
+// recovery would find the tear in a non-final segment and reject the
+// whole log as corrupt forever.
+func TestTornTailSealedAtOpen(t *testing.T) {
+	src := storage.NewMemFS()
+	l, _ := mustOpen(t, src, Sync)
+	const n = 4
+	for i := 0; i <= n; i++ { // n survivors + one record to tear
+		if err := l.Append(addRec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := listSegments(src)
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("segments = %v (%v)", segs, err)
+	}
+	name := segmentName(segs[0])
+	f, err := src.Open(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	size, _ := f.Size()
+	whole := make([]byte, size)
+	if _, err := f.ReadAt(whole, 0); err != nil && !errors.Is(err, io.EOF) {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	// Plant the log with its final record cut mid-frame, as a crash
+	// during the last group-commit write leaves it.
+	vfs := storage.NewMemFS()
+	tf, err := vfs.Create(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tf.WriteAt(whole[:len(whole)-20], 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := tf.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	// First reopen tolerates the tear and seals it.
+	l2, rec := mustOpen(t, vfs, Sync)
+	if len(rec.Records) != n {
+		t.Fatalf("first recovery: %d records, want %d", len(rec.Records), n)
+	}
+	if err := l2.Append(addRec(50)); err != nil {
+		t.Fatal(err)
+	}
+	vfs.Crash()
+
+	// Second recovery: the torn segment is no longer final; only the seal
+	// keeps it readable.
+	l3, rec2 := mustOpen(t, vfs, Sync)
+	if len(rec2.Records) != n+1 {
+		t.Fatalf("second recovery: %d records, want %d", len(rec2.Records), n+1)
+	}
+	if rec2.Records[n].Block != 50 {
+		t.Fatalf("second recovery order: %+v", rec2.Records)
+	}
+	// And a clean close (no new appends) must also stay recoverable.
+	if err := l3.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rec3, err := Recover(vfs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec3.Records) != n+1 {
+		t.Fatalf("third recovery: %d records, want %d", len(rec3.Records), n+1)
+	}
+}
+
+// buildSegment writes a synced segment file from raw parts.
+func buildSegment(t *testing.T, vfs storage.VFS, index uint64, recs []Record, tornBytes []byte) {
+	t.Helper()
+	buf := encodeSegHeader(index)
+	for _, r := range recs {
+		buf = appendFrame(buf, r)
+	}
+	buf = append(buf, tornBytes...)
+	f, err := vfs.Create(segmentName(index))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+}
+
+// TestResurrectedTornSegmentToleratedBeforeMark covers a crash that beats
+// the (un-fsynced) removal of a retired segment: the segment reappears,
+// torn mid-log, in a non-final position — tolerable exactly because the
+// following segment opens with a checkpoint mark that discards its
+// records anyway. Without a mark, the same shape is real corruption.
+func TestResurrectedTornSegmentToleratedBeforeMark(t *testing.T) {
+	torn := appendFrame(nil, addRec(1))[:20] // half a frame
+
+	vfs := storage.NewMemFS()
+	buildSegment(t, vfs, 1, []Record{addRec(1), addRec(2)}, torn)
+	buildSegment(t, vfs, 2, []Record{{Op: OpCheckpoint, CP: 5}, addRec(7)}, nil)
+	rec, err := Recover(vfs)
+	if err != nil {
+		t.Fatalf("resurrected retired segment rejected: %v", err)
+	}
+	if rec.MarkCP != 5 || len(rec.Records) != 1 || rec.Records[0].Block != 7 {
+		t.Fatalf("recovered %+v", rec)
+	}
+
+	// Same tear, but the next segment does NOT open with a mark (a
+	// rotation successor): that is genuine mid-log corruption.
+	vfs2 := storage.NewMemFS()
+	buildSegment(t, vfs2, 1, []Record{addRec(1)}, torn)
+	buildSegment(t, vfs2, 2, []Record{addRec(7)}, nil)
+	if _, err := Recover(vfs2); err == nil {
+		t.Fatal("torn mid-log segment without a following mark recovered without error")
+	}
+}
+
+func TestCorruptMiddleSegmentIsAnError(t *testing.T) {
+	vfs := storage.NewMemFS()
+	l, _, err := Open(vfs, Options{Durability: Sync, SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		if err := l.Append(addRec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := listSegments(vfs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 3 {
+		t.Fatalf("need >= 3 segments, have %d", len(segs))
+	}
+	f, err := vfs.Open(segmentName(segs[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte{0xde, 0xad, 0xbe, 0xef}, segHeaderSize+2); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if _, err := Recover(vfs); err == nil {
+		t.Fatal("corrupt non-final segment recovered without error")
+	}
+}
+
+func TestAppendAfterFlushErrorAndTruncateReset(t *testing.T) {
+	vfs := storage.NewMemFS()
+	l, _ := mustOpen(t, vfs, Sync)
+	if err := l.Append(addRec(0)); err != nil {
+		t.Fatal(err)
+	}
+	st := vfs.Stats()
+	vfs.SetFailurePlan(storage.FailurePlan{FailAfterPageWrites: st.PageWrites})
+	if err := l.Append(addRec(1)); err == nil {
+		t.Fatal("append succeeded despite injected write failure")
+	}
+	vfs.SetFailurePlan(storage.FailurePlan{})
+	if err := l.Append(addRec(2)); err == nil {
+		t.Fatal("append succeeded on a failed log")
+	}
+	if l.Err() == nil {
+		t.Fatal("no sticky error")
+	}
+	// A committed checkpoint makes the lost records durable elsewhere;
+	// Truncate resets the log for the next interval.
+	if err := l.Truncate(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(addRec(3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := Recover(vfs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Records) != 1 || rec.Records[0].Block != 3 {
+		t.Fatalf("records after reset = %+v", rec.Records)
+	}
+	if rec.MarkCP != 1 {
+		t.Fatalf("MarkCP = %d, want 1", rec.MarkCP)
+	}
+}
+
+func TestOpenReplaysAcrossReopen(t *testing.T) {
+	vfs := storage.NewMemFS()
+	l, _ := mustOpen(t, vfs, Sync)
+	for i := 0; i < 3; i++ {
+		if err := l.Append(addRec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	vfs.Crash()
+
+	// Reopen: recovery surfaces the three records, new appends land in a
+	// fresh segment, and both generations survive until Truncate.
+	l2, rec := mustOpen(t, vfs, Sync)
+	if len(rec.Records) != 3 {
+		t.Fatalf("recovered %d records, want 3", len(rec.Records))
+	}
+	if err := l2.Append(addRec(7)); err != nil {
+		t.Fatal(err)
+	}
+	vfs.Crash()
+	rec2, err := Recover(vfs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec2.Records) != 4 {
+		t.Fatalf("recovered %d records after second crash, want 4", len(rec2.Records))
+	}
+}
