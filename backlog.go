@@ -55,6 +55,31 @@
 // the write stores, and Checkpoint retires the log, so queries and paper
 // experiments behave identically in every mode.
 //
+// # Maintenance
+//
+// Periodic compaction (Section 5.2) merges each partition's accumulated
+// runs, precomputes the From ⋈ To join, and purges records that refer
+// only to deleted snapshots — it is what keeps query cost flat as runs
+// accumulate. Two designs make maintenance non-disruptive:
+//
+//   - Queries and compaction read through immutable, refcounted views of
+//     the run sets (LevelDB/RocksDB-style version sets). A query pins a
+//     view with a short shared-lock acquisition and does all of its run
+//     I/O lock-free; compaction merges against a pinned view and takes
+//     the structural lock exclusively only to validate and atomically
+//     install its result (retrying if a checkpoint or relocation changed
+//     the partition underneath). A run file superseded while a view pins
+//     it is deleted only when the last such view is released. Queries
+//     therefore never stall behind a running compaction.
+//   - With Config.AutoCompact, a background maintenance scheduler watches
+//     per-partition run counts after every Checkpoint and compacts the
+//     worst partition whenever it exceeds Config.CompactThreshold
+//     (default 8), pacing itself between partitions and shutting down
+//     cleanly on Close. DB.MaintenanceStats reports its activity and the
+//     current worst run count. Without AutoCompact, call Compact
+//     explicitly — the paper's cadence experiments (Figures 6, 8–10) do
+//     that to control staleness precisely.
+//
 // # Build, test, bench
 //
 // The module has no dependencies outside the standard library:
@@ -159,7 +184,22 @@ type Config struct {
 	// (default DurabilityCheckpointOnly; see the package documentation's
 	// Durability section).
 	Durability Durability
+	// AutoCompact runs database maintenance continuously in the
+	// background: after each Checkpoint, partitions whose run count
+	// exceeds CompactThreshold are compacted worst-first, without
+	// blocking queries or updates (see the package documentation's
+	// Maintenance section).
+	AutoCompact bool
+	// CompactThreshold is the per-partition run count that triggers
+	// background compaction (default 8; values below 2 are clamped to 2,
+	// the run count of a fully compacted partition). Only used with
+	// AutoCompact.
+	CompactThreshold int
 }
+
+// MaintenanceStats reports the background maintenance scheduler's
+// activity; see DB.MaintenanceStats.
+type MaintenanceStats = core.MaintenanceStats
 
 // DB is a back-reference database.
 type DB struct {
@@ -191,13 +231,15 @@ func Open(cfg Config) (*DB, error) {
 		return nil, err
 	}
 	eng, err := core.Open(core.Options{
-		VFS:           vfs,
-		Catalog:       cat,
-		CacheBytes:    cfg.CacheBytes,
-		Partitions:    cfg.Partitions,
-		PartitionSpan: cfg.PartitionSpan,
-		WriteShards:   cfg.WriteShards,
-		Durability:    cfg.Durability,
+		VFS:              vfs,
+		Catalog:          cat,
+		CacheBytes:       cfg.CacheBytes,
+		Partitions:       cfg.Partitions,
+		PartitionSpan:    cfg.PartitionSpan,
+		WriteShards:      cfg.WriteShards,
+		Durability:       cfg.Durability,
+		AutoCompact:      cfg.AutoCompact,
+		CompactThreshold: cfg.CompactThreshold,
 	})
 	if err != nil {
 		return nil, err
@@ -329,6 +371,10 @@ func (db *DB) CP() uint64 { return db.eng.CP() }
 
 // Stats returns cumulative engine counters.
 func (db *DB) Stats() Stats { return db.eng.Stats() }
+
+// MaintenanceStats reports the background maintenance scheduler's
+// activity (AutoCompact) and the current worst per-partition run count.
+func (db *DB) MaintenanceStats() MaintenanceStats { return db.eng.MaintenanceStats() }
 
 // DurabilityErr reports the database's sticky durability error, if any. A
 // non-nil error means a write-ahead-log append failed, so updates

@@ -586,6 +586,96 @@ func BenchmarkWALAppend(b *testing.B) {
 
 // --- End-to-end facade benchmark ---
 
+// --- Query latency during background compaction ---
+
+// BenchmarkQueryDuringCompaction measures point-query latency on an
+// engine with accumulated runs, idle versus while checkpoints and full
+// compactions run continuously in the background. Queries pin an
+// immutable run-set view and do their run I/O with no structural lock
+// held, so the compacting case stays within a small factor of idle
+// instead of stalling for whole k-way merges.
+func BenchmarkQueryDuringCompaction(b *testing.B) {
+	const (
+		parts    = 8
+		cps      = 24
+		opsPerCP = 2000
+		blocks   = 1 << 14
+	)
+	setup := func(b *testing.B) *core.Engine {
+		eng, err := core.Open(core.Options{
+			VFS:              storage.NewMemFS(),
+			Catalog:          core.NewMemCatalog(),
+			Partitions:       parts,
+			HashPartitioning: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for cp := uint64(1); cp <= cps; cp++ {
+			for i := 0; i < opsPerCP; i++ {
+				eng.AddRef(core.Ref{
+					Block:  uint64((int(cp)*opsPerCP + i) % blocks),
+					Inode:  cp + 1,
+					Offset: uint64(i),
+					Length: 1,
+				}, cp)
+			}
+			if err := eng.Checkpoint(cp); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return eng
+	}
+	query := func(b *testing.B, eng *core.Engine) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.Query(uint64(i % blocks)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("idle", func(b *testing.B) {
+		eng := setup(b)
+		defer eng.Close()
+		query(b, eng)
+	})
+	b.Run("compacting", func(b *testing.B) {
+		eng := setup(b)
+		defer eng.Close()
+		// Background churn: keep creating Level-0 runs and compacting
+		// them away so a merge is in flight for the whole measurement.
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for cp := uint64(cps + 1); ; cp++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for i := 0; i < opsPerCP; i++ {
+					eng.AddRef(core.Ref{Block: uint64(i % blocks), Inode: cp + 1, Offset: uint64(i), Length: 1}, cp)
+				}
+				if err := eng.Checkpoint(cp); err != nil {
+					b.Error(err)
+					return
+				}
+				if err := eng.Compact(); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}()
+		query(b, eng)
+		b.StopTimer()
+		close(stop)
+		wg.Wait()
+	})
+}
+
 func BenchmarkPublicAPIAddRefCheckpoint(b *testing.B) {
 	db, err := Open(Config{InMemory: true})
 	if err != nil {

@@ -39,7 +39,11 @@ func main() {
 	block := fs.Uint64("block", 0, "block number (query)")
 	n := fs.Int("n", 1, "number of consecutive blocks to query")
 	shards := fs.Int("shards", 0, "write-store shards (0 = GOMAXPROCS)")
+	partitions := fs.Int("partitions", 1, "read-store partitions (must match the database on disk)")
+	span := fs.Uint64("span", 0, "blocks per partition (required when -partitions > 1)")
 	durability := fs.String("durability", "checkpoint-only", "durability mode: checkpoint-only|buffered|sync")
+	autoCompact := fs.Bool("autocompact", false, "run background maintenance while the database is open")
+	compactThreshold := fs.Int("compact-threshold", 0, "per-partition run count that triggers background compaction (0 = default)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
@@ -53,7 +57,11 @@ func main() {
 		os.Exit(2)
 	}
 
-	db, err := backlog.Open(backlog.Config{Dir: *dir, WriteShards: *shards, Durability: dmode})
+	db, err := backlog.Open(backlog.Config{
+		Dir: *dir, WriteShards: *shards, Durability: dmode,
+		Partitions: *partitions, PartitionSpan: *span,
+		AutoCompact: *autoCompact, CompactThreshold: *compactThreshold,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "backlogctl:", err)
 		os.Exit(1)
@@ -76,6 +84,12 @@ func main() {
 		fmt.Printf("compactions:       %d\n", st.Compactions)
 		fmt.Printf("records flushed:   %d\n", st.RecordsFlushed)
 		fmt.Printf("records purged:    %d\n", st.RecordsPurged)
+		ms := db.MaintenanceStats()
+		fmt.Printf("worst partition:   %d runs (threshold %d)\n", ms.MaxRuns, ms.CompactThreshold)
+		if ms.Enabled {
+			fmt.Printf("auto-compactions:  %d (%d conflicts, %d errors)\n",
+				ms.AutoCompactions, ms.Conflicts, ms.Errors)
+		}
 	case "lines":
 		for _, line := range db.Lines() {
 			fmt.Printf("line %d: snapshots %v\n", line, db.Snapshots(line))

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	btrfsbench [-files 8192] [-scale full] [-shards 8] [-durability sync]
+//	btrfsbench [-files 8192] [-scale full] [-shards 8] [-durability sync] [-autocompact]
 package main
 
 import (
@@ -25,6 +25,8 @@ func main() {
 	shards := flag.Int("shards", 1, "Backlog write-store shards (1 = paper-faithful single write store, 0 = GOMAXPROCS)")
 	durability := flag.String("durability", "checkpoint-only",
 		"Backlog durability mode: checkpoint-only (paper-faithful)|buffered|sync")
+	autoCompact := flag.Bool("autocompact", false,
+		"run Backlog's background maintenance during the benchmarks (off = paper-faithful unmaintained runs)")
 	flag.Parse()
 	dmode, err := wal.ParseDurability(*durability)
 	if err != nil {
@@ -44,6 +46,7 @@ func main() {
 	}
 	cfg.WriteShards = *shards
 	cfg.Durability = dmode
+	cfg.AutoCompact = *autoCompact
 
 	rows, err := experiments.RunTable1(cfg)
 	if err != nil {

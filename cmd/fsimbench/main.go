@@ -24,7 +24,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("experiment", "all", "fig5|fig6|fig7|fig8|fig9|fig10|naive|ingest|wal|all")
+	exp := flag.String("experiment", "all", "fig5|fig6|fig7|fig8|fig9|fig10|naive|ingest|wal|interference|all")
 	scale := flag.String("scale", "small", "small|full")
 	flag.Parse()
 
@@ -50,6 +50,7 @@ func main() {
 	run("naive", runNaive)
 	run("ingest", runIngest)
 	run("wal", runWALSweep)
+	run("interference", runInterference)
 }
 
 func tw() *tabwriter.Writer {
@@ -237,6 +238,30 @@ func runWALSweep(full bool) error {
 			p.Mode, p.Writers, p.Ops, p.OpsPerSec, p.Batches, p.AvgBatch, p.Syncs)
 	}
 	return w.Flush()
+}
+
+func runInterference(full bool) error {
+	fmt.Println("Compaction interference: query latency while a full compaction runs in the background")
+	fmt.Println("(not a paper figure; queries read through pinned run-set views and never block on the merge)")
+	cfg := experiments.DefaultInterferenceConfig()
+	if full {
+		cfg.CPs, cfg.OpsPerCP, cfg.Queries = 200, 8000, 16384
+	}
+	res, err := experiments.RunInterference(cfg)
+	if err != nil {
+		return err
+	}
+	w := tw()
+	fmt.Fprintln(w, "phase\tqueries\tqueries/s\tmean µs\tp99 µs\tmax µs")
+	for _, p := range res.Phases {
+		fmt.Fprintf(w, "%s\t%d\t%.0f\t%.1f\t%.1f\t%.1f\n",
+			p.Phase, p.Queries, p.QueriesPerSec, p.MeanUS, p.P99US, p.MaxUS)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Printf("compaction: %.1f ms, %d -> %d runs\n", res.CompactionMS, res.RunsBefore, res.RunsAfter)
+	return nil
 }
 
 func runIngest(full bool) error {

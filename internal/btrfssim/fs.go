@@ -55,6 +55,10 @@ type Config struct {
 	// Durability is passed through to the Backlog engine in ModeBacklog
 	// (default wal.CheckpointOnly, the paper's configuration).
 	Durability wal.Durability
+	// AutoCompact enables the Backlog engine's background maintenance
+	// scheduler in ModeBacklog (the paper's runs accumulate unmaintained
+	// across a benchmark, so this is off by default).
+	AutoCompact bool
 }
 
 // FS is the simulated btrfs file layer.
@@ -134,13 +138,23 @@ func New(cfg Config) (*FS, error) {
 	}
 	if cfg.Mode == ModeBacklog {
 		fs.cat = core.NewMemCatalog()
-		eng, err := core.Open(core.Options{VFS: cfg.VFS, Catalog: fs.cat, WriteShards: cfg.WriteShards, Durability: cfg.Durability})
+		eng, err := core.Open(core.Options{VFS: cfg.VFS, Catalog: fs.cat, WriteShards: cfg.WriteShards, Durability: cfg.Durability, AutoCompact: cfg.AutoCompact})
 		if err != nil {
 			return nil, err
 		}
 		fs.eng = eng
 	}
 	return fs, nil
+}
+
+// Close releases the Backlog engine, stopping its background maintainer
+// if AutoCompact is enabled. Benchmarks that create many FS instances
+// must call it to avoid leaking maintenance goroutines.
+func (fs *FS) Close() error {
+	if fs.eng == nil {
+		return nil
+	}
+	return fs.eng.Close()
 }
 
 // Engine returns the Backlog engine (nil unless ModeBacklog).

@@ -1,10 +1,19 @@
 package core
 
 import (
+	"errors"
+	"fmt"
 	"sort"
 
 	"github.com/backlogfs/backlog/internal/lsm"
 )
+
+// compactRetries is how many optimistic lock-free merge attempts
+// compactPartition makes before falling back to holding the structural
+// lock exclusively for the whole merge — the pessimistic mode cannot
+// conflict, so every compaction eventually makes progress even under a
+// constant stream of checkpoints and relocations.
+const compactRetries = 4
 
 // Compact runs database maintenance on every partition (Section 5.2): it
 // merges all read-store runs, precomputes the Combined table by joining
@@ -12,27 +21,35 @@ import (
 // physically drops deletion-vector entries. Afterwards each partition holds
 // at most one Combined run (complete records) and one From run (incomplete
 // records), and the To table is empty.
+//
+// Partitions are maintained independently: a failure in one partition does
+// not stop the pass, and the joined error reports every partition that
+// failed. Stats.Compactions counts partitions actually compacted.
 func (e *Engine) Compact() error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	var errs []error
 	for p := 0; p < e.db.Partitions(); p++ {
-		if err := e.compactPartition(p); err != nil {
-			return err
+		compacted, err := e.compactPartition(p)
+		if err != nil {
+			errs = append(errs, fmt.Errorf("core: compacting partition %d: %w", p, err))
+			continue
+		}
+		if compacted {
+			e.stats.compactions.Add(1)
 		}
 	}
-	e.stats.compactions.Add(1)
-	return nil
+	return errors.Join(errs...)
 }
 
 // CompactPartition compacts a single partition; partitions can be
 // maintained selectively and independently (Section 5.3).
 func (e *Engine) CompactPartition(p int) error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if err := e.compactPartition(p); err != nil {
+	compacted, err := e.compactPartition(p)
+	if err != nil {
 		return err
 	}
-	e.stats.compactions.Add(1)
+	if compacted {
+		e.stats.compactions.Add(1)
+	}
 	return nil
 }
 
@@ -44,56 +61,101 @@ type groupRecs struct {
 	combineds []interval
 }
 
-func (e *Engine) compactPartition(p int) error {
-	fromTbl := e.db.Table(TableFrom)
-	toTbl := e.db.Table(TableTo)
-	combTbl := e.db.Table(TableCombined)
+// compactPartition merges all runs of partition p into at most one From
+// and one Combined run. The k-way merge and run building happen against a
+// pinned view with no structural lock held, so updates and queries proceed
+// during the bulk of the work; the lock is taken exclusively only to
+// validate that the partition's run set is unchanged and atomically
+// install the manifest edit. A conflicting checkpoint, relocation, or
+// concurrent compaction makes the attempt retry against a fresh view,
+// and after compactRetries conflicts the merge falls back to running
+// entirely under the exclusive lock.
+func (e *Engine) compactPartition(p int) (bool, error) {
+	for attempt := 0; ; attempt++ {
+		compacted, installed, err := e.compactAttempt(p, attempt >= compactRetries)
+		if err != nil || installed {
+			return compacted, err
+		}
+		e.stats.compactConflicts.Add(1)
+	}
+}
 
-	if len(fromTbl.Runs(p)) == 0 && len(toTbl.Runs(p)) == 0 && len(combTbl.Runs(p)) <= 1 {
+// compactAttempt performs one merge-and-install attempt. With
+// exclusive=false the structural lock is held only to pin the view and,
+// later, to validate + install; installed=false then signals a conflict
+// the caller should retry. With exclusive=true the lock is held
+// throughout, so validation is unnecessary and the attempt always
+// installs.
+func (e *Engine) compactAttempt(p int, exclusive bool) (compacted, installed bool, err error) {
+	if exclusive {
+		e.mu.Lock()
+	} else {
+		e.mu.RLock()
+	}
+	locked := exclusive
+	v := e.db.AcquireView()
+	if !exclusive {
+		e.mu.RUnlock()
+	}
+	defer func() {
+		if locked {
+			e.mu.Unlock()
+		}
+		v.Release()
+	}()
+
+	vFrom := v.Runs(TableFrom, p)
+	vTo := v.Runs(TableTo, p)
+	vComb := v.Runs(TableCombined, p)
+	if len(vFrom) == 0 && len(vTo) == 0 && len(vComb) <= 1 {
 		// Nothing to merge; at most the single compacted Combined run.
-		return nil
+		return false, true, nil
 	}
 
-	fromIt, err := fromTbl.MergedIter(p)
+	fromIt, err := v.MergedIter(TableFrom, p)
 	if err != nil {
-		return err
+		return false, true, err
 	}
-	toIt, err := toTbl.MergedIter(p)
+	toIt, err := v.MergedIter(TableTo, p)
 	if err != nil {
-		return err
+		return false, true, err
 	}
-	combIt, err := combTbl.MergedIter(p)
+	combIt, err := v.MergedIter(TableCombined, p)
 	if err != nil {
-		return err
+		return false, true, err
 	}
 
 	fs := &recStream{it: fromIt}
 	ts := &recStream{it: toIt}
 	cs := &recStream{it: combIt}
 	if err := fs.advance(); err != nil {
-		return err
+		return false, true, err
 	}
 	if err := ts.advance(); err != nil {
-		return err
+		return false, true, err
 	}
 	if err := cs.advance(); err != nil {
-		return err
+		return false, true, err
 	}
 
-	newFrom, err := e.db.NewRunBuilder(TableFrom, p, 1, e.db.CP())
+	newFrom, err := e.db.NewRunBuilder(TableFrom, p, 1, v.CP())
 	if err != nil {
-		return err
+		return false, true, err
 	}
-	newComb, err := e.db.NewRunBuilder(TableCombined, p, 1, e.db.CP())
+	newComb, err := e.db.NewRunBuilder(TableCombined, p, 1, v.CP())
 	if err != nil {
-		return err
+		newFrom.Abort()
+		return false, true, err
 	}
-	abort := func(err error) error {
+	abort := func(err error) (bool, bool, error) {
 		newFrom.Abort()
 		newComb.Abort()
-		return err
+		return false, true, err
 	}
 
+	// Purged records are counted locally and added to the stats only once
+	// the attempt installs, so conflict retries do not double-count.
+	var purged uint64
 	for {
 		g, ok, err := nextGroup(fs, ts, cs)
 		if err != nil {
@@ -102,38 +164,62 @@ func (e *Engine) compactPartition(p int) error {
 		if !ok {
 			break
 		}
-		if err := e.emitGroup(g, newFrom, newComb); err != nil {
+		if err := e.emitGroup(g, newFrom, newComb, &purged); err != nil {
 			return abort(err)
 		}
 	}
 
-	edit := e.db.NewEdit()
+	// Finish the run files (bloom + header + sync) before taking the
+	// lock: file I/O stays out of the critical section.
 	var added []lsm.RunRef
 	if ref, ok, err := newFrom.Finish(); err != nil {
 		newFrom.Abort()
 		newComb.Abort()
-		return err
+		return false, true, err
 	} else if ok {
-		edit.AddRun(ref)
 		added = append(added, ref)
 	}
 	if ref, ok, err := newComb.Finish(); err != nil {
 		newComb.Abort()
-		// The From run finished but its edit will never commit.
 		for _, r := range added {
 			e.db.DiscardRun(r)
 		}
-		return err
+		return false, true, err
 	} else if ok {
+		added = append(added, ref)
+	}
+
+	if !exclusive {
+		e.mu.Lock()
+		locked = true
+		if !(v.Unchanged(TableFrom, p) && v.Unchanged(TableTo, p) && v.Unchanged(TableCombined, p)) {
+			// The partition's run set or a deletion vector moved under the
+			// merge: the built runs describe a stale state. Discard them
+			// and retry against a fresh view.
+			for _, r := range added {
+				e.db.DiscardRun(r)
+			}
+			return false, false, nil
+		}
+	}
+
+	// Install. The view's run lists equal the live ones (validated above,
+	// or the lock was held throughout), so dropping the view's runs drops
+	// exactly the partition's live runs.
+	edit := e.db.NewEdit()
+	for _, ref := range added {
 		edit.AddRun(ref)
 	}
-	for _, r := range fromTbl.Runs(p) {
+	fromTbl := e.db.Table(TableFrom)
+	toTbl := e.db.Table(TableTo)
+	combTbl := e.db.Table(TableCombined)
+	for _, r := range vFrom {
 		edit.DropRun(TableFrom, r.Name())
 	}
-	for _, r := range toTbl.Runs(p) {
+	for _, r := range vTo {
 		edit.DropRun(TableTo, r.Name())
 	}
-	for _, r := range combTbl.Runs(p) {
+	for _, r := range vComb {
 		edit.DropRun(TableCombined, r.Name())
 	}
 	clearedFrom := fromTbl.ClearDVPartition(p)
@@ -147,14 +233,15 @@ func (e *Engine) compactPartition(p int) error {
 		fromTbl.RestoreDV(clearedFrom)
 		toTbl.RestoreDV(clearedTo)
 		combTbl.RestoreDV(clearedComb)
-		return err
+		return false, true, err
 	}
-	return nil
+	e.stats.recordsPurged.Add(purged)
+	return true, true, nil
 }
 
 // emitGroup joins one identity group, applies the purge policy, and writes
-// the surviving records.
-func (e *Engine) emitGroup(g groupRecs, newFrom, newComb *lsm.RunBuilder) error {
+// the surviving records. Purged records are tallied into *purged.
+func (e *Engine) emitGroup(g groupRecs, newFrom, newComb *lsm.RunBuilder, purged *uint64) error {
 	cat := e.catalog
 	line := g.id.Line
 
@@ -174,7 +261,7 @@ func (e *Engine) emitGroup(g groupRecs, newFrom, newComb *lsm.RunBuilder) error 
 
 	for _, iv := range complete {
 		if !e.keepInterval(line, iv.from, iv.to) {
-			e.stats.recordsPurged.Add(1)
+			*purged++
 			continue
 		}
 		rec := EncodeCombined(CombinedRec{
@@ -188,7 +275,7 @@ func (e *Engine) emitGroup(g groupRecs, newFrom, newComb *lsm.RunBuilder) error 
 	sort.Slice(incomplete, func(i, j int) bool { return incomplete[i] < incomplete[j] })
 	for _, f := range incomplete {
 		if !e.keepInterval(line, f, Infinity) {
-			e.stats.recordsPurged.Add(1)
+			*purged++
 			continue
 		}
 		rec := EncodeFrom(FromRec{

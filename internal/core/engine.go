@@ -60,6 +60,21 @@ type Options struct {
 	// (wal.DefaultSegmentBytes if zero). Only used when Durability is not
 	// CheckpointOnly.
 	WALSegmentBytes int64
+	// AutoCompact starts the background maintenance scheduler: after
+	// every checkpoint it compacts the partition with the most runs until
+	// no partition exceeds CompactThreshold, pacing itself between
+	// partitions. Compaction merges run against a pinned view outside the
+	// structural lock, so updates and queries keep flowing while it
+	// works. Requires a Catalog that is safe for concurrent use
+	// (MemCatalog is).
+	AutoCompact bool
+	// CompactThreshold is the per-partition run count (summed across the
+	// From, To, and Combined tables) above which the maintainer compacts
+	// the partition (DefaultCompactThreshold if zero; values below 2 are
+	// clamped to 2, the run count of a fully compacted partition). It
+	// also bounds how stale queries can get between maintenance passes —
+	// the run count is what query cost scales with (Section 6.4).
+	CompactThreshold int
 }
 
 // Stats counts engine activity. All counters are cumulative.
@@ -82,25 +97,30 @@ type Stats struct {
 // counters is the internal atomic mirror of Stats; shard-parallel AddRef
 // and RemoveRef bump these without taking any engine-wide lock.
 type counters struct {
-	refsAdded      atomic.Uint64
-	refsRemoved    atomic.Uint64
-	prunedAdds     atomic.Uint64
-	prunedRemoves  atomic.Uint64
-	checkpoints    atomic.Uint64
-	compactions    atomic.Uint64
-	recordsFlushed atomic.Uint64
-	recordsPurged  atomic.Uint64
-	queries        atomic.Uint64
-	relocations    atomic.Uint64
+	refsAdded        atomic.Uint64
+	refsRemoved      atomic.Uint64
+	prunedAdds       atomic.Uint64
+	prunedRemoves    atomic.Uint64
+	checkpoints      atomic.Uint64
+	compactions      atomic.Uint64
+	compactConflicts atomic.Uint64
+	autoCompactions  atomic.Uint64
+	maintErrors      atomic.Uint64
+	recordsFlushed   atomic.Uint64
+	recordsPurged    atomic.Uint64
+	queries          atomic.Uint64
+	relocations      atomic.Uint64
 }
 
-// writeShard is one hash partition of the write store: a mutex plus the
+// writeShard is one hash partition of the write store: a lock plus the
 // per-table in-memory trees. A reference with physical block b lives in
 // shard mix64(b) % N, so proactive pruning (which pairs an AddRef with a
 // same-CP RemoveRef of the same Ref) always finds both entries under one
-// shard lock.
+// shard lock. Queries only read the trees and take the lock shared, so
+// concurrent queries on one shard never serialize against each other —
+// only against updates to the same shard.
 type writeShard struct {
-	mu       sync.Mutex
+	mu       sync.RWMutex
 	from     *memtree.Tree[FromRec]
 	to       *memtree.Tree[ToRec]
 	combined *memtree.Tree[CombinedRec] // used only by relocation
@@ -108,12 +128,15 @@ type writeShard struct {
 
 // Engine is the Backlog back-reference database.
 //
-// Concurrency: mu is the structural lock. AddRef, RemoveRef, Query, and
-// QueryRange acquire it shared and then lock the single shard owning the
-// block, so updates and queries on different shards run in parallel.
-// Checkpoint, Compact, and RelocateBlock acquire it exclusively: they
-// mutate LSM structure (run lists, deletion vectors) that shared holders
-// read without further locking.
+// Concurrency: mu is the structural lock. AddRef and RemoveRef acquire it
+// shared and then lock the single shard owning the block, so updates on
+// different shards run in parallel. Query and QueryRange acquire it
+// shared only long enough to pin an immutable LSM view and snapshot the
+// owning shard's write store; all run I/O happens against the pinned view
+// with no lock held. Checkpoint and RelocateBlock acquire it exclusively.
+// Compaction does its merge against a pinned view outside the lock and
+// acquires it exclusively only to validate and install the result, so
+// queries and updates never stall behind a running compaction.
 type Engine struct {
 	mu      sync.RWMutex
 	opts    Options
@@ -142,6 +165,12 @@ type Engine struct {
 	// (the updates become durable in the read store).
 	walErrMu sync.Mutex
 	walErr   error
+
+	// maint is the background maintenance scheduler (nil unless
+	// Options.AutoCompact). Checkpoint kicks it; Close stops it before
+	// taking the structural lock, so an in-flight background compaction
+	// can finish its short install section.
+	maint *maintainer
 
 	stats counters
 }
@@ -207,6 +236,12 @@ func Open(opts Options) (*Engine, error) {
 	}
 	if err := e.openWAL(); err != nil {
 		return nil, err
+	}
+	if opts.AutoCompact {
+		e.maint = newMaintainer(e)
+		// A reopened database may already carry more runs than the
+		// threshold allows; let the maintainer look immediately.
+		e.maint.kickNow()
 	}
 	return e, nil
 }
@@ -323,6 +358,12 @@ func (e *Engine) Durability() wal.Durability { return e.opts.Durability }
 // file-system state past the last consistency point. Close returns the
 // sticky WAL durability error, if any.
 func (e *Engine) Close() error {
+	// Stop the background maintainer before taking the structural lock: a
+	// background compaction in flight needs the lock briefly to install
+	// or discard its result, and Close waits for it to finish.
+	if e.maint != nil {
+		e.maint.close()
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	// e.wal stays set after Close (wal.Log rejects further appends
@@ -359,9 +400,9 @@ func (e *Engine) WSLen() int {
 	defer e.mu.RUnlock()
 	var n int
 	for _, s := range e.shards {
-		s.mu.Lock()
+		s.mu.RLock()
 		n += s.from.Len() + s.to.Len() + s.combined.Len()
-		s.mu.Unlock()
+		s.mu.RUnlock()
 	}
 	return n
 }
@@ -592,6 +633,13 @@ func (e *Engine) Checkpoint(cp uint64) error {
 			e.staleWAL = false
 		}
 		// On failure staleWAL stays set; the next checkpoint retries.
+	}
+
+	// The checkpoint added Level-0 runs; wake the background maintainer
+	// to check per-partition run counts (non-blocking: the kick channel
+	// holds one pending wakeup).
+	if e.maint != nil {
+		e.maint.kickNow()
 	}
 	return nil
 }

@@ -1,0 +1,174 @@
+package core
+
+import (
+	"time"
+)
+
+// DefaultCompactThreshold is the per-partition run count (summed across
+// the From, To, and Combined tables) above which the background
+// maintainer compacts a partition when Options.CompactThreshold is zero.
+const DefaultCompactThreshold = 8
+
+// maintainPace is the delay between consecutive background compactions of
+// one drain pass. It keeps the maintainer from monopolizing I/O bandwidth
+// and run-builder CPU when many partitions are over threshold at once —
+// the "background, partition by partition" pacing of Section 5.3 —
+// while still letting a drain finish promptly.
+const maintainPace = 2 * time.Millisecond
+
+// MaintenanceStats reports the background maintenance scheduler's
+// activity and the current state of the signal it watches.
+type MaintenanceStats struct {
+	// Enabled reports whether the engine runs a background maintainer.
+	Enabled bool
+	// CompactThreshold is the effective per-partition run-count threshold.
+	CompactThreshold int
+	// AutoCompactions counts partitions compacted by the background
+	// maintainer.
+	AutoCompactions uint64
+	// Conflicts counts optimistic compaction attempts (background or
+	// foreground) that found the partition changed under their merge and
+	// retried against a fresh view.
+	Conflicts uint64
+	// Errors counts background compaction passes abandoned on error.
+	Errors uint64
+	// MaxRuns is the current worst per-partition run count.
+	MaxRuns int
+}
+
+// maintainer is the background maintenance scheduler: a single goroutine
+// that, whenever kicked (after every checkpoint), repeatedly compacts the
+// partition with the most runs until no partition exceeds the threshold.
+// Because compaction merges against a pinned view outside the structural
+// lock, the maintainer's work does not stall updates or queries — it
+// replaces the stop-the-world full-pass maintenance the paper's prototype
+// performed between benchmark phases.
+type maintainer struct {
+	e    *Engine
+	kick chan struct{}
+	stop chan struct{}
+	done chan struct{}
+}
+
+func newMaintainer(e *Engine) *maintainer {
+	m := &maintainer{
+		e:    e,
+		kick: make(chan struct{}, 1),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	go m.loop()
+	return m
+}
+
+// kickNow schedules a maintenance pass without blocking; a pass already
+// pending absorbs the kick.
+func (m *maintainer) kickNow() {
+	select {
+	case m.kick <- struct{}{}:
+	default:
+	}
+}
+
+// close stops the scheduler and waits for an in-flight pass to finish.
+// Callers must not hold the structural lock: a running compaction needs
+// it briefly to install or discard its result.
+func (m *maintainer) close() {
+	close(m.stop)
+	<-m.done
+}
+
+func (m *maintainer) loop() {
+	defer close(m.done)
+	for {
+		select {
+		case <-m.stop:
+			return
+		case <-m.kick:
+		}
+		m.drain()
+	}
+}
+
+// drain compacts worst-first until every partition is at or below the
+// threshold, pacing between partitions and aborting promptly on stop.
+func (m *maintainer) drain() {
+	e := m.e
+	threshold := e.compactThreshold()
+	for {
+		select {
+		case <-m.stop:
+			return
+		default:
+		}
+		p, runs := e.worstPartition()
+		if runs <= threshold {
+			return
+		}
+		compacted, err := e.compactPartition(p)
+		if err != nil {
+			// Abandon the pass; the next checkpoint kicks a retry.
+			e.stats.maintErrors.Add(1)
+			return
+		}
+		if !compacted {
+			// Over threshold but nothing mergeable (cannot normally
+			// happen; guards against spinning).
+			return
+		}
+		e.stats.autoCompactions.Add(1)
+		e.stats.compactions.Add(1)
+		select {
+		case <-m.stop:
+			return
+		case <-time.After(maintainPace):
+		}
+	}
+}
+
+// compactThreshold returns the effective maintenance threshold. A fully
+// compacted partition steady-states at two runs (one From run of
+// incomplete records plus one Combined run), so thresholds below 2 would
+// make the maintainer re-merge an already-minimal partition forever;
+// they are clamped to 2.
+func (e *Engine) compactThreshold() int {
+	th := e.opts.CompactThreshold
+	if th <= 0 {
+		th = DefaultCompactThreshold
+	}
+	if th < 2 {
+		th = 2
+	}
+	return th
+}
+
+// worstPartition returns the partition with the most live runs (summed
+// across tables) and its count.
+func (e *Engine) worstPartition() (int, int) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	counts := e.db.PartitionRunCounts()
+	worst, max := 0, 0
+	for p, n := range counts {
+		if n > max {
+			worst, max = p, n
+		}
+	}
+	return worst, max
+}
+
+// MaintenanceStats returns a snapshot of the background maintainer's
+// counters and the current worst per-partition run count. Safe to call
+// concurrently; meaningful (Enabled=false, zero counters) without
+// AutoCompact too.
+func (e *Engine) MaintenanceStats() MaintenanceStats {
+	_, max := e.worstPartition()
+	return MaintenanceStats{
+		Enabled:          e.maint != nil,
+		CompactThreshold: e.compactThreshold(),
+		AutoCompactions:  e.stats.autoCompactions.Load(),
+		Conflicts:        e.stats.compactConflicts.Load(),
+		Errors:           e.stats.maintErrors.Load(),
+		MaxRuns:          max,
+	}
+}

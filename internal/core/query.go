@@ -2,6 +2,8 @@ package core
 
 import (
 	"sort"
+
+	"github.com/backlogfs/backlog/internal/lsm"
 )
 
 // Owner is one query result: a logical owner of the queried block, with the
@@ -50,17 +52,56 @@ type interval struct {
 // (From ⋈ To across runs and write stores, plus precomputed Combined
 // records) expanded through clone inheritance and masked against existing
 // snapshots. Owners with no surviving version and no live reference are
-// omitted. Queries hold the structural lock shared, so they run
-// concurrently with each other and with updates to other shards.
+// omitted.
+//
+// Queries hold the structural lock shared only long enough to pin an LSM
+// view and snapshot the owning shard's write-store records; all run I/O —
+// the expensive part — happens against the pinned view with no lock held.
+// A query therefore never blocks on a running compaction (which takes the
+// structural lock exclusively only to validate and install its result),
+// and only briefly on a checkpoint flush.
 func (e *Engine) Query(block uint64) ([]Owner, error) {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
 	e.stats.queries.Add(1)
-	return e.queryLocked(block)
+	v, ws := e.pinBlock(block)
+	defer v.Release()
+	return e.queryPinned(v, ws, block)
 }
 
-func (e *Engine) queryLocked(block uint64) ([]Owner, error) {
-	groups, err := e.combinedForBlock(block)
+// wsRecords is one block's write-store snapshot, captured under the same
+// structural-lock acquisition as the LSM view so the union of the two is a
+// consistent cut: a concurrent checkpoint can never move records out of
+// the write store without the view gaining the run they were flushed to.
+type wsRecords struct {
+	froms     []FromRec
+	tos       []ToRec
+	combineds []CombinedRec
+}
+
+// pinBlock captures the consistent snapshot a query runs against.
+func (e *Engine) pinBlock(block uint64) (*lsm.View, wsRecords) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	v := e.db.AcquireView()
+	s := e.shardOf(block)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var ws wsRecords
+	ws.froms = collectWSFrom(s.from, block)
+	ws.tos = collectWSTo(s.to, block)
+	s.combined.Scan(CombinedRec{Ref: Ref{Block: block}}, func(r CombinedRec) bool {
+		if r.Block != block {
+			return false
+		}
+		ws.combineds = append(ws.combineds, r)
+		return true
+	})
+	return v, ws
+}
+
+// queryPinned runs the join, inheritance expansion, and masking against a
+// pinned snapshot. No engine lock is held.
+func (e *Engine) queryPinned(v *lsm.View, ws wsRecords, block uint64) ([]Owner, error) {
+	groups, err := e.combinedForBlock(v, ws, block)
 	if err != nil {
 		return nil, err
 	}
@@ -70,48 +111,31 @@ func (e *Engine) queryLocked(block uint64) ([]Owner, error) {
 
 // combinedForBlock reconstructs the Combined view of one block:
 // identity -> sorted intervals.
-func (e *Engine) combinedForBlock(block uint64) (map[identity][]interval, error) {
-	var (
-		froms     []FromRec
-		tos       []ToRec
-		combineds []CombinedRec
-	)
-
-	// Run records.
-	if err := e.db.Table(TableFrom).CollectBlock(block, func(rec []byte) bool {
+func (e *Engine) combinedForBlock(v *lsm.View, ws wsRecords, block uint64) (map[identity][]interval, error) {
+	// Run records, read from the pinned view. The write-store records
+	// captured at pin time participate immediately, per the paper's
+	// guarantee that all entries of the current CP are in memory.
+	froms := ws.froms
+	tos := ws.tos
+	combineds := ws.combineds
+	if err := v.CollectBlock(TableFrom, block, func(rec []byte) bool {
 		froms = append(froms, DecodeFrom(rec))
 		return true
 	}); err != nil {
 		return nil, err
 	}
-	if err := e.db.Table(TableTo).CollectBlock(block, func(rec []byte) bool {
+	if err := v.CollectBlock(TableTo, block, func(rec []byte) bool {
 		tos = append(tos, DecodeTo(rec))
 		return true
 	}); err != nil {
 		return nil, err
 	}
-	if err := e.db.Table(TableCombined).CollectBlock(block, func(rec []byte) bool {
+	if err := v.CollectBlock(TableCombined, block, func(rec []byte) bool {
 		combineds = append(combineds, DecodeCombined(rec))
 		return true
 	}); err != nil {
 		return nil, err
 	}
-
-	// Write-store records. The paper guarantees all entries of the current
-	// CP are in memory; they participate in queries immediately. A block's
-	// entries all live in one shard, so one shard lock suffices.
-	s := e.shardOf(block)
-	s.mu.Lock()
-	froms = append(froms, collectWSFrom(s.from, block)...)
-	tos = append(tos, collectWSTo(s.to, block)...)
-	s.combined.Scan(CombinedRec{Ref: Ref{Block: block}}, func(r CombinedRec) bool {
-		if r.Block != block {
-			return false
-		}
-		combineds = append(combineds, r)
-		return true
-	})
-	s.mu.Unlock()
 
 	// Group by identity.
 	fromsBy := map[identity][]uint64{}
@@ -298,12 +322,12 @@ func maskOwners(groups map[identity][]interval, cat Catalog) []Owner {
 // benchmarks (Section 6.4): consecutive sorted queries share pages via the
 // cache.
 func (e *Engine) QueryRange(block uint64, n int, visit func(block uint64, owners []Owner) bool) error {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
 	for i := 0; i < n; i++ {
 		b := block + uint64(i)
 		e.stats.queries.Add(1)
-		owners, err := e.queryLocked(b)
+		v, ws := e.pinBlock(b)
+		owners, err := e.queryPinned(v, ws, b)
+		v.Release()
 		if err != nil {
 			return err
 		}

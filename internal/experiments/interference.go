@@ -1,0 +1,177 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"github.com/backlogfs/backlog/internal/core"
+	"github.com/backlogfs/backlog/internal/storage"
+)
+
+// InterferenceConfig parameterizes the compaction-interference experiment.
+// It is not a paper figure: the paper's prototype ran maintenance
+// stop-the-world between measurement phases, whereas this reproduction's
+// compaction merges against pinned run-set views outside the structural
+// lock. The experiment quantifies the payoff — query latency while a full
+// compaction runs in the background, versus idle.
+type InterferenceConfig struct {
+	// CPs and OpsPerCP size the ingest that builds up runs to compact.
+	CPs      int
+	OpsPerCP int
+	// Blocks is the physical block space queried.
+	Blocks int
+	// Partitions is the number of hash partitions (compaction works
+	// partition by partition, so more partitions mean finer interference
+	// granularity).
+	Partitions int
+	// Queries is the number of measured queries in the idle phases. The
+	// concurrent phase runs as many queries as fit in the compaction's
+	// duration.
+	Queries int
+	Seed    int64
+}
+
+// DefaultInterferenceConfig returns the small-scale default.
+func DefaultInterferenceConfig() InterferenceConfig {
+	return InterferenceConfig{
+		CPs:        48,
+		OpsPerCP:   4000,
+		Blocks:     1 << 16,
+		Partitions: 8,
+		Queries:    4000,
+		Seed:       1,
+	}
+}
+
+// InterferencePhase is one measured query phase.
+type InterferencePhase struct {
+	Phase         string // "idle (uncompacted)", "during compaction", "idle (compacted)"
+	Queries       int
+	QueriesPerSec float64
+	MeanUS        float64
+	P99US         float64
+	MaxUS         float64
+}
+
+// InterferenceResult is the experiment's output.
+type InterferenceResult struct {
+	Phases []InterferencePhase
+	// CompactionMS is the wall-clock duration of the background Compact.
+	CompactionMS float64
+	// RunsBefore and RunsAfter count live runs around the compaction.
+	RunsBefore, RunsAfter int
+}
+
+// RunInterference ingests cfg.CPs checkpoints of references, measures
+// query latency on the accumulated runs, then measures it again while a
+// full compaction runs concurrently, and once more after it finishes.
+// With the view-based read path the concurrent phase stays within a small
+// factor of idle — queries pin a run-set view and never wait for the
+// merge, which takes the structural lock only to install its result.
+func RunInterference(cfg InterferenceConfig) (InterferenceResult, error) {
+	var res InterferenceResult
+	eng, err := core.Open(core.Options{
+		VFS:              storage.NewMemFS(),
+		Catalog:          core.NewMemCatalog(),
+		Partitions:       cfg.Partitions,
+		HashPartitioning: cfg.Partitions > 1,
+	})
+	if err != nil {
+		return res, err
+	}
+	defer eng.Close()
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for cp := 1; cp <= cfg.CPs; cp++ {
+		for i := 0; i < cfg.OpsPerCP; i++ {
+			eng.AddRef(core.Ref{
+				Block:  uint64(rng.Intn(cfg.Blocks)),
+				Inode:  uint64(2 + cp),
+				Offset: uint64(i),
+				Length: 1,
+			}, uint64(cp))
+		}
+		if err := eng.Checkpoint(uint64(cp)); err != nil {
+			return res, err
+		}
+	}
+	res.RunsBefore = eng.RunCount()
+
+	queryOnce := func() (time.Duration, error) {
+		b := uint64(rng.Intn(cfg.Blocks))
+		t0 := time.Now()
+		_, err := eng.Query(b)
+		return time.Since(t0), err
+	}
+	measure := func(name string, lats []time.Duration, elapsed time.Duration) {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		var sum time.Duration
+		for _, l := range lats {
+			sum += l
+		}
+		ph := InterferencePhase{Phase: name, Queries: len(lats)}
+		if len(lats) > 0 {
+			ph.QueriesPerSec = float64(len(lats)) / elapsed.Seconds()
+			ph.MeanUS = float64(sum.Microseconds()) / float64(len(lats))
+			ph.P99US = float64(lats[len(lats)*99/100].Microseconds())
+			ph.MaxUS = float64(lats[len(lats)-1].Microseconds())
+		}
+		res.Phases = append(res.Phases, ph)
+	}
+
+	// Phase 1: idle, runs accumulated and unmaintained.
+	lats := make([]time.Duration, 0, cfg.Queries)
+	t0 := time.Now()
+	for i := 0; i < cfg.Queries; i++ {
+		d, err := queryOnce()
+		if err != nil {
+			return res, err
+		}
+		lats = append(lats, d)
+	}
+	measure("idle (uncompacted)", lats, time.Since(t0))
+
+	// Phase 2: the same query stream while Compact merges every partition
+	// in the background.
+	compactErr := make(chan error, 1)
+	compactStart := time.Now()
+	go func() { compactErr <- eng.Compact() }()
+	lats = lats[:0]
+	t0 = time.Now()
+	var cerr error
+	for done := false; !done; {
+		// Always measure at least one query per iteration so the phase is
+		// non-empty even when the compaction finishes immediately.
+		d, err := queryOnce()
+		if err != nil {
+			return res, err
+		}
+		lats = append(lats, d)
+		select {
+		case cerr = <-compactErr:
+			done = true
+		default:
+		}
+	}
+	res.CompactionMS = float64(time.Since(compactStart).Microseconds()) / 1e3
+	measure("during compaction", lats, time.Since(t0))
+	if cerr != nil {
+		return res, fmt.Errorf("background compaction: %w", cerr)
+	}
+	res.RunsAfter = eng.RunCount()
+
+	// Phase 3: idle again, now on compacted runs.
+	lats = lats[:0]
+	t0 = time.Now()
+	for i := 0; i < cfg.Queries; i++ {
+		d, err := queryOnce()
+		if err != nil {
+			return res, err
+		}
+		lats = append(lats, d)
+	}
+	measure("idle (compacted)", lats, time.Since(t0))
+	return res, nil
+}

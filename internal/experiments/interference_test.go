@@ -1,0 +1,31 @@
+package experiments
+
+import "testing"
+
+func TestRunInterferenceSmall(t *testing.T) {
+	res, err := RunInterference(InterferenceConfig{
+		CPs:        8,
+		OpsPerCP:   500,
+		Blocks:     1 << 12,
+		Partitions: 4,
+		Queries:    400,
+		Seed:       1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Phases) != 3 {
+		t.Fatalf("phases = %d, want 3", len(res.Phases))
+	}
+	for _, p := range res.Phases {
+		if p.Queries <= 0 || p.QueriesPerSec <= 0 || p.MeanUS <= 0 {
+			t.Fatalf("malformed phase: %+v", p)
+		}
+	}
+	if res.RunsAfter >= res.RunsBefore {
+		t.Fatalf("compaction did not reduce runs: %d -> %d", res.RunsBefore, res.RunsAfter)
+	}
+	if res.CompactionMS <= 0 {
+		t.Fatalf("compaction duration = %v", res.CompactionMS)
+	}
+}

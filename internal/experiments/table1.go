@@ -24,6 +24,10 @@ type Table1Config struct {
 	// (default wal.CheckpointOnly, the paper's configuration — Table 1
 	// numbers are only comparable to the paper in that mode).
 	Durability wal.Durability
+	// AutoCompact enables the Backlog engine's background maintenance
+	// scheduler (off by default: the paper's Table 1 runs accumulate
+	// unmaintained).
+	AutoCompact bool
 }
 
 // DefaultTable1Config returns the scaled default.
@@ -62,7 +66,7 @@ func RunTable1(cfg Table1Config) ([]Table1Row, error) {
 		measure func(mode btrfssim.Mode) (float64, error)
 	}
 	newFS := func(mode btrfssim.Mode, opsPerTx int) (*btrfssim.FS, error) {
-		return btrfssim.New(btrfssim.Config{Mode: mode, OpsPerTransaction: opsPerTx, WriteShards: cfg.WriteShards, Durability: cfg.Durability})
+		return btrfssim.New(btrfssim.Config{Mode: mode, OpsPerTransaction: opsPerTx, WriteShards: cfg.WriteShards, Durability: cfg.Durability, AutoCompact: cfg.AutoCompact})
 	}
 	msPerOp := func(fs *btrfssim.FS, start time.Time, startDisk int64, ops int) float64 {
 		elapsed := time.Since(start).Nanoseconds() + fs.VFS().Stats().DiskNanos - startDisk
@@ -77,6 +81,7 @@ func RunTable1(cfg Table1Config) ([]Table1Row, error) {
 				if err != nil {
 					return 0, err
 				}
+				defer fs.Close()
 				if !del {
 					start := time.Now()
 					d0 := fs.VFS().Stats().DiskNanos
@@ -113,6 +118,7 @@ func RunTable1(cfg Table1Config) ([]Table1Row, error) {
 				if err != nil {
 					return 0, err
 				}
+				defer fs.Close()
 				start := time.Now()
 				d0 := fs.VFS().Stats().DiskNanos
 				bytes, err := btrfssim.RunDbench(fs, cfg.DbenchOps, cfg.Seed)
@@ -130,6 +136,7 @@ func RunTable1(cfg Table1Config) ([]Table1Row, error) {
 				if err != nil {
 					return 0, err
 				}
+				defer fs.Close()
 				start := time.Now()
 				d0 := fs.VFS().Stats().DiskNanos
 				ops, err := btrfssim.RunVarmail(fs, 16, cfg.VarmailIters, cfg.Seed)
@@ -147,6 +154,7 @@ func RunTable1(cfg Table1Config) ([]Table1Row, error) {
 				if err != nil {
 					return 0, err
 				}
+				defer fs.Close()
 				start := time.Now()
 				d0 := fs.VFS().Stats().DiskNanos
 				tx, err := btrfssim.RunPostmark(fs, cfg.MicroFiles/8, cfg.PostmarkTx, cfg.Seed)

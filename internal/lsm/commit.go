@@ -54,11 +54,17 @@ func (e *Edit) FlushDV(table string) *Edit {
 
 // Commit applies the edit: writes dirty deletion vectors, writes and syncs
 // the new manifest, atomically renames it into place, updates in-memory
-// state, and finally deletes dropped files. A non-nil error always means
+// state, and finally reclaims dropped runs. A non-nil error always means
 // the edit did not commit: the on-disk state is unchanged and the files
 // behind added runs have been removed (AddRun transfers ownership, so
-// callers never clean up after a failed Commit). Post-commit dropped-file
-// deletion is best-effort and never reported — leftovers are orphans
+// callers never clean up after a failed Commit).
+//
+// Reclamation of dropped runs is deferred: a dropped run stops appearing
+// in the version the commit installs, and its file is deleted when the
+// last version referencing it is destroyed — immediately, if no View pins
+// the previous version, else when the last pinning view is released — so
+// readers iterating a pinned view never lose the files under them. Either
+// way deletion is best-effort and never reported — leftovers are orphans
 // collected by the next Open.
 func (e *Edit) Commit() error {
 	db := e.db
@@ -71,8 +77,7 @@ func (e *Edit) Commit() error {
 	}
 
 	// Build the next manifest from in-memory state plus this edit.
-	next := manifest{Version: 1, CP: db.m.CP, NextID: db.m.NextID,
-		Tables: map[string]tableManifest{}}
+	next := manifest{Version: 1, CP: db.m.CP, Tables: map[string]tableManifest{}}
 	if e.setCP {
 		next.CP = e.cp
 	}
@@ -86,7 +91,10 @@ func (e *Edit) Commit() error {
 		dropSet[table] = m
 	}
 
-	// Start from current runs minus drops.
+	// Start from current runs minus drops. Dropped runs need no explicit
+	// bookkeeping: they simply stop appearing in the next version, and
+	// version refcounting reclaims their files once the last version
+	// referencing them is destroyed.
 	newRuns := map[string][][]*Run{}
 	for name, t := range db.tables {
 		parts := make([][]*Run, db.opts.Partitions)
@@ -126,9 +134,7 @@ func (e *Edit) Commit() error {
 		if len(t.dv) == 0 {
 			newDVFiles[name] = ""
 		} else {
-			id := next.NextID
-			next.NextID++
-			fname := fmt.Sprintf("dv.%s.%010d", name, id)
+			fname := fmt.Sprintf("dv.%s.%010d", name, db.allocID())
 			if err := t.writeDV(fname); err != nil {
 				return fail(err)
 			}
@@ -161,31 +167,55 @@ func (e *Edit) Commit() error {
 		next.Tables[name] = tm
 	}
 
+	// The persisted NextID is snapshotted after all of this commit's own
+	// allocations, so it covers every ID handed out so far — including
+	// concurrent builders whose edits may never commit (their files are
+	// orphans for the next Open). The allocator itself never reads it
+	// back, so a Commit can never roll IDs backwards under a concurrent
+	// allocation.
+	next.NextID = db.nextIDSnapshot()
 	if err := writeManifest(db.vfs, next); err != nil {
 		return fail(err)
 	}
 
-	// Point of no return: swap in-memory state.
+	// Point of no return: swap in-memory state and install the next
+	// version. The version transition happens under viewMu so it is
+	// atomic with respect to concurrent AcquireView/Release calls.
 	db.m = next
+	db.viewMu.Lock()
 	for name, t := range db.tables {
 		t.runs = newRuns[name]
 		if e.replaceDV[name] && newDVFiles[name] == "" {
+			// The vector was empty (nothing was written); shed the map.
+			// Content is unchanged, so versions sharing the old (empty)
+			// map and the generation counter are unaffected.
 			t.dv = make(map[string]struct{})
+			t.dvShared = false
 		}
 		t.dvDirty = false
 	}
-
-	// Best-effort deletion of dropped files. Failures are not reported:
-	// the commit already happened, and a file that could not be removed is
-	// no longer referenced by the manifest, so the next Open collects it
-	// as an orphan. Swallowing these errors is what makes the invariant
-	// "Commit returned an error ⟺ the edit did not commit" hold, which
-	// the engine's retry and deletion-vector-restore paths rely on.
-	for _, names := range e.drop {
-		for _, n := range names {
-			_ = db.vfs.Remove(n)
-		}
+	old := db.cur
+	db.cur = db.newVersion()
+	// The fresh version captured all live state, including any pending
+	// deletion-vector mutations.
+	db.verStale = false
+	doomed := old.unref()
+	db.viewMu.Unlock()
+	// Reclaim outside viewMu: file removal must not stall concurrent view
+	// pins. doomed holds runs no version references anymore (none, if a
+	// view still pins the old version — the releasing view reclaims them
+	// then). Failures are not reported: the commit already happened, and
+	// a file that could not be removed is no longer referenced by the
+	// manifest, so the next Open collects it as an orphan. Swallowing
+	// these errors is what makes the invariant "Commit returned an error
+	// ⟺ the edit did not commit" hold, which the engine's retry and
+	// deletion-vector-restore paths rely on.
+	for _, n := range doomed {
+		_ = db.vfs.Remove(n)
 	}
+	// Replaced deletion-vector files are read only at Open (versions
+	// snapshot the in-memory maps, not the files), so they are deleted
+	// eagerly.
 	for _, n := range dvToDelete {
 		_ = db.vfs.Remove(n)
 	}
@@ -221,6 +251,22 @@ func writeManifest(vfs storage.VFS, m manifest) error {
 
 // --- Deletion vectors ---
 
+// mutableDV returns the deletion-vector map a mutator may write to,
+// copying it first if a View shares the current one. Callers hold the
+// structural lock exclusively (serializing all mutators against
+// AcquireView); the copy is what keeps a pinned view's reads stable.
+func (t *Table) mutableDV() map[string]struct{} {
+	if t.dvShared {
+		cp := make(map[string]struct{}, len(t.dv))
+		for rec := range t.dv {
+			cp[rec] = struct{}{}
+		}
+		t.dv = cp
+		t.dvShared = false
+	}
+	return t.dv
+}
+
 // DeleteRecord hides a record from all subsequent reads until the next
 // compaction physically drops it. The change is durable after the next
 // Commit with FlushDV.
@@ -228,7 +274,9 @@ func (t *Table) DeleteRecord(rec []byte) {
 	if len(rec) != t.spec.RecordSize {
 		return
 	}
-	t.dv[string(rec)] = struct{}{}
+	t.mutableDV()[string(rec)] = struct{}{}
+	t.dvGen++
+	t.db.verStale = true
 	t.dvDirty = true
 }
 
@@ -253,19 +301,32 @@ func (t *Table) ClearDV() {
 		return
 	}
 	t.dv = make(map[string]struct{})
+	t.dvShared = false
+	t.dvGen++
+	t.db.verStale = true
 	t.dvDirty = true
 }
 
 // ClearDVRange removes deletion-vector entries whose block number lies in
 // [lo, hi].
 func (t *Table) ClearDVRange(lo, hi uint64) {
+	var doomed []string
 	for rec := range t.dv {
 		blk := blockOf([]byte(rec))
 		if blk >= lo && blk <= hi {
-			delete(t.dv, rec)
-			t.dvDirty = true
+			doomed = append(doomed, rec)
 		}
 	}
+	if len(doomed) == 0 {
+		return
+	}
+	dv := t.mutableDV()
+	for _, rec := range doomed {
+		delete(dv, rec)
+	}
+	t.dvGen++
+	t.db.verStale = true
+	t.dvDirty = true
 }
 
 // ClearDVPartition removes deletion-vector entries routed to partition p
@@ -278,21 +339,35 @@ func (t *Table) ClearDVPartition(p int) []string {
 	var cleared []string
 	for rec := range t.dv {
 		if t.db.PartitionOf(blockOf([]byte(rec))) == p {
-			delete(t.dv, rec)
-			t.dvDirty = true
 			cleared = append(cleared, rec)
 		}
 	}
+	if len(cleared) == 0 {
+		return nil
+	}
+	dv := t.mutableDV()
+	for _, rec := range cleared {
+		delete(dv, rec)
+	}
+	t.dvGen++
+	t.db.verStale = true
+	t.dvDirty = true
 	return cleared
 }
 
 // RestoreDV re-inserts deletion-vector entries removed by a Clear that was
 // part of a commit that subsequently failed.
 func (t *Table) RestoreDV(recs []string) {
-	for _, rec := range recs {
-		t.dv[rec] = struct{}{}
-		t.dvDirty = true
+	if len(recs) == 0 {
+		return
 	}
+	dv := t.mutableDV()
+	for _, rec := range recs {
+		dv[rec] = struct{}{}
+	}
+	t.dvGen++
+	t.db.verStale = true
+	t.dvDirty = true
 }
 
 func (t *Table) writeDV(name string) error {

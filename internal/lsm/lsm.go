@@ -76,10 +76,12 @@ type Options struct {
 
 // DB is a multi-table LSM store with a single atomic manifest.
 //
-// DB is not internally synchronized except for run-ID allocation (idMu):
-// callers serialize structural operations (Commit, compaction) themselves,
-// but may create RunBuilders from multiple goroutines concurrently — the
-// engine's parallel checkpoint flush relies on this.
+// DB is not internally synchronized except for run-ID allocation (idMu)
+// and view refcounting (viewMu): callers serialize structural operations
+// (Commit, deletion-vector mutation) themselves, but may create
+// RunBuilders from multiple goroutines concurrently — the engine's
+// parallel checkpoint flush relies on this — and may acquire and release
+// Views concurrently with each other and with structural readers.
 type DB struct {
 	vfs   storage.VFS
 	opts  Options
@@ -88,22 +90,70 @@ type DB struct {
 	tables map[string]*Table
 	m      manifest
 
-	// idMu guards m.NextID allocation in NewRunBuilder, which concurrent
-	// shard flushes call in parallel.
-	idMu sync.Mutex
+	// idMu guards nextID, the monotonic run/DV file-ID allocator.
+	// Allocation is deliberately outside the manifest struct: builders
+	// (checkpoint shard flushes, optimistic compactions) allocate with no
+	// structural lock held, concurrently with a Commit replacing db.m —
+	// the allocator must never move backwards, or a live run's file name
+	// would be reused. Commit persists a snapshot of the allocator taken
+	// after all of its own allocations, so the on-disk NextID always
+	// covers every ID handed out, including in-flight builders whose
+	// edits never commit (their files become orphans).
+	idMu   sync.Mutex
+	nextID uint64
+
+	// viewMu guards the current version pointer and version/run
+	// refcounts: AcquireView and Release may run concurrently with each
+	// other and with the version transition a Commit performs.
+	viewMu sync.Mutex
+	// cur is the current version — the refcounted snapshot of all
+	// tables' run sets and deletion vectors that AcquireView pins in
+	// O(1). Commit installs a successor and drops the current ref of the
+	// old version; superseded run files are reclaimed when the last
+	// version referencing them is destroyed. verStale records that a
+	// deletion-vector mutation outside a Commit made cur's snapshot lag
+	// live state; the next AcquireView rebuilds it. Mutators write it
+	// under the caller's structural exclusive lock, AcquireView reads and
+	// clears it under viewMu plus at least the shared structural lock.
+	cur      *version
+	verStale bool
+}
+
+// allocID hands out the next file ID.
+func (db *DB) allocID() uint64 {
+	db.idMu.Lock()
+	id := db.nextID
+	db.nextID++
+	db.idMu.Unlock()
+	return id
+}
+
+// nextIDSnapshot returns the first unallocated ID, for manifest
+// serialization.
+func (db *DB) nextIDSnapshot() uint64 {
+	db.idMu.Lock()
+	defer db.idMu.Unlock()
+	return db.nextID
 }
 
 // Table is one logical table of a DB.
 type Table struct {
 	db   *DB
 	spec TableSpec
-	// runs[p] lists the live runs of partition p, oldest first.
+	// runs[p] lists the live runs of partition p, oldest first. Commit
+	// replaces these slices wholesale (never appends in place), so a View
+	// can share them without copying.
 	runs [][]*Run
 	// dv is the deletion vector: records hidden from all reads until the
 	// next compaction rewrites them away (paper Section 5.1, borrowed
-	// from C-Store).
-	dv      map[string]struct{}
-	dvDirty bool
+	// from C-Store). The map is copy-on-write: once a View shares it
+	// (dvShared), the next mutation copies it first, so view readers never
+	// observe a mutation. dvGen counts content mutations — Views compare
+	// generations to detect change without comparing maps.
+	dv       map[string]struct{}
+	dvShared bool
+	dvGen    uint64
+	dvDirty  bool
 }
 
 // manifest is the JSON-serialized commit point.
@@ -159,9 +209,11 @@ func Open(vfs storage.VFS, opts Options) (*DB, error) {
 	if err := db.loadManifest(); err != nil {
 		return nil, err
 	}
+	db.nextID = db.m.NextID
 	if err := db.collectOrphans(); err != nil {
 		return nil, err
 	}
+	db.cur = db.newVersion()
 	return db, nil
 }
 
@@ -238,6 +290,19 @@ func (db *DB) RunCount() int {
 		}
 	}
 	return n
+}
+
+// PartitionRunCounts returns, for every partition, the total number of
+// live runs across all tables — the signal the background maintenance
+// scheduler watches to pick the partition most in need of compaction.
+func (db *DB) PartitionRunCounts() []int {
+	counts := make([]int, db.opts.Partitions)
+	for _, t := range db.tables {
+		for p, part := range t.runs {
+			counts[p] += len(part)
+		}
+	}
+	return counts
 }
 
 func (db *DB) loadManifest() error {

@@ -111,9 +111,11 @@ func (m *mergeIter) Next() ([]byte, bool, error) {
 	return nil, false, nil
 }
 
-// dvFilterIter hides records in the table's deletion vector.
+// dvFilterIter hides records present in a deletion vector. The map is a
+// snapshot (a table's live vector or a view's pinned copy); it is read
+// only, so the iterator is safe without locks.
 type dvFilterIter struct {
-	t  *Table
+	dv map[string]struct{}
 	in RecIter
 }
 
@@ -123,7 +125,7 @@ func (f *dvFilterIter) Next() ([]byte, bool, error) {
 		if err != nil || !ok {
 			return nil, false, err
 		}
-		if !f.t.Deleted(rec) {
+		if _, dead := f.dv[string(rec)]; !dead {
 			return rec, true, nil
 		}
 	}
@@ -137,15 +139,16 @@ func blockKey(block uint64, recSize int) []byte {
 	return k
 }
 
-// CollectBlock invokes visit for every record of the given block across all
-// runs of the table, in ascending record order, with deletion-vector
+// collectBlock merges the given runs around one block and invokes visit
+// for every surviving record, in ascending order, with deletion-vector
 // filtering applied. Bloom filters prune runs that cannot contain the
-// block. visit returning false stops the scan.
-func (t *Table) CollectBlock(block uint64, visit func(rec []byte) bool) error {
-	p := t.db.PartitionOf(block)
+// block. It reads only the run list and dv snapshot it is handed, so both
+// Table.CollectBlock (live state, caller holds the structural lock) and
+// View.CollectBlock (pinned snapshot, no lock) are built on it.
+func collectBlock(runs []*Run, recSize int, dv map[string]struct{}, block uint64, visit func(rec []byte) bool) error {
 	var iters []RecIter
-	key := blockKey(block, t.spec.RecordSize)
-	for _, r := range t.runs[p] {
+	key := blockKey(block, recSize)
+	for _, r := range runs {
 		if !r.MayContainBlock(block) {
 			continue
 		}
@@ -173,7 +176,7 @@ func (t *Table) CollectBlock(block uint64, visit func(rec []byte) bool) error {
 		if blockOf(rec) != block {
 			return nil // past the block: done (records are block-ordered)
 		}
-		if t.Deleted(rec) {
+		if _, dead := dv[string(rec)]; dead {
 			continue
 		}
 		if !visit(rec) {
@@ -182,14 +185,11 @@ func (t *Table) CollectBlock(block uint64, visit func(rec []byte) bool) error {
 	}
 }
 
-// MergedIter returns a sorted, duplicate-free, deletion-vector-filtered
-// stream over all runs of one partition — the input to compaction.
-func (t *Table) MergedIter(partition int) (RecIter, error) {
-	if partition < 0 || partition >= len(t.runs) {
-		return nil, fmt.Errorf("lsm: partition %d out of range", partition)
-	}
+// mergedIter builds the sorted, duplicate-free, deletion-vector-filtered
+// stream over a run list.
+func mergedIter(runs []*Run, dv map[string]struct{}) (RecIter, error) {
 	var iters []RecIter
-	for _, r := range t.runs[partition] {
+	for _, r := range runs {
 		it, err := r.First()
 		if err != nil {
 			return nil, err
@@ -200,7 +200,28 @@ func (t *Table) MergedIter(partition int) (RecIter, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &dvFilterIter{t: t, in: merged}, nil
+	return &dvFilterIter{dv: dv, in: merged}, nil
+}
+
+func errPartitionRange(p int) error { return fmt.Errorf("lsm: partition %d out of range", p) }
+
+// CollectBlock invokes visit for every record of the given block across all
+// live runs of the table. Callers hold the structural lock; lock-free
+// readers use View.CollectBlock instead.
+func (t *Table) CollectBlock(block uint64, visit func(rec []byte) bool) error {
+	p := t.db.PartitionOf(block)
+	return collectBlock(t.runs[p], t.spec.RecordSize, t.dv, block, visit)
+}
+
+// MergedIter returns a sorted, duplicate-free, deletion-vector-filtered
+// stream over all live runs of one partition. Callers hold the structural
+// lock for the lifetime of the iterator; compaction, which must not, uses
+// View.MergedIter.
+func (t *Table) MergedIter(partition int) (RecIter, error) {
+	if partition < 0 || partition >= len(t.runs) {
+		return nil, errPartitionRange(partition)
+	}
+	return mergedIter(t.runs[partition], t.dv)
 }
 
 // Runs returns the live runs of a partition, oldest first. The slice is

@@ -21,6 +21,12 @@ type Run struct {
 
 	table *Table
 
+	// refs counts the versions whose run lists include this run (the
+	// current version plus any superseded versions still pinned by
+	// views), guarded by db.viewMu. When the last such version is
+	// destroyed the run's file is reclaimed.
+	refs int
+
 	mu     sync.Mutex
 	reader *btree.Reader
 	filter *bloom.Filter
@@ -68,6 +74,8 @@ func (db *DB) openRun(t *Table, rm runManifest) (*Run, error) {
 		sizeBytes: rd.SizeBytes(),
 		table:     t,
 		reader:    rd,
+		// refs stays 0 until a version installation picks the run up; a
+		// Commit that fails before installing removes the file itself.
 	}, nil
 }
 
@@ -152,11 +160,7 @@ func (db *DB) NewRunBuilder(table string, partition, level int, cp uint64) (*Run
 	if partition < 0 || partition >= db.opts.Partitions {
 		return nil, fmt.Errorf("lsm: partition %d out of range", partition)
 	}
-	db.idMu.Lock()
-	id := db.m.NextID
-	db.m.NextID++
-	db.idMu.Unlock()
-	name := fmt.Sprintf("%s.p%03d.%010d.run", table, partition, id)
+	name := fmt.Sprintf("%s.p%03d.%010d.run", table, partition, db.allocID())
 	f, err := db.vfs.Create(name)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,196 @@
+package lsm
+
+// version is a refcounted snapshot of every table's run sets and deletion
+// vectors — the LevelDB/RocksDB-style version set. The DB always holds
+// one reference to the current version; every View holds one more.
+// Refcounting is per version, so pinning and releasing a view is O(1)
+// regardless of how many runs exist; the O(runs) reference accounting on
+// the runs themselves happens once per Commit, when a version is
+// installed or destroyed.
+type version struct {
+	cp     uint64
+	tables map[string]*tableView
+	// refs counts holders (the DB's current pointer plus views), guarded
+	// by db.viewMu.
+	refs int
+}
+
+// tableView is one table's snapshot: the run lists shared (not copied —
+// Commit replaces them wholesale, never mutates in place) and the
+// copy-on-write deletion vector as of the version's installation.
+type tableView struct {
+	t     *Table
+	runs  [][]*Run
+	dv    map[string]struct{}
+	dvGen uint64
+}
+
+// newVersion snapshots the live state into a fresh version with one
+// reference (the caller's), bumping every run's version refcount. The
+// caller holds db.viewMu (or has exclusive access during Open) and must
+// serialize against structural mutation.
+func (db *DB) newVersion() *version {
+	ver := &version{cp: db.m.CP, tables: make(map[string]*tableView, len(db.tables)), refs: 1}
+	for name, t := range db.tables {
+		for _, part := range t.runs {
+			for _, r := range part {
+				r.refs++
+			}
+		}
+		// The version shares the map beyond this call: the next DV
+		// mutation must copy instead of updating in place.
+		t.dvShared = true
+		ver.tables[name] = &tableView{t: t, runs: t.runs, dv: t.dv, dvGen: t.dvGen}
+	}
+	return ver
+}
+
+// unref drops one reference to the version; at zero the version is
+// destroyed and every run only it referenced becomes reclaimable. The
+// caller holds db.viewMu; the returned file names must be removed after
+// the lock is dropped (file I/O stays out of the critical section).
+func (ver *version) unref() (doomed []string) {
+	ver.refs--
+	if ver.refs > 0 {
+		return nil
+	}
+	for _, tv := range ver.tables {
+		for _, part := range tv.runs {
+			for _, r := range part {
+				r.refs--
+				if r.refs == 0 {
+					doomed = append(doomed, r.name)
+				}
+			}
+		}
+	}
+	return doomed
+}
+
+// View is a pinned version: an immutable snapshot of every table's run
+// sets and deletion vectors that lets readers and compaction run against
+// a consistent run list with no structural lock held. A Commit that
+// supersedes a pinned run defers deleting the run file until the last
+// view referencing it is released, so iterators stay valid across
+// concurrent manifest transitions.
+//
+// Locking contract: AcquireView must be serialized against Commit and
+// against deletion-vector mutations (the engine's structural lock, held
+// shared, provides this); Release may be called from any goroutine at any
+// time. A view's read methods are safe for concurrent use and touch no
+// mutable DB state.
+type View struct {
+	db  *DB
+	ver *version
+
+	// released is guarded by db.viewMu; Release is idempotent.
+	released bool
+}
+
+// AcquireView pins the current version in O(1). The caller must hold the
+// structural lock (shared suffices) and must call Release exactly once
+// when done; until then every run in the view stays readable even if a
+// Commit supersedes it.
+//
+// A deletion-vector mutation outside a Commit (block relocation) marks
+// the current version stale; the next acquire rebuilds it from live state
+// first, so new pins always observe the mutation while already-pinned
+// views keep their snapshot.
+func (db *DB) AcquireView() *View {
+	db.viewMu.Lock()
+	var doomed []string
+	if db.verStale {
+		next := db.newVersion()
+		doomed = db.cur.unref()
+		db.cur = next
+		db.verStale = false
+	}
+	db.cur.refs++
+	v := &View{db: db, ver: db.cur}
+	db.viewMu.Unlock()
+	for _, n := range doomed {
+		_ = db.vfs.Remove(n)
+	}
+	return v
+}
+
+// Release drops the view's reference. Run files superseded while the view
+// was held are deleted when their last referencing version goes. Release
+// is idempotent and nil-safe.
+func (v *View) Release() {
+	if v == nil {
+		return
+	}
+	v.db.viewMu.Lock()
+	var doomed []string
+	if !v.released {
+		v.released = true
+		doomed = v.ver.unref()
+	}
+	v.db.viewMu.Unlock()
+	for _, name := range doomed {
+		_ = v.db.vfs.Remove(name)
+	}
+}
+
+// CP returns the committed consistency point the view was acquired at.
+func (v *View) CP() uint64 { return v.ver.cp }
+
+// Runs returns the pinned runs of (table, partition), oldest first. The
+// slice is owned by the view; do not modify.
+func (v *View) Runs(table string, partition int) []*Run {
+	return v.ver.tables[table].runs[partition]
+}
+
+// RunCount returns the total number of runs pinned by the view.
+func (v *View) RunCount() int {
+	var n int
+	for _, tv := range v.ver.tables {
+		for _, part := range tv.runs {
+			n += len(part)
+		}
+	}
+	return n
+}
+
+// CollectBlock is Table.CollectBlock against the view's pinned runs and
+// deletion vector; it holds no lock and is safe concurrently with commits.
+func (v *View) CollectBlock(table string, block uint64, visit func(rec []byte) bool) error {
+	tv := v.ver.tables[table]
+	p := v.db.PartitionOf(block)
+	return collectBlock(tv.runs[p], tv.t.spec.RecordSize, tv.dv, block, visit)
+}
+
+// MergedIter returns a sorted, duplicate-free, deletion-vector-filtered
+// stream over the view's pinned runs of one partition — the input to
+// incremental compaction, which merges against a pinned view with no
+// structural lock held.
+func (v *View) MergedIter(table string, partition int) (RecIter, error) {
+	tv := v.ver.tables[table]
+	if partition < 0 || partition >= len(tv.runs) {
+		return nil, errPartitionRange(partition)
+	}
+	return mergedIter(tv.runs[partition], tv.dv)
+}
+
+// Unchanged reports whether the live run set of (table, partition) and the
+// table's deletion vector are still identical to this view's snapshot —
+// the validation an optimistic compaction performs before installing its
+// result. The caller must hold the structural lock exclusively, so the
+// comparison cannot race with a concurrent Commit.
+func (v *View) Unchanged(table string, partition int) bool {
+	tv := v.ver.tables[table]
+	live := tv.t.runs[partition]
+	snap := tv.runs[partition]
+	if len(live) != len(snap) {
+		return false
+	}
+	for i := range live {
+		if live[i] != snap[i] {
+			return false
+		}
+	}
+	// Deletion vectors are copy-on-write with a generation counter: equal
+	// generations mean no mutation since the snapshot.
+	return tv.dvGen == tv.t.dvGen
+}
