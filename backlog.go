@@ -33,6 +33,48 @@
 // as it merges per-CP runs. Set WriteShards to 1 to reproduce the paper's
 // single write store.
 //
+// # Checkpoint concurrency
+//
+// Checkpoint does not stop the world. It takes the engine's structural
+// lock exclusively only for two brief in-memory critical sections: a
+// freeze that swaps every shard's write-store trees into per-shard frozen
+// slots (installing fresh, empty active trees), and an install that
+// atomically commits the finished runs, the consistency point, and any
+// relocation deletion vectors, then clears the frozen slots. The
+// expensive part — sorting and writing every shard's runs, in parallel —
+// happens between the two with no structural lock held. Concretely,
+// during a checkpoint flush:
+//
+//   - AddRef and RemoveRef proceed into the fresh active trees; they
+//     carry the next consistency point's tags and are flushed by the next
+//     Checkpoint. Proactive pruning cannot cancel against a record that
+//     is frozen mid-flush; the late half of the pair is recorded and the
+//     two cancel at query and compaction time instead.
+//   - Query and QueryRange read the union of the active and frozen trees
+//     plus the pinned run-set view — a consistent cut in every phase.
+//   - RelocateBlock transplants records out of the frozen trees too
+//     (logically: the frozen trees are immutable while the flush reads
+//     them, so the old records are masked and re-keyed copies enter the
+//     active trees).
+//   - A second Checkpoint, a Close, and compaction's pessimistic
+//     full-lock fallback all serialize behind the in-flight flush;
+//     ordinary (optimistic) compactions run concurrently and validate
+//     their view before installing.
+//   - In Buffered/Sync durability modes the write-ahead log is "cut" at
+//     the freeze: updates logged during the flush land past the cut, so
+//     the checkpoint's log retirement never deletes them.
+//
+// The consistency point itself is unchanged from the paper's model: a
+// CP's records commit atomically with the CP number, and Checkpoint(cp)
+// requires cp to exceed the last committed consistency point (a stale cp
+// is rejected, because committing it would corrupt the write-ahead-log
+// replay filter). On a flush error the frozen records are merged back
+// into the write stores — retry or replay still holds. Stats reports the
+// exclusive-lock time (CheckpointSwapNanos + CheckpointInstallNanos)
+// separately from the lock-free flush time (CheckpointFlushNanos); the
+// fsimbench "cpstall" experiment and BenchmarkIngestDuringCheckpoint
+// measure update latency during a flush against idle.
+//
 // # Durability
 //
 // By default (DurabilityCheckpointOnly) reference updates become durable
@@ -118,6 +160,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync/atomic"
 
 	"github.com/backlogfs/backlog/internal/core"
 	"github.com/backlogfs/backlog/internal/storage"
@@ -138,6 +181,11 @@ type Stats = core.Stats
 
 // Infinity is the To value of a still-live reference.
 const Infinity = core.Infinity
+
+// ErrStaleCP is returned (wrapped) by Checkpoint when cp does not exceed
+// the last committed consistency point; committing it would corrupt the
+// write-ahead-log replay filter.
+var ErrStaleCP = core.ErrStaleCP
 
 // Durability selects when reference updates become crash-durable; see the
 // Durability section of the package documentation.
@@ -206,7 +254,7 @@ type DB struct {
 	vfs    storage.VFS
 	cat    *core.MemCatalog
 	eng    *core.Engine
-	closed bool
+	closed atomic.Bool
 }
 
 const catalogFile = "CATALOG"
@@ -226,6 +274,12 @@ func Open(cfg Config) (*DB, error) {
 		}
 		vfs = d
 	}
+	return openVFS(vfs, cfg)
+}
+
+// openVFS opens the database on an explicit VFS. Split from Open so crash
+// tests can reopen a simulated file system they hold a handle to.
+func openVFS(vfs storage.VFS, cfg Config) (*DB, error) {
 	cat := core.NewMemCatalog()
 	if err := loadCatalog(vfs, cat); err != nil {
 		return nil, err
@@ -307,12 +361,30 @@ func (db *DB) RemoveRef(ref Ref, cp uint64) { db.eng.RemoveRef(ref, cp) }
 
 // Checkpoint makes all reference changes up to cp durable, together with
 // the snapshot catalog. Call it from the file system's consistency-point
-// commit path.
+// commit path. cp must be greater than the last committed consistency
+// point; a stale cp returns ErrStaleCP (checked up front, before even
+// the catalog is written, though the engine re-validates under its lock
+// — so a stale call racing a successful one may still persist the
+// catalog, which is always safe: the catalog commits first by design).
+//
+// The catalog is persisted BEFORE the engine commit. The catalog is the
+// masking authority — a snapshot deletion, say, takes effect the moment
+// the catalog no longer lists it — so a crash between the two commits
+// must never leave reference data claiming the new consistency point
+// while the catalog still shows the old topology: deleted snapshots would
+// resurrect in query masking, and the WAL replay filter (which skips
+// records at or below the manifest CP) could not repair it. The reverse
+// order is safe: a newer catalog over older reference data only means
+// in-flight reference updates were lost to the crash, exactly the
+// file-system state the consistency-point model already assumes.
 func (db *DB) Checkpoint(cp uint64) error {
-	if err := db.eng.Checkpoint(cp); err != nil {
+	if committed := db.eng.CP(); cp <= committed {
+		return fmt.Errorf("%w: Checkpoint(%d), committed CP is %d", ErrStaleCP, cp, committed)
+	}
+	if err := db.saveCatalog(); err != nil {
 		return err
 	}
-	return db.saveCatalog()
+	return db.eng.Checkpoint(cp)
 }
 
 // Query returns every owner of the given physical block, masked to
@@ -328,12 +400,16 @@ func (db *DB) QueryRange(block uint64, n int, visit func(block uint64, owners []
 // Compact runs database maintenance: merges runs, precomputes the Combined
 // table, and purges records of deleted snapshots. Run it periodically, or
 // before query-intensive maintenance tasks.
+//
+// Like Checkpoint, the catalog is persisted before the engine mutates
+// durable state: compaction purges records based on the reaped catalog,
+// so the reaping must not be lost to a crash while the purge survives.
 func (db *DB) Compact() error {
 	db.cat.ReapZombies()
-	if err := db.eng.Compact(); err != nil {
+	if err := db.saveCatalog(); err != nil {
 		return err
 	}
-	return db.saveCatalog()
+	return db.eng.Compact()
 }
 
 // RelocateBlock transplants all back references of oldBlock onto newBlock;
@@ -402,11 +478,13 @@ func (db *DB) SizeBytes() int64 { return db.eng.SizeBytes() }
 // buffered (un-checkpointed) references are discarded, exactly like file
 // system state past the last consistency point; call Checkpoint before
 // Close to keep them.
+// Close is safe to call more than once, including concurrently (a second
+// call returns nil immediately without waiting for the first to finish);
+// it may also race DurabilityErr pollers.
 func (db *DB) Close() error {
-	if db.closed {
+	if !db.closed.CompareAndSwap(false, true) {
 		return nil
 	}
-	db.closed = true
 	err := db.eng.Close()
 	if serr := db.saveCatalog(); err == nil {
 		err = serr

@@ -14,6 +14,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"github.com/backlogfs/backlog/internal/btrfssim"
 	"github.com/backlogfs/backlog/internal/core"
@@ -295,7 +296,7 @@ func BenchmarkAblationNaiveBaseline(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			tr.AddRef(core.Ref{Block: uint64(i*131) % 1_000_000, Inode: uint64(i), Length: 1}, uint64(i/2000+1))
 			if i%2000 == 1999 {
-				if err := tr.Checkpoint(uint64(i / 2000)); err != nil {
+				if err := tr.Checkpoint(uint64(i/2000) + 1); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -311,7 +312,7 @@ func BenchmarkAblationNaiveBaseline(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			eng.AddRef(core.Ref{Block: uint64(i*131) % 1_000_000, Inode: uint64(i), Length: 1}, uint64(i/2000+1))
 			if i%2000 == 1999 {
-				if err := eng.Checkpoint(uint64(i / 2000)); err != nil {
+				if err := eng.Checkpoint(uint64(i/2000) + 1); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -676,6 +677,78 @@ func BenchmarkQueryDuringCompaction(b *testing.B) {
 	})
 }
 
+// --- Ingest latency during a checkpoint flush ---
+
+// BenchmarkIngestDuringCheckpoint measures AddRef latency idle versus
+// while checkpoint flushes run continuously in the background, on a VFS
+// that slows run-file writes so the flush has real wall-clock weight.
+// With the frozen-write-store checkpoint, updates stall only for the
+// freeze and install critical sections (reported as lockwait-µs/cp), not
+// for the run-building I/O, so the flushing case stays within a small
+// factor of idle instead of stopping for the whole flush.
+func BenchmarkIngestDuringCheckpoint(b *testing.B) {
+	const prefill = 20_000
+	setup := func(b *testing.B) *core.Engine {
+		slow := &experiments.SlowVFS{VFS: storage.NewMemFS(), Delay: 100 * time.Microsecond}
+		eng, err := core.Open(core.Options{VFS: slow, Catalog: core.NewMemCatalog()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < prefill; i++ {
+			eng.AddRef(core.Ref{Block: uint64(i), Inode: uint64(i), Length: 1}, 1)
+		}
+		return eng
+	}
+	b.Run("idle", func(b *testing.B) {
+		eng := setup(b)
+		defer eng.Close()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			eng.AddRef(core.Ref{Block: uint64(prefill + i), Inode: 7, Offset: uint64(i), Length: 1}, 1)
+		}
+	})
+	b.Run("flushing", func(b *testing.B) {
+		eng := setup(b)
+		defer eng.Close()
+		// Background checkpoints, back to back: each freezes whatever
+		// accumulated (the prefill first, then the measured stream's own
+		// records) and flushes it through the slowed VFS.
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for cp := uint64(1); ; cp++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if err := eng.Checkpoint(cp); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			eng.AddRef(core.Ref{Block: uint64(prefill + i), Inode: 7, Offset: uint64(i), Length: 1}, 1<<40)
+			if i%8 == 7 {
+				runtime.Gosched() // let the flusher breathe on GOMAXPROCS=1
+			}
+		}
+		b.StopTimer()
+		close(stop)
+		wg.Wait()
+		if st := eng.Stats(); st.Checkpoints > 0 {
+			b.ReportMetric(float64(st.CheckpointSwapNanos+st.CheckpointInstallNanos)/1e3/float64(st.Checkpoints), "lockwait-µs/cp")
+			b.ReportMetric(float64(st.Checkpoints), "checkpoints")
+		}
+	})
+}
+
 func BenchmarkPublicAPIAddRefCheckpoint(b *testing.B) {
 	db, err := Open(Config{InMemory: true})
 	if err != nil {
@@ -687,7 +760,7 @@ func BenchmarkPublicAPIAddRefCheckpoint(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		db.AddRef(Ref{Block: uint64(i), Inode: uint64(i % 100), Offset: uint64(i % 8), Line: 0}, uint64(i/32000+1))
 		if i%32000 == 31999 {
-			if err := db.Checkpoint(uint64(i / 32000)); err != nil {
+			if err := db.Checkpoint(uint64(i/32000) + 1); err != nil {
 				b.Fatal(err)
 			}
 		}

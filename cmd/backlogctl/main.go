@@ -81,6 +81,17 @@ func main() {
 		fmt.Printf("refs added:        %d\n", st.RefsAdded)
 		fmt.Printf("refs removed:      %d\n", st.RefsRemoved)
 		fmt.Printf("checkpoints:       %d\n", st.Checkpoints)
+		if st.Checkpoints > 0 {
+			// The stall a checkpoint imposes on updates/queries is only its
+			// two exclusive-lock critical sections; the flush between them
+			// holds no structural lock.
+			fmt.Printf("checkpoint stall:  %.0f µs exclusive-lock total (%.1f µs/cp: swap %.1f + install %.1f), %.1f ms flush lock-free\n",
+				float64(st.CheckpointSwapNanos+st.CheckpointInstallNanos)/1e3,
+				float64(st.CheckpointSwapNanos+st.CheckpointInstallNanos)/1e3/float64(st.Checkpoints),
+				float64(st.CheckpointSwapNanos)/1e3/float64(st.Checkpoints),
+				float64(st.CheckpointInstallNanos)/1e3/float64(st.Checkpoints),
+				float64(st.CheckpointFlushNanos)/1e6)
+		}
 		fmt.Printf("compactions:       %d\n", st.Compactions)
 		fmt.Printf("records flushed:   %d\n", st.RecordsFlushed)
 		fmt.Printf("records purged:    %d\n", st.RecordsPurged)

@@ -25,6 +25,13 @@ const compactRetries = 4
 // Partitions are maintained independently: a failure in one partition does
 // not stop the pass, and the joined error reports every partition that
 // failed. Stats.Compactions counts partitions actually compacted.
+//
+// While any deletion vector carries unpersisted entries (a block
+// relocation since the last checkpoint), compaction is deferred — the
+// records those entries hide must not be physically destroyed before the
+// re-keyed replacements buffered in the write stores are durable. Call
+// Checkpoint first (the background maintainer runs after checkpoints, so
+// it sees the persisted state naturally).
 func (e *Engine) Compact() error {
 	var errs []error
 	for p := 0; p < e.db.Partitions(); p++ {
@@ -51,6 +58,17 @@ func (e *Engine) CompactPartition(p int) error {
 		e.stats.compactions.Add(1)
 	}
 	return nil
+}
+
+// dvDirty reports whether any table carries unpersisted deletion-vector
+// entries. Callers hold the structural lock (shared suffices).
+func (e *Engine) dvDirty() bool {
+	for _, table := range []string{TableFrom, TableTo, TableCombined} {
+		if e.db.Table(table).DVDirty() {
+			return true
+		}
+	}
+	return false
 }
 
 // groupRecs is one identity group pulled from the three merged streams.
@@ -83,16 +101,37 @@ func (e *Engine) compactPartition(p int) (bool, error) {
 // compactAttempt performs one merge-and-install attempt. With
 // exclusive=false the structural lock is held only to pin the view and,
 // later, to validate + install; installed=false then signals a conflict
-// the caller should retry. With exclusive=true the lock is held
-// throughout, so validation is unnecessary and the attempt always
-// installs.
+// the caller should retry. With exclusive=true the checkpoint
+// single-flight guard is taken first — so the merge cannot interleave
+// with the window in which a checkpoint's write stores are frozen but its
+// runs are uninstalled — and the structural lock is then held throughout,
+// so validation is unnecessary and the attempt always installs.
 func (e *Engine) compactAttempt(p int, exclusive bool) (compacted, installed bool, err error) {
 	if exclusive {
+		e.cpMu.Lock()
+		defer e.cpMu.Unlock()
 		e.mu.Lock()
 	} else {
 		e.mu.RLock()
 	}
 	locked := exclusive
+	// A dirty deletion vector defers compaction of the whole table set: the
+	// unpersisted entries hide records whose re-keyed replacements (block
+	// relocation) still sit in the volatile write stores. Physically purging
+	// the hidden records and durably clearing their entries now would make
+	// the destruction durable while the replacements are not — a crash then
+	// loses the references outright, and the relocation's WAL record cannot
+	// re-transplant records that no longer exist in any run. The next
+	// checkpoint persists vector and replacements together, after which
+	// compaction proceeds (the maintainer is kicked after every checkpoint).
+	if e.dvDirty() {
+		if exclusive {
+			e.mu.Unlock()
+		} else {
+			e.mu.RUnlock()
+		}
+		return false, true, nil
+	}
 	v := e.db.AcquireView()
 	if !exclusive {
 		e.mu.RUnlock()

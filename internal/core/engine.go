@@ -2,10 +2,12 @@ package core
 
 import (
 	"errors"
+	"fmt"
 	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/backlogfs/backlog/internal/btree"
 	"github.com/backlogfs/backlog/internal/errgroup"
@@ -92,6 +94,15 @@ type Stats struct {
 	WALAppends     uint64 // records appended to the write-ahead log
 	WALBatches     uint64 // WAL group-commit flushes (one WriteAt+Sync each)
 	WALReplayed    uint64 // records replayed from the WAL at Open
+
+	// Checkpoint stall accounting. A checkpoint holds the structural lock
+	// exclusively only while freezing the write stores (SwapNanos) and
+	// while validating + installing the finished runs (InstallNanos);
+	// updates and queries stall for at most those two windows. The
+	// run-building I/O between them (FlushNanos) holds no structural lock.
+	CheckpointSwapNanos    uint64
+	CheckpointFlushNanos   uint64
+	CheckpointInstallNanos uint64
 }
 
 // counters is the internal atomic mirror of Stats; shard-parallel AddRef
@@ -110,6 +121,9 @@ type counters struct {
 	recordsPurged    atomic.Uint64
 	queries          atomic.Uint64
 	relocations      atomic.Uint64
+	cpSwapNanos      atomic.Uint64
+	cpFlushNanos     atomic.Uint64
+	cpInstallNanos   atomic.Uint64
 }
 
 // writeShard is one hash partition of the write store: a lock plus the
@@ -124,6 +138,19 @@ type writeShard struct {
 	from     *memtree.Tree[FromRec]
 	to       *memtree.Tree[ToRec]
 	combined *memtree.Tree[CombinedRec] // used only by relocation
+
+	// The frozen trees hold the records a running checkpoint is flushing:
+	// Checkpoint swaps the active trees here under the exclusive
+	// structural lock, builds runs from them with no lock held, and clears
+	// them (or merges them back, on error) when it re-acquires the lock.
+	// Non-nil only while that flush is in flight. Flush goroutines read
+	// them without any lock — they are immutable for the duration: updates
+	// go to the fresh active trees, and the only writers (install, restore,
+	// relocation's frozenDel bookkeeping) hold the structural lock
+	// exclusively, which queries' shared acquisition in pinBlock excludes.
+	frozenFrom     *memtree.Tree[FromRec]
+	frozenTo       *memtree.Tree[ToRec]
+	frozenCombined *memtree.Tree[CombinedRec]
 }
 
 // Engine is the Backlog back-reference database.
@@ -132,11 +159,16 @@ type writeShard struct {
 // shared and then lock the single shard owning the block, so updates on
 // different shards run in parallel. Query and QueryRange acquire it
 // shared only long enough to pin an immutable LSM view and snapshot the
-// owning shard's write store; all run I/O happens against the pinned view
-// with no lock held. Checkpoint and RelocateBlock acquire it exclusively.
-// Compaction does its merge against a pinned view outside the lock and
-// acquires it exclusively only to validate and install the result, so
-// queries and updates never stall behind a running compaction.
+// owning shard's write store (active and frozen); all run I/O happens
+// against the pinned view with no lock held. RelocateBlock acquires it
+// exclusively. Checkpoint acquires it exclusively only twice and briefly:
+// to freeze the write stores, and to validate and atomically install the
+// flushed runs — the run-building I/O in between holds no structural
+// lock, so updates tagged for the next consistency point, queries, and
+// relocations all proceed during the flush. Compaction likewise merges
+// against a pinned view outside the lock and acquires it exclusively only
+// to validate and install, so queries and updates never stall behind a
+// running compaction or a flushing checkpoint.
 type Engine struct {
 	mu      sync.RWMutex
 	opts    Options
@@ -145,7 +177,35 @@ type Engine struct {
 	db      *lsm.DB
 	cache   *btree.Cache
 
+	// cpMu is the checkpoint single-flight guard, always acquired before
+	// mu: Checkpoint holds it end to end (including the lock-free flush),
+	// and Close and pessimistic (full-lock) compactions take it too, so
+	// neither can interleave with the window in which the write stores are
+	// frozen but the runs are not yet installed. Optimistic compactions do
+	// not need it — they validate their view before installing.
+	cpMu sync.Mutex
+
 	shards []*writeShard
+
+	// flushingCP is the consistency point currently being flushed (0 when
+	// no checkpoint is in flight), guarded by mu. RelocateBlock uses it to
+	// tag its WAL record: records it re-keys out of the frozen trees land
+	// in the active trees and only become durable at the NEXT checkpoint,
+	// so replay must not consider the relocation covered by this one.
+	flushingCP uint64
+
+	// frozenDel records write-store records that RelocateBlock logically
+	// deleted out of the frozen trees (per table, keyed by encoded record
+	// bytes): the trees themselves are immutable while the flush reads
+	// them, so the deletion is applied as a filter — queries skip these
+	// records when reading the frozen trees, the error path skips them
+	// when merging frozen trees back into the active ones, and a
+	// successful install converts them into deletion-vector entries hiding
+	// the freshly installed run records. They stay out of the table DV
+	// until then so a concurrent compaction cannot clear them before the
+	// records they hide exist in any run. Guarded by mu (written under the
+	// exclusive lock, read under the shared lock); nil when empty.
+	frozenDel map[string]map[string]struct{}
 
 	// wal is the write-ahead log (nil in CheckpointOnly mode). Updaters
 	// append under the shared structural lock; Checkpoint truncates under
@@ -271,16 +331,31 @@ func (e *Engine) openWAL() error {
 		e.wal = log
 		rec = r
 	}
-	// Replay only records newer than the last committed checkpoint. A
-	// crash between a manifest commit and the log truncation it triggers
-	// leaves records that are already durable in the read store; their CP
-	// tags do not exceed the manifest's, so this filter skips them
-	// (double-applying an AddRef would flush a duplicate From record).
-	base := e.db.CP()
+	// Replay only records the read store does not already cover. Two
+	// filters compose. First, position: every record logged before a cut
+	// mark was applied to the write stores before that cut's checkpoint
+	// froze them, so once the manifest CP has reached the cut's CP, some
+	// checkpoint has committed those records into runs — drop everything
+	// before the last such cut. This covers records tagged PAST the
+	// committing CP (updates that raced a flush and were then re-frozen
+	// by a retry), which the CP-tag filter alone would double-apply.
+	// Second, CP tags: a crash between a manifest commit and the log
+	// retirement it triggers leaves records that are already durable in
+	// the read store; their CP tags do not exceed the manifest's, so the
+	// tag filter skips them (double-applying an AddRef would flush a
+	// duplicate From record).
+	committed := e.db.CP()
+	records := rec.Records
+	for _, c := range rec.Cuts {
+		if c.CP <= committed && c.Index <= len(rec.Records) {
+			records = rec.Records[c.Index:]
+		}
+	}
+	base := committed
 	if rec.MarkCP > base {
 		base = rec.MarkCP
 	}
-	for _, r := range rec.Records {
+	for _, r := range records {
 		if r.CP <= base {
 			continue
 		}
@@ -339,6 +414,10 @@ func (e *Engine) Stats() Stats {
 		Queries:        e.stats.queries.Load(),
 		Relocations:    e.stats.relocations.Load(),
 		WALReplayed:    e.walReplayed,
+
+		CheckpointSwapNanos:    e.stats.cpSwapNanos.Load(),
+		CheckpointFlushNanos:   e.stats.cpFlushNanos.Load(),
+		CheckpointInstallNanos: e.stats.cpInstallNanos.Load(),
 	}
 	if e.wal != nil {
 		ws := e.wal.Stats()
@@ -358,12 +437,17 @@ func (e *Engine) Durability() wal.Durability { return e.opts.Durability }
 // file-system state past the last consistency point. Close returns the
 // sticky WAL durability error, if any.
 func (e *Engine) Close() error {
-	// Stop the background maintainer before taking the structural lock: a
-	// background compaction in flight needs the lock briefly to install
-	// or discard its result, and Close waits for it to finish.
+	// Stop the background maintainer before taking any lock: a background
+	// compaction in flight needs cpMu (pessimistic mode) and the
+	// structural lock to install or discard its result, and Close waits
+	// for it to finish.
 	if e.maint != nil {
 		e.maint.close()
 	}
+	// Serialize against an in-flight checkpoint: closing the log or
+	// releasing the engine mid-flush would strand the frozen stores.
+	e.cpMu.Lock()
+	defer e.cpMu.Unlock()
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	// e.wal stays set after Close (wal.Log rejects further appends
@@ -394,7 +478,9 @@ func (e *Engine) RunCount() int {
 }
 
 // WSLen returns the number of buffered write-store entries (From + To +
-// Combined) across all shards.
+// Combined) across all shards, counting both the active trees and any
+// frozen trees a running checkpoint is flushing (those records are not
+// yet durable, so they are still "buffered").
 func (e *Engine) WSLen() int {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
@@ -403,6 +489,9 @@ func (e *Engine) WSLen() int {
 		s.mu.RLock()
 		n += s.from.Len() + s.to.Len() + s.combined.Len()
 		s.mu.RUnlock()
+		if s.frozenFrom != nil {
+			n += s.frozenFrom.Len() + s.frozenTo.Len() + s.frozenCombined.Len()
+		}
 	}
 	return n
 }
@@ -454,6 +543,11 @@ func (e *Engine) applyAdd(ref Ref, cp uint64) {
 	s := e.shardOf(ref.Block)
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	// Proactive pruning only consults the active tree: a matching
+	// RemoveRef that sits in a frozen tree (a checkpoint flush is reading
+	// it, lock-free) cannot be deleted in place, so the From record is
+	// inserted instead and the pair cancels at query/compaction time
+	// (joinGroup treats from == to as an empty interval).
 	if !e.opts.DisablePruning {
 		if s.to.Delete(ToRec{Ref: ref, To: cp}) {
 			e.stats.prunedAdds.Add(1)
@@ -490,6 +584,9 @@ func (e *Engine) applyRemove(ref Ref, cp uint64) {
 	s := e.shardOf(ref.Block)
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	// Like applyAdd, pruning cannot reach into a frozen tree: a RemoveRef
+	// whose matching AddRef is mid-flush inserts a To record instead, and
+	// the join cancels the pair.
 	if !e.opts.DisablePruning {
 		if s.from.Delete(FromRec{Ref: ref, From: cp}) {
 			e.stats.prunedRemoves.Add(1)
@@ -520,48 +617,137 @@ func (e *Engine) WALErr() error {
 	return e.walErr
 }
 
-func (e *Engine) clearWALErr() {
+// takeWALErr atomically takes and clears the sticky durability error. The
+// checkpoint freeze does this: everything the taken error covered is in
+// the frozen trees and becomes durable if the checkpoint commits, while
+// append failures during the flush concern the next consistency point and
+// accumulate afresh.
+func (e *Engine) takeWALErr() error {
 	e.walErrMu.Lock()
+	defer e.walErrMu.Unlock()
+	err := e.walErr
 	e.walErr = nil
-	e.walErrMu.Unlock()
+	return err
 }
 
-// Checkpoint flushes the write stores to new Level-0 runs and commits them
-// together with the CP number. All shards flush in parallel — each sorts
-// and writes its own runs — and the manifest edit installing every run is
-// applied once, atomically, after all shard flushes succeed. After
-// Checkpoint returns, all references up to cp are durable and the write
-// stores are empty. On error the write stores are left intact, so the
-// caller can retry or replay.
-func (e *Engine) Checkpoint(cp uint64) error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+// ErrStaleCP is returned (wrapped) by Checkpoint when the given CP number
+// does not exceed the last committed one. Committing it would roll the
+// manifest CP backwards and un-skip already-durable write-ahead-log
+// records in the crash-replay filter, double-applying them.
+var ErrStaleCP = errors.New("core: checkpoint CP not newer than committed CP")
 
-	type flushResult struct {
-		refs  []lsm.RunRef
-		count uint64
+// Checkpoint flushes the write stores to new Level-0 runs and commits them
+// together with the CP number. The structural lock is held exclusively
+// only twice, briefly: to freeze every shard's trees (swapping in fresh
+// active trees), and to validate and atomically install the finished runs
+// (one manifest edit covering every shard). All run-building I/O happens
+// between the two with no structural lock held, each shard sorting and
+// writing its own runs in parallel, so updates tagged cp+1, queries, and
+// relocations proceed while the flush runs. cp must be greater than the
+// last committed checkpoint number. Concurrent Checkpoint calls
+// serialize. After Checkpoint returns, all references up to cp are
+// durable and the frozen stores are empty. On error the frozen records
+// are merged back into the write stores, so the caller can retry or
+// replay.
+func (e *Engine) Checkpoint(cp uint64) error {
+	e.cpMu.Lock()
+	defer e.cpMu.Unlock()
+
+	// Phase 1 — freeze: swap every shard's trees, snapshot the
+	// deletion-vector state this CP must persist, and cut the WAL so
+	// appends racing the flush land in segments that survive retirement.
+	start := time.Now()
+	e.mu.Lock()
+	if committed := e.db.CP(); cp <= committed {
+		e.mu.Unlock()
+		return fmt.Errorf("%w: Checkpoint(%d), committed CP is %d", ErrStaleCP, cp, committed)
 	}
-	results := make([]flushResult, len(e.shards))
+	for _, s := range e.shards {
+		s.frozenFrom, s.from = s.from, memtree.New(lessFrom)
+		s.frozenTo, s.to = s.to, memtree.New(lessTo)
+		s.frozenCombined, s.combined = s.combined, memtree.New(lessCombined)
+	}
+	e.flushingCP = cp
+	// Relocations hide the old block's run records through in-memory
+	// deletion vectors; this commit must persist vectors dirtied before
+	// the freeze (their re-keyed write-store records just froze with
+	// them). Without that, a crash after the checkpoint resurrects the
+	// relocated-away records next to their transplanted copies — and WAL
+	// replay cannot re-hide them, because it rightly skips relocate
+	// records the committed checkpoint already covers. The vectors are
+	// captured as copy-on-write snapshots: entries added by a relocation
+	// DURING the flush pair with records in the new active trees and must
+	// ride the next checkpoint instead.
+	type dvCapture struct {
+		dv  map[string]struct{}
+		gen uint64
+	}
+	dvSnaps := map[string]dvCapture{}
+	for _, table := range []string{TableFrom, TableTo, TableCombined} {
+		if t := e.db.Table(table); t.DVDirty() {
+			dvSnaps[table] = dvCapture{dv: t.DVShare(), gen: t.DVGen()}
+		}
+	}
+	prevWALErr := e.takeWALErr()
+	cut := -1
+	if e.wal != nil {
+		if c, err := e.wal.Cut(cp); err != nil {
+			// The log cannot accept the freeze boundary; appends during
+			// the flush will fail and note their own errors. The old
+			// segments stay tracked for a later retirement.
+			e.noteWALErr(err)
+		} else {
+			cut = c
+		}
+	}
+	e.mu.Unlock()
+	e.stats.cpSwapNanos.Add(uint64(time.Since(start)))
+
+	// On any failure: merge the frozen records back into the active trees
+	// and restore the durability error taken at the freeze, so "on error,
+	// retry or replay" still holds.
+	restore := func(results []cpFlushResult, err error) error {
+		e.mu.Lock()
+		for _, res := range results {
+			for _, ref := range res.refs {
+				e.db.DiscardRun(ref)
+			}
+		}
+		e.restoreFrozenLocked()
+		e.mu.Unlock()
+		if prevWALErr != nil {
+			e.noteWALErr(prevWALErr)
+		}
+		return err
+	}
+
+	// Phase 2 — flush: build runs from the frozen trees with no
+	// structural lock held. The frozen trees are immutable for the
+	// duration, and run builders allocate file IDs through lsm's own
+	// lock, so this runs concurrently with updates, queries, relocations,
+	// and optimistic compaction installs.
+	start = time.Now()
+	results := make([]cpFlushResult, len(e.shards))
 	var g errgroup.Group
 	for i, s := range e.shards {
 		i, s := i, s
 		g.Go(func() error {
 			res := &results[i]
-			n, err := flushWS(e.db, &res.refs, TableFrom, cp, s.from, func(r FromRec) (uint64, []byte) {
+			n, err := flushWS(e.db, &res.refs, TableFrom, cp, s.frozenFrom, func(r FromRec) (uint64, []byte) {
 				return r.Block, EncodeFrom(r)
 			})
 			if err != nil {
 				return err
 			}
 			res.count += n
-			n, err = flushWS(e.db, &res.refs, TableTo, cp, s.to, func(r ToRec) (uint64, []byte) {
+			n, err = flushWS(e.db, &res.refs, TableTo, cp, s.frozenTo, func(r ToRec) (uint64, []byte) {
 				return r.Block, EncodeTo(r)
 			})
 			if err != nil {
 				return err
 			}
 			res.count += n
-			n, err = flushWS(e.db, &res.refs, TableCombined, cp, s.combined, func(r CombinedRec) (uint64, []byte) {
+			n, err = flushWS(e.db, &res.refs, TableCombined, cp, s.frozenCombined, func(r CombinedRec) (uint64, []byte) {
 				return r.Block, EncodeCombined(r)
 			})
 			if err != nil {
@@ -575,14 +761,15 @@ func (e *Engine) Checkpoint(cp uint64) error {
 		// Shards that finished runs before another shard failed leave
 		// complete but uncommitted files behind; drop them now instead of
 		// waiting for orphan collection at the next Open.
-		for _, res := range results {
-			for _, ref := range res.refs {
-				e.db.DiscardRun(ref)
-			}
-		}
-		return err
+		return restore(results, err)
 	}
+	e.stats.cpFlushNanos.Add(uint64(time.Since(start)))
 
+	// Phase 3 — install: re-acquire the lock, commit every run plus the
+	// captured deletion-vector snapshots and the CP atomically, and clear
+	// the frozen stores.
+	start = time.Now()
+	e.mu.Lock()
 	edit := e.db.NewEdit().SetCP(cp)
 	var flushed uint64
 	for _, res := range results {
@@ -591,42 +778,58 @@ func (e *Engine) Checkpoint(cp uint64) error {
 		}
 		flushed += res.count
 	}
-	// Relocations hide the old block's run records through in-memory
-	// deletion vectors; persist any dirty vectors with this commit.
-	// Without this, a crash after the checkpoint resurrects the
-	// relocated-away records next to their transplanted copies — and WAL
-	// replay cannot re-hide them, because it rightly skips relocate
-	// records the committed checkpoint already covers.
-	for _, table := range []string{TableFrom, TableTo, TableCombined} {
-		if e.db.Table(table).DVDirty() {
-			edit.FlushDV(table)
-		}
+	for table, snap := range dvSnaps {
+		edit.FlushDVAsOf(table, snap.dv, snap.gen)
 	}
 	// AddRun transferred ownership of the run files: a Commit that fails
 	// before its commit point removes them itself.
 	if err := edit.Commit(); err != nil {
+		e.restoreFrozenLocked()
+		e.mu.Unlock()
+		if prevWALErr != nil {
+			e.noteWALErr(prevWALErr)
+		}
 		return err
 	}
 	for _, s := range e.shards {
-		s.from.Clear()
-		s.to.Clear()
-		s.combined.Clear()
+		s.frozenFrom, s.frozenTo, s.frozenCombined = nil, nil, nil
 	}
+	// Records a relocation deleted out of the frozen trees now exist in
+	// the installed runs; hide them through the table deletion vectors.
+	// The entries are persisted by the NEXT checkpoint (the vectors are
+	// dirty now), together with the re-keyed records waiting in the
+	// active trees — and should we crash before then, the relocation's
+	// WAL record is tagged past this CP and replays the whole
+	// transplantation against these very runs. Compaction cannot destroy
+	// them in the window: it defers whenever a deletion vector is dirty
+	// (see compactAttempt).
+	for table, dels := range e.frozenDel {
+		t := e.db.Table(table)
+		for rec := range dels {
+			t.DeleteRecord([]byte(rec))
+		}
+	}
+	e.frozenDel = nil
+	e.flushingCP = 0
+	e.mu.Unlock()
+	e.stats.cpInstallNanos.Add(uint64(time.Since(start)))
 	e.stats.checkpoints.Add(1)
 	e.stats.recordsFlushed.Add(flushed)
 
-	// Everything the log guarded is now durable in the read store: retire
-	// it. Truncate also resets any sticky append error — the records it
-	// failed to log were just committed through the manifest. A failure
-	// HERE must not be returned: the checkpoint itself committed and the
-	// write stores are gone, so the documented "on error, retry or
-	// replay" contract no longer applies; stale segments replay as no-ops
-	// (the CP filter skips them) and the failure is recorded as the
-	// sticky durability error instead.
+	// Everything the log guarded up to the cut is now durable in the read
+	// store: retire those segments. Appends that landed during the flush
+	// sit past the cut and keep their log protection. A failure HERE must
+	// not be returned: the checkpoint itself committed, so the documented
+	// "on error, retry or replay" contract no longer applies; unremoved
+	// segments replay as no-ops (recovery drops everything before the
+	// last cut whose CP the manifest covers, and CP-tag filtering skips
+	// the rest) and the failure is recorded as the sticky durability
+	// error instead.
 	if e.wal != nil {
-		e.clearWALErr()
-		if err := e.wal.Truncate(cp); err != nil {
-			e.noteWALErr(err)
+		if cut >= 0 {
+			if err := e.wal.Retire(cut); err != nil {
+				e.noteWALErr(err)
+			}
 		}
 	} else if e.staleWAL {
 		if err := wal.RemoveAll(e.vfs); err == nil {
@@ -644,13 +847,69 @@ func (e *Engine) Checkpoint(cp uint64) error {
 	return nil
 }
 
-// flushWS writes one shard's write store for one table into per-partition
-// Level-0 runs, appending each finished run's ref to *refs as soon as it
-// completes (so a caller cleaning up after a failure sees every run built
-// so far). The tree iterates in ascending record order, so each
-// partition's builder receives a sorted stream; builders stay open per
-// partition, which keeps one run per (shard, partition) even when hash
-// partitioning interleaves partition visits.
+// cpFlushResult collects one shard's flush output.
+type cpFlushResult struct {
+	refs  []lsm.RunRef
+	count uint64
+}
+
+// restoreFrozenLocked merges every shard's frozen trees back into its
+// active trees after a failed flush or install, skipping records a
+// concurrent relocation deleted (their re-keyed copies already live in
+// the active trees). Callers hold the structural lock exclusively.
+func (e *Engine) restoreFrozenLocked() {
+	delFrom := e.frozenDel[TableFrom]
+	delTo := e.frozenDel[TableTo]
+	delComb := e.frozenDel[TableCombined]
+	for _, s := range e.shards {
+		if s.frozenFrom == nil {
+			continue
+		}
+		s.frozenFrom.Ascend(func(r FromRec) bool {
+			if len(delFrom) > 0 {
+				if _, dead := delFrom[string(EncodeFrom(r))]; dead {
+					return true
+				}
+			}
+			s.from.Insert(r)
+			return true
+		})
+		s.frozenTo.Ascend(func(r ToRec) bool {
+			if len(delTo) > 0 {
+				if _, dead := delTo[string(EncodeTo(r))]; dead {
+					return true
+				}
+			}
+			s.to.Insert(r)
+			return true
+		})
+		s.frozenCombined.Ascend(func(r CombinedRec) bool {
+			if len(delComb) > 0 {
+				if _, dead := delComb[string(EncodeCombined(r))]; dead {
+					return true
+				}
+			}
+			s.combined.Insert(r)
+			return true
+		})
+		s.frozenFrom, s.frozenTo, s.frozenCombined = nil, nil, nil
+	}
+	e.frozenDel = nil
+	e.flushingCP = 0
+}
+
+// flushWS writes one (frozen) write-store tree for one table into
+// per-partition Level-0 runs. Run refs are appended to *refs only in the
+// Finish loop at the end — while records stream in, partial runs live in
+// the builders and are cleaned up via Abort on error — so after a
+// successful return *refs holds every finished run, and after an error it
+// holds only runs finished by earlier flushWS calls on the same slice
+// (which the caller must discard). The tree iterates in ascending record
+// order, so each partition's builder receives a sorted stream; builders
+// stay open per partition, which keeps one run per (shard, partition)
+// even when hash partitioning interleaves partition visits. Called with
+// no structural lock held: the tree is frozen (immutable) and run
+// builders synchronize file-ID allocation internally.
 func flushWS[T any](db *lsm.DB, refs *[]lsm.RunRef, table string, cp uint64,
 	ws *memtree.Tree[T], enc func(T) (uint64, []byte)) (uint64, error) {
 	if ws.Len() == 0 {
@@ -728,9 +987,16 @@ func (e *Engine) RelocateBlock(oldBlock, newBlock uint64) error {
 	if e.wal != nil {
 		// Tagged with the next CP number: the transplanted records become
 		// durable at the checkpoint that flushes them, so replay skips
-		// the record once that checkpoint has committed.
+		// the record once that checkpoint has committed. While a
+		// checkpoint flush is in flight the transplanted records land in
+		// the NEW active trees and flush only after the in-flight CP, so
+		// the tag must clear that CP too.
+		tag := e.db.CP() + 1
+		if e.flushingCP != 0 {
+			tag = e.flushingCP + 1
+		}
 		if err := e.wal.Append(wal.Record{
-			Op: wal.OpRelocate, CP: e.db.CP() + 1, Block: oldBlock, NewBlock: newBlock,
+			Op: wal.OpRelocate, CP: tag, Block: oldBlock, NewBlock: newBlock,
 		}); err != nil {
 			e.noteWALErr(err)
 		}
@@ -740,8 +1006,12 @@ func (e *Engine) RelocateBlock(oldBlock, newBlock uint64) error {
 
 // relocate is RelocateBlock's mutation, shared with WAL replay. Callers
 // hold the structural lock exclusively (or have exclusive access during
-// Open), which excludes every shared holder, so both shards' trees are
-// safe to touch without their shard mutexes.
+// Open), which excludes every shared holder, so both shards' active trees
+// are safe to touch without their shard mutexes. Frozen trees (a
+// checkpoint flush in flight) are never mutated — the flush reads them
+// lock-free — so records found there are logically deleted through
+// frozenDel and re-keyed into the active trees; see frozenDel for how
+// queries, the checkpoint error path, and the install handle them.
 func (e *Engine) relocate(oldBlock, newBlock uint64) error {
 	e.stats.relocations.Add(1)
 
@@ -817,7 +1087,49 @@ func (e *Engine) relocate(oldBlock, newBlock uint64) error {
 		r.Block = newBlock
 		dst.combined.Insert(r)
 	}
+
+	// Frozen records (mid-flush): logically delete via frozenDel and
+	// re-key into the active trees of the destination shard.
+	if src.frozenFrom != nil {
+		for _, r := range collectWSFrom(src.frozenFrom, oldBlock) {
+			e.frozenDelAdd(TableFrom, EncodeFrom(r))
+			r.Block = newBlock
+			dst.from.Insert(r)
+		}
+		for _, r := range collectWSTo(src.frozenTo, oldBlock) {
+			e.frozenDelAdd(TableTo, EncodeTo(r))
+			r.Block = newBlock
+			dst.to.Insert(r)
+		}
+		var frozenC []CombinedRec
+		src.frozenCombined.Scan(CombinedRec{Ref: Ref{Block: oldBlock}}, func(r CombinedRec) bool {
+			if r.Block != oldBlock {
+				return false
+			}
+			frozenC = append(frozenC, r)
+			return true
+		})
+		for _, r := range frozenC {
+			e.frozenDelAdd(TableCombined, EncodeCombined(r))
+			r.Block = newBlock
+			dst.combined.Insert(r)
+		}
+	}
 	return nil
+}
+
+// frozenDelAdd records the logical deletion of a frozen-tree record.
+// Callers hold the structural lock exclusively.
+func (e *Engine) frozenDelAdd(table string, rec []byte) {
+	if e.frozenDel == nil {
+		e.frozenDel = map[string]map[string]struct{}{}
+	}
+	m := e.frozenDel[table]
+	if m == nil {
+		m = map[string]struct{}{}
+		e.frozenDel[table] = m
+	}
+	m[string(rec)] = struct{}{}
 }
 
 func collectWSFrom(ws *memtree.Tree[FromRec], block uint64) []FromRec {

@@ -1,0 +1,853 @@
+// Frozen-write-store checkpoint tests. These live in an external test
+// package so they can verify against the internal/naive oracle, which
+// itself imports internal/core.
+package core_test
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"github.com/backlogfs/backlog/internal/core"
+	"github.com/backlogfs/backlog/internal/naive"
+	"github.com/backlogfs/backlog/internal/storage"
+	"github.com/backlogfs/backlog/internal/wal"
+)
+
+// gatedVFS blocks run-file creation until released, holding a checkpoint
+// in its lock-free flush phase so tests can deterministically exercise
+// the engine while the write stores are frozen. The first blocked Create
+// also signals entered, which tells the test the freeze has completed and
+// the flush has begun.
+type gatedVFS struct {
+	storage.VFS
+	mu       sync.Mutex
+	gated    bool
+	entered  chan struct{}
+	release  chan struct{}
+	signaled bool
+}
+
+func newGatedVFS(inner storage.VFS) *gatedVFS {
+	return &gatedVFS{VFS: inner}
+}
+
+// arm gates subsequent run-file creations. Returns (entered, release):
+// receive from entered to know a flush reached its first run file; close
+// release to let gated creations proceed.
+func (g *gatedVFS) arm() (<-chan struct{}, chan<- struct{}) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.gated = true
+	g.signaled = false
+	g.entered = make(chan struct{})
+	g.release = make(chan struct{})
+	return g.entered, g.release
+}
+
+func (g *gatedVFS) Create(name string) (storage.File, error) {
+	g.mu.Lock()
+	if !g.gated || !strings.HasSuffix(name, ".run") {
+		g.mu.Unlock()
+		return g.VFS.Create(name)
+	}
+	if !g.signaled {
+		g.signaled = true
+		close(g.entered)
+	}
+	release := g.release
+	g.mu.Unlock()
+	<-release
+	return g.VFS.Create(name)
+}
+
+type freezeEnv struct {
+	fs  *storage.MemFS
+	cat *core.MemCatalog
+	eng *core.Engine
+}
+
+func newFreezeEnv(t *testing.T, opts core.Options) *freezeEnv {
+	t.Helper()
+	fs := storage.NewMemFS()
+	cat := core.NewMemCatalog()
+	if opts.VFS == nil {
+		opts.VFS = fs
+	}
+	opts.Catalog = cat
+	eng, err := core.Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &freezeEnv{fs: fs, cat: cat, eng: eng}
+}
+
+func newGatedEnv(t *testing.T, opts core.Options) (*freezeEnv, *gatedVFS) {
+	t.Helper()
+	fs := storage.NewMemFS()
+	g := newGatedVFS(fs)
+	opts.VFS = g
+	env := newFreezeEnv(t, opts)
+	env.fs = fs
+	return env, g
+}
+
+func fref(block, inode, offset, line uint64) core.Ref {
+	return core.Ref{Block: block, Inode: inode, Offset: offset, Line: line, Length: 1}
+}
+
+func fQuery(t *testing.T, e *core.Engine, block uint64) []core.Owner {
+	t.Helper()
+	owners, err := e.Query(block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return owners
+}
+
+func fCheckpoint(t *testing.T, e *core.Engine, cp uint64) {
+	t.Helper()
+	if err := e.Checkpoint(cp); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCheckpointStaleCPRejected covers the replay-filter guard: a CP that
+// does not exceed the committed one must be rejected without touching the
+// write stores or the manifest.
+func TestCheckpointStaleCPRejected(t *testing.T) {
+	env := newFreezeEnv(t, core.Options{})
+	if err := env.eng.Checkpoint(0); !errors.Is(err, core.ErrStaleCP) {
+		t.Fatalf("Checkpoint(0) on a fresh database: %v, want ErrStaleCP", err)
+	}
+	env.eng.AddRef(fref(1, 2, 0, 0), 3)
+	fCheckpoint(t, env.eng, 3)
+	for _, stale := range []uint64{0, 2, 3} {
+		env.eng.AddRef(fref(10+stale, 2, stale, 0), 4)
+		if err := env.eng.Checkpoint(stale); !errors.Is(err, core.ErrStaleCP) {
+			t.Fatalf("Checkpoint(%d) after committing 3: %v, want ErrStaleCP", stale, err)
+		}
+	}
+	if got := env.eng.CP(); got != 3 {
+		t.Fatalf("CP rolled to %d by rejected checkpoints", got)
+	}
+	// The rejected checkpoints froze nothing: the buffered records are
+	// still queryable and flush with the next valid CP.
+	if got := env.eng.WSLen(); got != 3 {
+		t.Fatalf("WSLen = %d after rejected checkpoints, want 3", got)
+	}
+	fCheckpoint(t, env.eng, 4)
+	if got := env.eng.WSLen(); got != 0 {
+		t.Fatalf("WSLen = %d after valid checkpoint", got)
+	}
+	for _, stale := range []uint64{0, 2, 3} {
+		if owners := fQuery(t, env.eng, 10+stale); len(owners) != 1 || !owners[0].Live {
+			t.Fatalf("record buffered across a rejected checkpoint lost: %+v", owners)
+		}
+	}
+	if st := env.eng.Stats(); st.Checkpoints != 2 {
+		t.Fatalf("Checkpoints = %d, want 2", st.Checkpoints)
+	}
+}
+
+// TestUpdatesAndQueriesDuringCheckpointFlush holds a checkpoint in its
+// lock-free flush phase and verifies the tentpole contract: updates for
+// the next CP proceed into fresh trees, queries read active ∪ frozen, a
+// RemoveRef whose matching AddRef froze cancels through the join instead
+// of pruning in place, and a second Checkpoint serializes behind the
+// in-flight one.
+func TestUpdatesAndQueriesDuringCheckpointFlush(t *testing.T) {
+	env, g := newGatedEnv(t, core.Options{WriteShards: 4})
+	eng := env.eng
+	for b := uint64(1); b <= 8; b++ {
+		eng.AddRef(fref(b, 2, b, 0), 1)
+	}
+	entered, release := g.arm()
+	cp1 := make(chan error, 1)
+	go func() { cp1 <- eng.Checkpoint(1) }()
+	<-entered // freeze done, flush blocked on its first run file
+
+	// Frozen records answer queries mid-flush.
+	if owners := fQuery(t, eng, 3); len(owners) != 1 || !owners[0].Live {
+		t.Fatalf("frozen record invisible during flush: %+v", owners)
+	}
+	// Updates tagged cp 2 flow into the fresh active trees.
+	eng.AddRef(fref(100, 9, 0, 0), 2)
+	if owners := fQuery(t, eng, 100); len(owners) != 1 || !owners[0].Live {
+		t.Fatalf("active record invisible during flush: %+v", owners)
+	}
+	// Removing a frozen reference cannot prune in place: it must insert a
+	// To record, and the pair cancels in the join.
+	eng.RemoveRef(fref(4, 2, 4, 0), 1)
+	if owners := fQuery(t, eng, 4); len(owners) != 0 {
+		t.Fatalf("frozen AddRef + active RemoveRef did not cancel: %+v", owners)
+	}
+	if st := eng.Stats(); st.PrunedRemoves != 0 {
+		t.Fatalf("PrunedRemoves = %d; pruning reached into a frozen tree", st.PrunedRemoves)
+	}
+	// A second checkpoint must wait for the in-flight one.
+	cp2 := make(chan error, 1)
+	go func() { cp2 <- eng.Checkpoint(2) }()
+	select {
+	case err := <-cp2:
+		t.Fatalf("second checkpoint finished during the first one's flush: %v", err)
+	default:
+	}
+
+	close(release)
+	if err := <-cp1; err != nil {
+		t.Fatal(err)
+	}
+	if err := <-cp2; err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.CP(); got != 2 {
+		t.Fatalf("CP = %d after both checkpoints", got)
+	}
+	if got := eng.WSLen(); got != 0 {
+		t.Fatalf("WSLen = %d after both checkpoints", got)
+	}
+	// Post-install state: flushed records in runs, cancellation held.
+	if owners := fQuery(t, eng, 3); len(owners) != 1 || !owners[0].Live {
+		t.Fatalf("record lost after frozen flush: %+v", owners)
+	}
+	if owners := fQuery(t, eng, 4); len(owners) != 0 {
+		t.Fatalf("cancelled pair resurrected after flush: %+v", owners)
+	}
+	if owners := fQuery(t, eng, 100); len(owners) != 1 || !owners[0].Live {
+		t.Fatalf("during-flush record lost: %+v", owners)
+	}
+	st := eng.Stats()
+	if st.CheckpointFlushNanos == 0 || st.CheckpointSwapNanos == 0 || st.CheckpointInstallNanos == 0 {
+		t.Fatalf("checkpoint stall counters not populated: %+v", st)
+	}
+}
+
+// TestRelocateDuringCheckpointFlush relocates a block whose records are
+// mid-flush in the frozen trees: the old block must go dark immediately,
+// the new block must answer queries, and the state must survive the
+// install, the next checkpoint, compaction, and a crash-reopen.
+func TestRelocateDuringCheckpointFlush(t *testing.T) {
+	env, g := newGatedEnv(t, core.Options{WriteShards: 4})
+	eng := env.eng
+	const oldBlock, newBlock = 5, 909
+	eng.AddRef(fref(oldBlock, 3, 0, 0), 1)
+	eng.AddRef(fref(oldBlock, 3, 1, 0), 1)
+	eng.AddRef(fref(7, 4, 0, 0), 1) // bystander
+
+	entered, release := g.arm()
+	done := make(chan error, 1)
+	go func() { done <- eng.Checkpoint(1) }()
+	<-entered
+
+	if err := eng.RelocateBlock(oldBlock, newBlock); err != nil {
+		t.Fatal(err)
+	}
+	if owners := fQuery(t, eng, oldBlock); len(owners) != 0 {
+		t.Fatalf("old block still answers during flush: %+v", owners)
+	}
+	if owners := fQuery(t, eng, newBlock); len(owners) != 2 {
+		t.Fatalf("new block has %d owners during flush, want 2: %+v", len(owners), owners)
+	}
+
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	// Post-install: the frozen records landed in runs but are hidden by
+	// the deletion vector the relocation primed.
+	if owners := fQuery(t, eng, oldBlock); len(owners) != 0 {
+		t.Fatalf("old block resurrected after install: %+v", owners)
+	}
+	if owners := fQuery(t, eng, newBlock); len(owners) != 2 {
+		t.Fatalf("new block lost records after install: %+v", owners)
+	}
+	if owners := fQuery(t, eng, 7); len(owners) != 1 {
+		t.Fatalf("bystander block wrong after install: %+v", owners)
+	}
+	// The next checkpoint persists the deletion vector together with the
+	// re-keyed records; after a crash the state must hold.
+	fCheckpoint(t, eng, 2)
+	env.fs.Crash()
+	eng2, err := core.Open(core.Options{VFS: env.fs, Catalog: env.cat, WriteShards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if owners := fQuery(t, eng2, oldBlock); len(owners) != 0 {
+		t.Fatalf("old block resurrected after crash: %+v", owners)
+	}
+	if owners := fQuery(t, eng2, newBlock); len(owners) != 2 {
+		t.Fatalf("new block lost records after crash: %+v", owners)
+	}
+	if err := eng2.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if owners := fQuery(t, eng2, oldBlock); len(owners) != 0 {
+		t.Fatalf("old block resurrected after compaction: %+v", owners)
+	}
+	if owners := fQuery(t, eng2, newBlock); len(owners) != 2 {
+		t.Fatalf("new block lost records after compaction: %+v", owners)
+	}
+}
+
+// TestCheckpointFlushFailureRecovers injects a write failure into the
+// lock-free flush and verifies the documented contract: on error every
+// frozen record is merged back into the write stores (recoverable), and a
+// retry succeeds.
+func TestCheckpointFlushFailureRecovers(t *testing.T) {
+	env := newFreezeEnv(t, core.Options{WriteShards: 4})
+	eng := env.eng
+	const n = 64
+	for i := uint64(0); i < n; i++ {
+		eng.AddRef(fref(i, 2, i, 0), 1)
+	}
+	env.fs.SetFailurePlan(storage.FailurePlan{FailAfterPageWrites: env.fs.Stats().PageWrites + 1})
+	if err := eng.Checkpoint(1); err == nil {
+		t.Fatal("checkpoint succeeded under an injected flush failure")
+	}
+	env.fs.SetFailurePlan(storage.FailurePlan{})
+	if got := eng.WSLen(); got != n {
+		t.Fatalf("WSLen = %d after failed flush, want %d (frozen records restored)", got, n)
+	}
+	if got := eng.CP(); got != 0 {
+		t.Fatalf("CP = %d after failed flush", got)
+	}
+	for i := uint64(0); i < n; i++ {
+		if owners := fQuery(t, eng, i); len(owners) != 1 || !owners[0].Live {
+			t.Fatalf("block %d lost by failed flush: %+v", i, owners)
+		}
+	}
+	// Retry succeeds and flushes everything.
+	fCheckpoint(t, eng, 1)
+	if got := eng.WSLen(); got != 0 {
+		t.Fatalf("WSLen = %d after retry", got)
+	}
+	for i := uint64(0); i < n; i++ {
+		if owners := fQuery(t, eng, i); len(owners) != 1 || !owners[0].Live {
+			t.Fatalf("block %d lost by retry: %+v", i, owners)
+		}
+	}
+	if st := eng.Stats(); st.Checkpoints != 1 {
+		t.Fatalf("Checkpoints = %d, want 1 (failed attempt must not count)", st.Checkpoints)
+	}
+}
+
+// TestRelocateThenFlushFailure relocates out of the frozen trees and then
+// fails the flush: the restore must NOT resurrect the relocated-away
+// records (their re-keyed copies live in the active trees).
+func TestRelocateThenFlushFailure(t *testing.T) {
+	env, g := newGatedEnv(t, core.Options{WriteShards: 4})
+	eng := env.eng
+	const oldBlock, newBlock = 11, 480
+	eng.AddRef(fref(oldBlock, 3, 0, 0), 1)
+	eng.AddRef(fref(12, 5, 0, 0), 1)
+
+	entered, release := g.arm()
+	done := make(chan error, 1)
+	go func() { done <- eng.Checkpoint(1) }()
+	<-entered
+	if err := eng.RelocateBlock(oldBlock, newBlock); err != nil {
+		t.Fatal(err)
+	}
+	// Fail the flush: the gated Creates proceed, and after one page the
+	// writes behind them (or the manifest commit) fail.
+	env.fs.SetFailurePlan(storage.FailurePlan{FailAfterPageWrites: env.fs.Stats().PageWrites + 1})
+	close(release)
+	if err := <-done; err == nil {
+		t.Fatal("checkpoint succeeded under an injected flush failure")
+	}
+	env.fs.SetFailurePlan(storage.FailurePlan{})
+
+	if owners := fQuery(t, eng, oldBlock); len(owners) != 0 {
+		t.Fatalf("relocated-away record resurrected by restore: %+v", owners)
+	}
+	if owners := fQuery(t, eng, newBlock); len(owners) != 1 {
+		t.Fatalf("relocated record lost by restore: %+v", owners)
+	}
+	if owners := fQuery(t, eng, 12); len(owners) != 1 {
+		t.Fatalf("bystander lost by restore: %+v", owners)
+	}
+	fCheckpoint(t, eng, 1)
+	if owners := fQuery(t, eng, oldBlock); len(owners) != 0 {
+		t.Fatalf("relocated-away record resurrected by retry: %+v", owners)
+	}
+	if owners := fQuery(t, eng, newBlock); len(owners) != 1 {
+		t.Fatalf("relocated record lost by retry: %+v", owners)
+	}
+}
+
+// TestWALCutKeepsFlushConcurrentAppends is the WAL half of the tentpole:
+// in Sync mode, an update acknowledged while a checkpoint flush runs must
+// survive a crash even though the checkpoint that was in flight commits
+// and retires the log behind it.
+func TestWALCutKeepsFlushConcurrentAppends(t *testing.T) {
+	fs := storage.NewMemFS()
+	g := newGatedVFS(fs)
+	cat := core.NewMemCatalog()
+	eng, err := core.Open(core.Options{VFS: g, Catalog: cat, Durability: wal.Sync, WriteShards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.AddRef(fref(1, 2, 0, 0), 1)
+
+	entered, release := g.arm()
+	done := make(chan error, 1)
+	go func() { done <- eng.Checkpoint(1) }()
+	<-entered
+	// Acknowledged mid-flush, tagged for the next CP.
+	eng.AddRef(fref(50, 7, 0, 0), 2)
+	if err := eng.WALErr(); err != nil {
+		t.Fatalf("append during flush noted a durability error: %v", err)
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+
+	fs.Crash()
+	eng2, err := core.Open(core.Options{VFS: fs, Catalog: cat, Durability: wal.Sync, WriteShards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := eng2.Stats().WALReplayed; got != 1 {
+		t.Fatalf("replayed %d records, want 1 (the mid-flush append)", got)
+	}
+	if owners := fQuery(t, eng2, 50); len(owners) != 1 || !owners[0].Live {
+		t.Fatalf("mid-flush acknowledged update lost across crash: %+v", owners)
+	}
+	if owners := fQuery(t, eng2, 1); len(owners) != 1 || !owners[0].Live {
+		t.Fatalf("checkpointed record lost across crash: %+v", owners)
+	}
+	if err := eng2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCloseDuringCheckpointFlush: Close must serialize behind an
+// in-flight flush instead of closing the engine under it.
+func TestCloseDuringCheckpointFlush(t *testing.T) {
+	env, g := newGatedEnv(t, core.Options{WriteShards: 2})
+	eng := env.eng
+	eng.AddRef(fref(1, 2, 0, 0), 1)
+	entered, release := g.arm()
+	cpDone := make(chan error, 1)
+	go func() { cpDone <- eng.Checkpoint(1) }()
+	<-entered
+	closeDone := make(chan error, 1)
+	go func() { closeDone <- eng.Close() }()
+	select {
+	case err := <-closeDone:
+		t.Fatalf("Close finished during the flush: %v", err)
+	default:
+	}
+	close(release)
+	if err := <-cpDone; err != nil {
+		t.Fatal(err)
+	}
+	if err := <-closeDone; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// hammerOp is one pre-generated write operation of a worker's stream;
+// identities are disjoint across workers so a sequential replay is a
+// valid oracle regardless of interleaving.
+type hammerOp struct {
+	r      core.Ref
+	cp     uint64
+	remove bool
+}
+
+func genHammerStreams(workers, opsEach, blocks int, maxCP uint64) [][]hammerOp {
+	streams := make([][]hammerOp, workers)
+	for w := range streams {
+		rng := rand.New(rand.NewSource(int64(4000 + w)))
+		var live []core.Ref
+		for i := 0; i < opsEach; i++ {
+			cp := uint64(1) + uint64(i)*maxCP/uint64(opsEach)
+			if len(live) > 0 && rng.Intn(3) == 0 {
+				k := rng.Intn(len(live))
+				r := live[k]
+				live = append(live[:k], live[k+1:]...)
+				streams[w] = append(streams[w], hammerOp{r: r, cp: cp, remove: true})
+			} else {
+				r := core.Ref{
+					Block:  uint64(rng.Intn(blocks)),
+					Inode:  uint64(w + 1),
+					Offset: uint64(i),
+					Length: 1,
+				}
+				live = append(live, r)
+				streams[w] = append(streams[w], hammerOp{r: r, cp: cp})
+			}
+		}
+	}
+	return streams
+}
+
+// TestConcurrentCheckpointHammerMatchesOracle is the -race hammer for the
+// frozen-store path: AddRef/RemoveRef/Query/RelocateBlock run concurrently
+// with tight back-to-back checkpoints (no artificial pacing, so flushes
+// overlap ingest constantly) and periodically injected flush failures that
+// must leave every frozen record recoverable. Live references are verified
+// against the naive oracle (Section 4.1), relocations against their known
+// final placement.
+func TestConcurrentCheckpointHammerMatchesOracle(t *testing.T) {
+	const (
+		workers     = 6
+		opsEach     = 1200
+		blocks      = 384
+		maxCP       = uint64(12)
+		relocBase   = uint64(1 << 20)
+		relocSpan   = uint64(1 << 10)
+		relocatable = uint64(48)
+	)
+	env := newFreezeEnv(t, core.Options{WriteShards: 0})
+	eng := env.eng
+
+	// A private, pre-checkpointed range the relocation goroutine owns.
+	for i := uint64(0); i < relocatable; i++ {
+		eng.AddRef(core.Ref{Block: relocBase + i, Inode: 4242, Offset: i, Length: 1}, 1)
+	}
+	fCheckpoint(t, eng, 1)
+
+	streams := genHammerStreams(workers, opsEach, blocks, maxCP)
+	stop := make(chan struct{})
+	errc := make(chan error, 8)
+
+	var cpMu sync.Mutex
+	lastCP := maxCP + 1
+	cpDone := make(chan struct{})
+	go func() { // checkpoints, back to back, with injected failures
+		defer close(cpDone)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			cpMu.Lock()
+			next := lastCP + 1
+			if i%7 == 6 {
+				// Inject a failure somewhere inside the flush; the
+				// checkpoint must fail cleanly and the immediate retry
+				// must see every frozen record again.
+				env.fs.SetFailurePlan(storage.FailurePlan{FailAfterPageWrites: env.fs.Stats().PageWrites + 2})
+				err := eng.Checkpoint(next)
+				env.fs.SetFailurePlan(storage.FailurePlan{})
+				if err == nil {
+					// The flush can legitimately win the race when the
+					// write stores were empty (no page writes needed).
+					lastCP = next
+					cpMu.Unlock()
+					continue
+				}
+			}
+			if err := eng.Checkpoint(next); err != nil {
+				errc <- err
+				cpMu.Unlock()
+				return
+			}
+			lastCP = next
+			cpMu.Unlock()
+		}
+	}()
+
+	queryDone := make(chan struct{})
+	go func() { // query hammer across ingest and relocation ranges
+		defer close(queryDone)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := eng.Query(uint64(i % blocks)); err != nil {
+				errc <- err
+				return
+			}
+			if _, err := eng.Query(relocBase + uint64(i)%relocatable); err != nil {
+				errc <- err
+				return
+			}
+		}
+	}()
+
+	relocDone := make(chan struct{})
+	go func() { // one deterministic pass over the private range
+		defer close(relocDone)
+		for i := uint64(0); i < relocatable; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := eng.RelocateBlock(relocBase+i, relocBase+relocSpan+i); err != nil {
+				errc <- err
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(stream []hammerOp) {
+			defer wg.Done()
+			for _, o := range stream {
+				if o.remove {
+					eng.RemoveRef(o.r, o.cp)
+				} else {
+					eng.AddRef(o.r, o.cp)
+				}
+			}
+		}(streams[w])
+	}
+	wg.Wait()
+	<-relocDone
+	close(stop)
+	<-cpDone
+	<-queryDone
+	select {
+	case err := <-errc:
+		t.Fatal(err)
+	default:
+	}
+
+	// Drain and verify against the naive oracle.
+	fCheckpoint(t, eng, lastCP+1)
+	if got := eng.WSLen(); got != 0 {
+		t.Fatalf("WSLen = %d after final checkpoint", got)
+	}
+	oracle, err := naive.New(storage.NewMemFS(), 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, stream := range streams {
+		for _, o := range stream {
+			if o.remove {
+				oracle.RemoveRef(o.r, o.cp)
+			} else {
+				oracle.AddRef(o.r, o.cp)
+			}
+		}
+	}
+	for b := uint64(0); b < blocks; b++ {
+		recs, err := oracle.QueryBlock(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := map[core.Ref]bool{}
+		for _, r := range recs {
+			if r.To == core.Infinity {
+				want[r.Ref] = true
+			}
+		}
+		got := map[core.Ref]bool{}
+		for _, o := range fQuery(t, eng, b) {
+			if o.Live {
+				got[core.Ref{Block: b, Inode: o.Inode, Offset: o.Offset, Line: o.Line, Length: o.Length}] = true
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("block %d: %d live owners, oracle says %d\n got: %v\nwant: %v", b, len(got), len(want), got, want)
+		}
+		for r := range want {
+			if !got[r] {
+				t.Fatalf("block %d: oracle reference %+v missing", b, r)
+			}
+		}
+	}
+	// Every relocation moved its block exactly once.
+	for i := uint64(0); i < relocatable; i++ {
+		if owners := fQuery(t, eng, relocBase+i); len(owners) != 0 {
+			t.Fatalf("relocated-away block %d still answers: %+v", relocBase+i, owners)
+		}
+		owners := fQuery(t, eng, relocBase+relocSpan+i)
+		if len(owners) != 1 || !owners[0].Live || owners[0].Offset != i {
+			t.Fatalf("relocated block %d wrong: %+v", relocBase+relocSpan+i, owners)
+		}
+	}
+}
+
+// removeBlockVFS fails Remove for WAL segments while armed, simulating a
+// crash that beats the post-commit log retirement (the segments survive
+// with records the committed checkpoint already covers).
+type removeBlockVFS struct {
+	storage.VFS
+	block atomic.Bool
+}
+
+func (v *removeBlockVFS) Remove(name string) error {
+	if v.block.Load() && strings.HasPrefix(name, "wal-") {
+		return errors.New("injected remove failure")
+	}
+	return v.VFS.Remove(name)
+}
+
+// TestRetriedCheckpointDoesNotDoubleApplyWAL covers the retry corner of
+// the cut protocol: an update logged while Checkpoint(n) was flushing is
+// tagged n+1 but — if that flush fails and the caller retries
+// Checkpoint(n) — gets frozen and committed AT CP n by the retry. If the
+// crash then beats the log retirement, replay must not re-apply it on
+// top of the runs that already hold it (the CP-tag filter alone would:
+// n+1 > n). Recovery drops everything before the last cut whose CP the
+// manifest covers.
+func TestRetriedCheckpointDoesNotDoubleApplyWAL(t *testing.T) {
+	fs := storage.NewMemFS()
+	rb := &removeBlockVFS{VFS: fs}
+	g := newGatedVFS(rb)
+	cat := core.NewMemCatalog()
+	open := func() *core.Engine {
+		eng, err := core.Open(core.Options{VFS: g, Catalog: cat, Durability: wal.Sync, WriteShards: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return eng
+	}
+	eng := open()
+	eng.AddRef(fref(1, 2, 0, 0), 1)
+
+	// Checkpoint(1) freezes, then fails mid-flush; b lands during the
+	// flush, logged past the cut, tagged 2.
+	entered, release := g.arm()
+	done := make(chan error, 1)
+	go func() { done <- eng.Checkpoint(1) }()
+	<-entered
+	bRef := fref(50, 7, 0, 0)
+	eng.AddRef(bRef, 2)
+	fs.SetFailurePlan(storage.FailurePlan{FailAfterPageWrites: fs.Stats().PageWrites + 1})
+	close(release)
+	if err := <-done; err == nil {
+		t.Fatal("checkpoint survived the injected flush failure")
+	}
+	fs.SetFailurePlan(storage.FailurePlan{})
+
+	// The retry freezes b too (it was merged back... it was active all
+	// along) and commits it at CP 1. The armed Remove failure keeps the
+	// segment holding b's record on disk, as a crash beating the
+	// retirement would.
+	rb.block.Store(true)
+	fCheckpoint(t, eng, 1)
+	rb.block.Store(false)
+
+	fs.Crash()
+	eng2 := open()
+	// b is durable in the runs; its surviving WAL record must NOT have
+	// replayed into the write stores again.
+	eng2.RemoveRef(bRef, 2)
+	fCheckpoint(t, eng2, 2)
+	if owners := fQuery(t, eng2, 50); len(owners) != 0 {
+		t.Fatalf("phantom owner after remove — the WAL record double-applied: %+v", owners)
+	}
+	if owners := fQuery(t, eng2, 1); len(owners) != 1 || !owners[0].Live {
+		t.Fatalf("pre-freeze record lost: %+v", owners)
+	}
+	if err := eng2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCompactionDeferredWhileDVDirty: compaction must not physically
+// purge records hidden by UNPERSISTED deletion-vector entries — their
+// re-keyed replacements are still volatile in the write stores, so a
+// crash after the purge would lose the references beyond what WAL replay
+// can reconstruct. The partition compacts normally once a checkpoint has
+// persisted vector and replacements together.
+func TestCompactionDeferredWhileDVDirty(t *testing.T) {
+	env := newFreezeEnv(t, core.Options{})
+	eng := env.eng
+	for i := uint64(0); i < 8; i++ {
+		eng.AddRef(fref(100+i, 2, i, 0), 1)
+	}
+	fCheckpoint(t, eng, 1)
+	eng.AddRef(fref(200, 3, 0, 0), 2)
+	fCheckpoint(t, eng, 2) // two runs now exist to merge
+
+	if err := eng.RelocateBlock(100, 900); err != nil {
+		t.Fatal(err)
+	}
+	if !eng.DB().Table(core.TableFrom).DVDirty() {
+		t.Fatal("relocation did not dirty the deletion vector")
+	}
+	runsBefore := eng.RunCount()
+	if err := eng.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.RunCount(); got != runsBefore {
+		t.Fatalf("compaction ran on a dirty deletion vector (%d -> %d runs)", runsBefore, got)
+	}
+	if st := eng.Stats(); st.Compactions != 0 {
+		t.Fatalf("Compactions = %d, want 0 (deferred)", st.Compactions)
+	}
+
+	// After the checkpoint persists the vector and the re-keyed records,
+	// compaction proceeds and the relocation holds.
+	fCheckpoint(t, eng, 3)
+	if err := eng.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if st := eng.Stats(); st.Compactions == 0 {
+		t.Fatal("compaction still deferred after the checkpoint")
+	}
+	if owners := fQuery(t, eng, 100); len(owners) != 0 {
+		t.Fatalf("relocated-away block answers after compaction: %+v", owners)
+	}
+	if owners := fQuery(t, eng, 900); len(owners) != 1 || !owners[0].Live {
+		t.Fatalf("relocation target wrong after compaction: %+v", owners)
+	}
+}
+
+// TestRelocateRunRecordsDuringFlushCrashWindows relocates a block whose
+// records live in committed runs while an unrelated checkpoint flush is
+// in flight. The deletion-vector entries this adds arise AFTER the
+// freeze, so the in-flight install must NOT persist them (their re-keyed
+// partners flush only with the next checkpoint): a crash right after the
+// in-flight checkpoint loses the relocation atomically (old state), and
+// a crash after the next checkpoint keeps it atomically (new state) —
+// never the halfway state where the old records are hidden durably while
+// the new ones were never flushed.
+func TestRelocateRunRecordsDuringFlushCrashWindows(t *testing.T) {
+	for _, crashEarly := range []bool{true, false} {
+		env, g := newGatedEnv(t, core.Options{WriteShards: 2})
+		eng := env.eng
+		eng.AddRef(fref(30, 3, 0, 0), 1)
+		fCheckpoint(t, eng, 1) // block 30's record is in a run
+		eng.AddRef(fref(40, 4, 0, 0), 2)
+
+		entered, release := g.arm()
+		done := make(chan error, 1)
+		go func() { done <- eng.Checkpoint(2) }()
+		<-entered
+		if err := eng.RelocateBlock(30, 700); err != nil {
+			t.Fatal(err)
+		}
+		close(release)
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+		if !crashEarly {
+			fCheckpoint(t, eng, 3) // persists the vector + re-keyed records
+		}
+		env.fs.Crash()
+		eng2, err := core.Open(core.Options{VFS: env.fs, Catalog: env.cat, WriteShards: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		old := fQuery(t, eng2, 30)
+		moved := fQuery(t, eng2, 700)
+		if crashEarly {
+			// The relocation was not yet durable: it must be lost whole.
+			if len(old) != 1 || len(moved) != 0 {
+				t.Fatalf("crash before the covering checkpoint left a half-relocation: old=%+v new=%+v", old, moved)
+			}
+		} else {
+			if len(old) != 0 || len(moved) != 1 {
+				t.Fatalf("crash after the covering checkpoint lost the relocation: old=%+v new=%+v", old, moved)
+			}
+		}
+	}
+}

@@ -55,11 +55,14 @@ type interval struct {
 // omitted.
 //
 // Queries hold the structural lock shared only long enough to pin an LSM
-// view and snapshot the owning shard's write-store records; all run I/O —
-// the expensive part — happens against the pinned view with no lock held.
-// A query therefore never blocks on a running compaction (which takes the
-// structural lock exclusively only to validate and install its result),
-// and only briefly on a checkpoint flush.
+// view and snapshot the owning shard's write-store records — both the
+// active trees and any frozen trees a running checkpoint is flushing; all
+// run I/O — the expensive part — happens against the pinned view with no
+// lock held. A query therefore never blocks on a running compaction or on
+// a checkpoint's run-building I/O: both do their heavy work against
+// pinned snapshots outside the structural lock and acquire it exclusively
+// only for their brief freeze and validate-and-install critical sections,
+// which are in-memory pointer swaps plus one manifest write.
 func (e *Engine) Query(block uint64) ([]Owner, error) {
 	e.stats.queries.Add(1)
 	v, ws := e.pinBlock(block)
@@ -77,14 +80,21 @@ type wsRecords struct {
 	combineds []CombinedRec
 }
 
-// pinBlock captures the consistent snapshot a query runs against.
+// pinBlock captures the consistent snapshot a query runs against: the
+// pinned LSM view plus the block's records from the owning shard's active
+// trees and — when a checkpoint flush is in flight — its frozen trees.
+// The union is a consistent cut in every checkpoint phase: before the
+// freeze the records are active, during the flush they are frozen (and
+// not yet in any run the view sees), and after the install the view has
+// the runs and the frozen slots are gone. Frozen records a concurrent
+// relocation logically deleted (frozenDel) are filtered out here, the
+// same way the relocation's DeleteRecord hides run records.
 func (e *Engine) pinBlock(block uint64) (*lsm.View, wsRecords) {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	v := e.db.AcquireView()
 	s := e.shardOf(block)
 	s.mu.RLock()
-	defer s.mu.RUnlock()
 	var ws wsRecords
 	ws.froms = collectWSFrom(s.from, block)
 	ws.tos = collectWSTo(s.to, block)
@@ -95,6 +105,40 @@ func (e *Engine) pinBlock(block uint64) (*lsm.View, wsRecords) {
 		ws.combineds = append(ws.combineds, r)
 		return true
 	})
+	s.mu.RUnlock()
+	if s.frozenFrom != nil {
+		delFrom := e.frozenDel[TableFrom]
+		for _, r := range collectWSFrom(s.frozenFrom, block) {
+			if len(delFrom) > 0 {
+				if _, dead := delFrom[string(EncodeFrom(r))]; dead {
+					continue
+				}
+			}
+			ws.froms = append(ws.froms, r)
+		}
+		delTo := e.frozenDel[TableTo]
+		for _, r := range collectWSTo(s.frozenTo, block) {
+			if len(delTo) > 0 {
+				if _, dead := delTo[string(EncodeTo(r))]; dead {
+					continue
+				}
+			}
+			ws.tos = append(ws.tos, r)
+		}
+		delComb := e.frozenDel[TableCombined]
+		s.frozenCombined.Scan(CombinedRec{Ref: Ref{Block: block}}, func(r CombinedRec) bool {
+			if r.Block != block {
+				return false
+			}
+			if len(delComb) > 0 {
+				if _, dead := delComb[string(EncodeCombined(r))]; dead {
+					return true
+				}
+			}
+			ws.combineds = append(ws.combineds, r)
+			return true
+		})
+	}
 	return v, ws
 }
 

@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// TestCPStallSmoke runs a miniature checkpoint-stall experiment: the
+// measured checkpoint must actually overlap the update stream, and
+// updates must keep completing while it flushes.
+func TestCPStallSmoke(t *testing.T) {
+	cfg := CPStallConfig{
+		PrefillOps: 20_000,
+		Blocks:     1 << 12,
+		MeasureOps: 2_000,
+		WriteDelay: 200 * time.Microsecond,
+		Seed:       1,
+	}
+	res, err := RunCPStall(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Phases) != 3 {
+		t.Fatalf("got %d phases, want 3", len(res.Phases))
+	}
+	during := res.Phases[1]
+	if during.Ops < 1 {
+		t.Fatal("no updates completed during the checkpoint flush")
+	}
+	if res.RecordsFlushed < uint64(cfg.PrefillOps) {
+		t.Fatalf("checkpoint flushed %d records, want >= %d", res.RecordsFlushed, cfg.PrefillOps)
+	}
+	if res.CheckpointMS <= 0 || res.FlushMS <= 0 {
+		t.Fatalf("checkpoint timing not captured: %+v", res)
+	}
+	// The whole point: the exclusive-lock windows are a small fraction of
+	// the checkpoint; the flush dominates and holds no lock. Generous
+	// bound to stay robust on loaded CI machines.
+	if res.SwapUS+res.InstallUS > res.FlushMS*1e3 {
+		t.Fatalf("exclusive sections (%.0fµs swap + %.0fµs install) exceed the lock-free flush (%.1fms)",
+			res.SwapUS, res.InstallUS, res.FlushMS)
+	}
+}

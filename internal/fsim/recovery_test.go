@@ -332,6 +332,99 @@ func TestKillPointRecoveryAgainstNaiveOracle(t *testing.T) {
 	}
 }
 
+// TestCheckpointFlushCrashKillPoint crashes INSIDE a checkpoint's
+// lock-free flush — after the write stores froze, before the manifest
+// commit — under every durability mode. The frozen-store checkpoint must
+// make this window indistinguishable from crashing before the checkpoint:
+// in Sync mode every acknowledged record replays from the log (the cut
+// taken at the freeze retires nothing until the commit), and in
+// Buffered/CheckpointOnly modes the recovered state is exactly the last
+// committed consistency point.
+func TestCheckpointFlushCrashKillPoint(t *testing.T) {
+	for _, mode := range []wal.Durability{wal.CheckpointOnly, wal.Buffered, wal.Sync} {
+		t.Run(mode.String(), func(t *testing.T) {
+			vfs := storage.NewMemFS()
+			cat := core.NewMemCatalog()
+			open := func() *core.Engine {
+				eng, err := core.Open(core.Options{VFS: vfs, Catalog: cat, Durability: mode})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return eng
+			}
+			kt := &killPointTracker{eng: open()}
+			fs := New(Config{Tracker: kt, Catalog: cat, DedupRate: 0.15, Seed: 31})
+			rng := rand.New(rand.NewSource(77))
+
+			var inos []uint64
+			churn := func(n int) {
+				for i := 0; i < n; i++ {
+					if rng.Intn(3) == 0 || len(inos) == 0 {
+						ino, err := fs.CreateFile(0)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if err := fs.WriteFile(0, ino, 0, 1+rng.Intn(5)); err != nil {
+							t.Fatal(err)
+						}
+						inos = append(inos, ino)
+					} else {
+						ino := inos[rng.Intn(len(inos))]
+						ln, err := fs.FileLen(0, ino)
+						if err != nil || ln == 0 {
+							continue
+						}
+						if err := fs.WriteFile(0, ino, uint64(rng.Intn(int(ln))), 1); err != nil {
+							t.Fatal(err)
+						}
+					}
+				}
+			}
+
+			churn(30)
+			if _, err := fs.Checkpoint(); err != nil {
+				t.Fatal(err)
+			}
+			churn(25)
+
+			// The kill point: let the next checkpoint freeze and start
+			// flushing, then fail its writes and pull the plug.
+			vfs.SetFailurePlan(storage.FailurePlan{FailAfterPageWrites: vfs.Stats().PageWrites + 1})
+			if _, err := fs.Checkpoint(); err == nil {
+				t.Fatal("checkpoint survived the injected mid-flush failure")
+			}
+			vfs.SetFailurePlan(storage.FailurePlan{})
+			vfs.Crash()
+			eng2 := open()
+
+			acked := kt.ops
+			if mode != wal.Sync {
+				acked = kt.ops[:kt.acked]
+			}
+			verifyAgainstNaive(t, eng2, acked)
+
+			// Re-drive the legitimately lost tail, then prove the
+			// recovered system checkpoints and verifies end to end.
+			if mode != wal.Sync {
+				for _, op := range kt.ops[kt.acked:] {
+					if op.add {
+						eng2.AddRef(op.ref, op.cp)
+					} else {
+						eng2.RemoveRef(op.ref, op.cp)
+					}
+				}
+			}
+			kt.eng = eng2
+			if _, err := fs.Checkpoint(); err != nil {
+				t.Fatal(err)
+			}
+			if err := fs.VerifyBackrefs(kt.eng); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
 // TestTornTailRecoveryViaFailurePlan cuts the final WAL record mid-page
 // with MemFS failure injection — a torn sector write whose prefix reached
 // the platter — and verifies that recovery keeps every record before the

@@ -20,11 +20,21 @@ type Edit struct {
 	add       []RunRef
 	drop      map[string][]string // table -> run names to drop
 	replaceDV map[string]bool     // tables whose (possibly empty) DV should be persisted
+	dvAsOf    map[string]dvSnap   // tables whose DV is persisted from a snapshot instead
+}
+
+// dvSnap is a deletion-vector snapshot captured before lock-free work
+// whose result this edit commits: the map contents as of the capture and
+// the generation counter that detects mutations since.
+type dvSnap struct {
+	dv  map[string]struct{}
+	gen uint64
 }
 
 // NewEdit starts an empty edit.
 func (db *DB) NewEdit() *Edit {
-	return &Edit{db: db, drop: map[string][]string{}, replaceDV: map[string]bool{}}
+	return &Edit{db: db, drop: map[string][]string{}, replaceDV: map[string]bool{},
+		dvAsOf: map[string]dvSnap{}}
 }
 
 // SetCP records the consistency point number this edit commits.
@@ -49,6 +59,26 @@ func (e *Edit) DropRun(table, runName string) *Edit {
 // (which may be empty, dropping a previously persisted vector).
 func (e *Edit) FlushDV(table string) *Edit {
 	e.replaceDV[table] = true
+	delete(e.dvAsOf, table)
+	return e
+}
+
+// FlushDVAsOf persists dv — a snapshot of the table's deletion vector
+// captured earlier (share the map via DVShare, record DVGen alongside) —
+// instead of the live map. The engine's checkpoint uses this: the
+// snapshot is taken when the write stores freeze, the flush then runs
+// with no structural lock held, and mutations that land during the flush
+// must not ride along — entries a relocation adds pair with write-store
+// records outside the committing consistency point, and entries a
+// concurrent compaction removes were durably superseded by its own
+// commit. If the generation moved after the capture, Commit persists the
+// snapshot intersected with the live map (captured entries still in
+// force) and marks the table dirty, so the next checkpoint persists the
+// newer state together with its records; with an unchanged generation it
+// persists the snapshot as-is and clears the dirty flag.
+func (e *Edit) FlushDVAsOf(table string, dv map[string]struct{}, gen uint64) *Edit {
+	e.dvAsOf[table] = dvSnap{dv: dv, gen: gen}
+	delete(e.replaceDV, table)
 	return e
 }
 
@@ -79,6 +109,14 @@ func (e *Edit) Commit() error {
 	// Build the next manifest from in-memory state plus this edit.
 	next := manifest{Version: 1, CP: db.m.CP, Tables: map[string]tableManifest{}}
 	if e.setCP {
+		if e.cp < db.m.CP {
+			// Rolling the manifest CP backwards would un-skip already
+			// durable write-ahead-log records in the replay filter,
+			// double-applying them after a crash. The engine validates
+			// against this too; refusing here keeps a buggy caller from
+			// corrupting recovery.
+			return fail(fmt.Errorf("lsm: edit rolls CP backwards (%d -> %d)", db.m.CP, e.cp))
+		}
 		next.CP = e.cp
 	}
 
@@ -122,35 +160,58 @@ func (e *Edit) Commit() error {
 		newRuns[ref.table][ref.partition] = append(newRuns[ref.table][ref.partition], r)
 	}
 
-	// Persist requested deletion vectors.
+	// Persist requested deletion vectors — the live map for FlushDV, the
+	// captured snapshot for FlushDVAsOf.
 	newDVFiles := map[string]string{}
+	newDVCounts := map[string]int{}
 	var dvToDelete []string
 	for name, t := range db.tables {
 		cur := db.m.Tables[name].DVFile
-		if !e.replaceDV[name] {
+		dv := t.dv
+		if snap, ok := e.dvAsOf[name]; ok {
+			dv = snap.dv
+			if t.dvGen != snap.gen {
+				// The vector mutated after the capture. Entries removed
+				// since (a compaction committed after physically purging
+				// their records) must not be resurrected by the stale
+				// snapshot; entries added since pair with write-store
+				// records outside this consistency point and must wait
+				// for the next one. Persist snapshot ∩ live: exactly the
+				// captured entries that are still in force.
+				inter := make(map[string]struct{}, len(snap.dv))
+				for rec := range snap.dv {
+					if _, live := t.dv[rec]; live {
+						inter[rec] = struct{}{}
+					}
+				}
+				dv = inter
+			}
+		} else if !e.replaceDV[name] {
 			newDVFiles[name] = cur
+			newDVCounts[name] = db.m.Tables[name].DVCount
 			continue
 		}
-		if len(t.dv) == 0 {
+		if len(dv) == 0 {
 			newDVFiles[name] = ""
 		} else {
 			fname := fmt.Sprintf("dv.%s.%010d", name, db.allocID())
-			if err := t.writeDV(fname); err != nil {
+			if err := t.writeDV(fname, dv); err != nil {
 				return fail(err)
 			}
 			newDVFiles[name] = fname
 		}
+		newDVCounts[name] = len(dv)
 		if cur != "" && cur != newDVFiles[name] {
 			dvToDelete = append(dvToDelete, cur)
 		}
 	}
 
 	// Serialize.
-	for name, t := range db.tables {
+	for name := range db.tables {
 		tm := tableManifest{
 			Partitions: make([][]runManifest, db.opts.Partitions),
 			DVFile:     newDVFiles[name],
-			DVCount:    len(t.dv),
+			DVCount:    newDVCounts[name],
 		}
 		if tm.DVFile == "" {
 			tm.DVCount = 0
@@ -185,7 +246,24 @@ func (e *Edit) Commit() error {
 	db.viewMu.Lock()
 	for name, t := range db.tables {
 		t.runs = newRuns[name]
-		if e.replaceDV[name] && newDVFiles[name] == "" {
+		if snap, ok := e.dvAsOf[name]; ok {
+			// The snapshot (intersected with the live map, see above),
+			// not the live map itself, was persisted. If the vector
+			// mutated after the capture the durable state may now lag
+			// the live one — mark the table dirty so the next
+			// checkpoint persists the newer state together with its
+			// write-store records, even if an interleaved compaction's
+			// own FlushDV had cleared the flag.
+			t.dvDirty = t.dvGen != snap.gen
+			continue
+		}
+		if !e.replaceDV[name] {
+			// Not persisted by this edit: a dirty vector stays dirty (a
+			// relocation may have mutated it while this edit's builders
+			// ran lock-free) so the next checkpoint flushes it.
+			continue
+		}
+		if newDVFiles[name] == "" {
 			// The vector was empty (nothing was written); shed the map.
 			// Content is unchanged, so versions sharing the old (empty)
 			// map and the generation counter are unaffected.
@@ -295,6 +373,19 @@ func (t *Table) DVLen() int { return len(t.dv) }
 // DVDirty reports whether the vector has unpersisted changes.
 func (t *Table) DVDirty() bool { return t.dvDirty }
 
+// DVShare returns the current deletion-vector map for use as a
+// FlushDVAsOf snapshot, marking it copy-on-write so the next mutation
+// copies instead of updating in place (exactly how views pin it). Callers
+// hold the structural lock exclusively.
+func (t *Table) DVShare() map[string]struct{} {
+	t.dvShared = true
+	return t.dv
+}
+
+// DVGen returns the deletion vector's mutation-generation counter; pair it
+// with DVShare to detect mutations after the capture.
+func (t *Table) DVGen() uint64 { return t.dvGen }
+
 // ClearDV empties the in-memory deletion vector; persist with FlushDV.
 func (t *Table) ClearDV() {
 	if len(t.dv) == 0 {
@@ -370,9 +461,9 @@ func (t *Table) RestoreDV(recs []string) {
 	t.dvDirty = true
 }
 
-func (t *Table) writeDV(name string) error {
-	recs := make([]string, 0, len(t.dv))
-	for r := range t.dv {
+func (t *Table) writeDV(name string, dv map[string]struct{}) error {
+	recs := make([]string, 0, len(dv))
+	for r := range dv {
 		recs = append(recs, r)
 	}
 	sort.Strings(recs)

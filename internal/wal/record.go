@@ -29,6 +29,14 @@ const (
 	// segment stops being the final one (where torn bytes would otherwise
 	// read as corruption).
 	OpSegmentEnd Op = 5
+	// OpCut heads the segment a Cut opens when a checkpoint freezes the
+	// write stores. Unlike OpCheckpoint it promises nothing about
+	// durability — the checkpoint has not committed yet — so recovery
+	// keeps every record logged before it and replays records strictly by
+	// their CP tags. Its only structural role is the same one a
+	// Truncate-written OpCheckpoint plays: marking its segment as one that
+	// legitimately follows a retired (possibly torn) predecessor.
+	OpCut Op = 6
 )
 
 func (op Op) String() string {
@@ -43,6 +51,8 @@ func (op Op) String() string {
 		return "checkpoint"
 	case OpSegmentEnd:
 		return "segment-end"
+	case OpCut:
+		return "cut"
 	default:
 		return fmt.Sprintf("Op(%d)", uint8(op))
 	}
@@ -81,6 +91,7 @@ const (
 	relocatePayload   = 1 + 3*8 // op + old + new + cp
 	checkpointPayload = 1 + 8   // op + cp
 	segmentEndPayload = 1       // op only
+	cutPayload        = 1 + 8   // op + cp being frozen
 )
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
@@ -103,6 +114,8 @@ func appendFrame(dst []byte, r Record) []byte {
 		plen = checkpointPayload
 	case OpSegmentEnd:
 		plen = segmentEndPayload
+	case OpCut:
+		plen = cutPayload
 	default:
 		panic(fmt.Sprintf("wal: encoding unknown op %d", r.Op))
 	}
@@ -123,7 +136,7 @@ func appendFrame(dst []byte, r Record) []byte {
 		be.PutUint64(payload[1:], r.Block)
 		be.PutUint64(payload[9:], r.NewBlock)
 		be.PutUint64(payload[17:], r.CP)
-	case OpCheckpoint:
+	case OpCheckpoint, OpCut:
 		be.PutUint64(payload[1:], r.CP)
 	case OpSegmentEnd:
 		// op byte only
@@ -170,6 +183,8 @@ func decodeFrame(b []byte) (Record, int, error) {
 		r.CP = be.Uint64(payload[1:])
 	case r.Op == OpSegmentEnd && plen == segmentEndPayload:
 		// no fields
+	case r.Op == OpCut && plen == cutPayload:
+		r.CP = be.Uint64(payload[1:])
 	default:
 		return Record{}, 0, errTorn
 	}

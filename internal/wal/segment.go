@@ -77,10 +77,28 @@ type Recovered struct {
 	// Records lists every durable record after the last checkpoint mark,
 	// in append order.
 	Records []Record
+	// Cuts lists the cut marks interleaved with Records: Cuts[i].Index is
+	// the number of records that precede the mark. Every record before a
+	// cut was applied to the write stores before that cut's checkpoint
+	// froze them, so once ANY checkpoint with that (or a later) CP has
+	// committed, those records are durable in the read store regardless
+	// of their own CP tags — the engine drops everything before the last
+	// cut whose CP the manifest covers, closing the window in which a
+	// record tagged past the committing CP (an update racing the flush)
+	// would otherwise replay on top of the runs that already hold it.
+	Cuts []CutMark
 	// MarkCP is the CP of the last checkpoint mark seen (0 if none).
 	MarkCP uint64
 	// Found reports whether any segment files existed at all.
 	Found bool
+}
+
+// CutMark locates one cut mark in a Recovered record stream.
+type CutMark struct {
+	// Index is the number of Records preceding the mark.
+	Index int
+	// CP is the consistency point the cutting checkpoint was freezing.
+	CP uint64
 }
 
 // tear locates a torn tail found during recovery: segment index and the
@@ -118,11 +136,12 @@ func recoverLog(vfs storage.VFS) (Recovered, tear, []uint64, error) {
 		}
 		if torn && !final {
 			// A torn tail in a non-final segment is normally corruption —
-			// except when the next segment opens with a checkpoint mark:
-			// then this is a retired segment resurrected by a crash that
-			// beat its (un-fsynced) removal, its tear is the flush
-			// failure that preceded that checkpoint, and every record it
-			// holds is discarded by the mark anyway.
+			// except when the next segment opens with a checkpoint or cut
+			// mark: then the tear is a flush failure that preceded that
+			// Truncate/Cut (which is the only way appends resume after a
+			// failed flush), everything before the tear is intact, and
+			// everything after it was never acknowledged. Records of such
+			// a segment replay subject to the usual CP filter.
 			ok, err := segmentStartsWithMark(vfs, segs[i+1])
 			if err != nil {
 				return rec, tr, segs, err
@@ -136,7 +155,9 @@ func recoverLog(vfs storage.VFS) (Recovered, tear, []uint64, error) {
 }
 
 // segmentStartsWithMark reports whether a segment's first record is a
-// checkpoint mark.
+// checkpoint or cut mark — the two record types that head segments opened
+// by Truncate and Cut respectively, and therefore the two that may
+// legitimately follow a retired (possibly torn) predecessor.
 func segmentStartsWithMark(vfs storage.VFS, index uint64) (bool, error) {
 	f, err := vfs.Open(segmentName(index))
 	if err != nil {
@@ -148,7 +169,7 @@ func segmentStartsWithMark(vfs storage.VFS, index uint64) (bool, error) {
 		return false, err
 	}
 	r, _, derr := decodeFrame(buf[segHeaderSize:])
-	return derr == nil && r.Op == OpCheckpoint, nil
+	return derr == nil && (r.Op == OpCheckpoint || r.Op == OpCut), nil
 }
 
 // readSegment parses one segment into rec. It reports torn=true when the
@@ -207,7 +228,16 @@ func readSegment(vfs storage.VFS, index uint64, final bool, rec *Recovered, tr *
 			// Everything logged before a committed consistency point is
 			// already durable in the read store; drop it.
 			rec.Records = rec.Records[:0]
+			rec.Cuts = rec.Cuts[:0]
 			rec.MarkCP = r.CP
+		case OpCut:
+			// A checkpoint froze the write stores here; whether it went
+			// on to commit is not knowable from the log alone (a
+			// committed checkpoint normally retires everything before
+			// the cut, but a crash can beat the retirement). Keep every
+			// record and report the boundary: the engine compares the
+			// cut's CP against the manifest to decide.
+			rec.Cuts = append(rec.Cuts, CutMark{Index: len(rec.Records), CP: r.CP})
 		default:
 			rec.Records = append(rec.Records, r)
 		}

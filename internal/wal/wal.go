@@ -315,12 +315,90 @@ func (l *Log) rotateLocked() error {
 	return l.startSegmentLocked(l.segIndex + 1)
 }
 
+// Cut rotates to a fresh segment headed by a cut mark and returns a token
+// for Retire: the engine calls it at the instant a checkpoint freezes the
+// write stores, so that every record appended from then on — updates for
+// the NEXT consistency point, racing the flush — lands past the cut and
+// survives the retirement of the segments the checkpoint covers. Cut also
+// drops any pending (never-acknowledged) buffer and clears the sticky
+// flush error: records whose logging failed were still applied to the
+// write stores, so they are frozen into the very flush this cut starts —
+// their durability from here on is the checkpoint's business, which the
+// engine tracks with its own sticky error across the flush.
+//
+// The caller must guarantee no Append is in flight — in the engine, Cut
+// runs under the exclusive structural lock that excludes all updaters.
+func (l *Log) Cut(cp uint64) (cut int, err error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for l.flushing {
+		l.cond.Wait()
+	}
+	if l.closed {
+		return 0, ErrClosed
+	}
+	l.err = nil
+	l.pending = nil
+	l.done = l.seq
+	if err := l.startSegmentLocked(l.segIndex + 1); err != nil {
+		l.err = err
+		return 0, err
+	}
+	frame := appendFrame(nil, Record{Op: OpCut, CP: cp})
+	if _, err := l.seg.WriteAt(frame, l.segSize); err != nil {
+		// A partial mark would put garbage under future appends; refuse
+		// further appends until the next Cut rotates past it.
+		l.err = fmt.Errorf("wal: writing cut mark: %w", err)
+		return 0, l.err
+	}
+	l.segSize += int64(len(frame))
+	if l.syncEach {
+		// The mark is what lets recovery tolerate a torn, resurrected
+		// predecessor segment; in Sync mode it must be durable before any
+		// post-cut append is acknowledged.
+		if err := l.seg.Sync(); err != nil {
+			l.err = fmt.Errorf("wal: syncing cut mark: %w", err)
+			return 0, l.err
+		}
+	}
+	return len(l.names) - 1, nil
+}
+
+// Retire deletes the segments a Cut superseded, once the checkpoint that
+// issued the Cut has committed: everything those segments guarded is now
+// durable in the read store, while records appended during the flush live
+// past the cut and are untouched. Safe to call concurrently with appends.
+// On failure the not-yet-removed segments stay tracked, so a later Cut +
+// Retire (or recovery's CP filter) still retires them.
+func (l *Log) Retire(cut int) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if cut < 0 || cut >= len(l.names) {
+		return fmt.Errorf("wal: retire cut %d out of range (%d segments)", cut, len(l.names))
+	}
+	old := l.names[:cut]
+	for i, name := range old {
+		if err := l.vfs.Remove(name); err != nil && !errors.Is(err, storage.ErrNotExist) {
+			l.names = append(append([]string(nil), old[i:]...), l.names[cut:]...)
+			return err
+		}
+	}
+	l.names = append([]string(nil), l.names[cut:]...)
+	l.stats.Truncates++
+	return nil
+}
+
 // Truncate retires the log after a committed checkpoint: a fresh segment
 // opens with a checkpoint mark for cp, every older segment is deleted, and
 // any sticky flush error is cleared (the data whose logging failed is now
 // durable via the checkpoint itself). The caller must guarantee no Append
-// is in flight — in the engine, Truncate runs under the exclusive
-// structural lock that excludes all updaters.
+// is in flight — it assumes the exclusive structural lock that excludes
+// all updaters. The engine's checkpoint path uses Cut + Retire instead,
+// which tolerates appends racing the flush; Truncate remains for callers
+// that quiesce appends across the whole checkpoint.
 func (l *Log) Truncate(cp uint64) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
