@@ -122,6 +122,56 @@
 //     explicitly — the paper's cadence experiments (Figures 6, 8–10) do
 //     that to control staleness precisely.
 //
+// # Retention and expiry
+//
+// Compaction reclaims records of deleted snapshots one record at a time:
+// every surviving record is read, joined, and rewritten. Expiry reclaims
+// them wholesale. Every run records the consistency-point window
+// [MinCP, MaxCP] its records cover, and once every snapshot old enough to
+// reference a Combined run has been deleted — the run's window lies
+// entirely below the oldest CP still reachable from the snapshot/clone
+// graph — DB.Expire drops the run with a single manifest edit: no record
+// is read, no data is rewritten, and the run file itself is deleted only
+// after the last in-flight query or compaction pinning it completes.
+//
+// Expiry is opt-in via Config.Retention:
+//
+//   - RetainAll (the default) changes nothing. Runs are merged and purged
+//     by compaction exactly as the paper describes; DB.Expire finds
+//     nothing droppable (compacted runs carry merged windows that always
+//     reach the present).
+//   - RetainLive switches the background maintainer to CP-tiered
+//     compaction: instead of re-merging everything, it seals finished
+//     Combined windows (leaving them untouched, their windows disjoint),
+//     runs an expiry sweep after every checkpoint, and lets queries skip
+//     sealed runs entirely below the reclaim horizon without opening
+//     them. Deleting an old snapshot then frees its runs at the cost of a
+//     manifest write — orders of magnitude less I/O than a merge.
+//
+// Snapshot lifecycle operations (create/delete snapshot, clone, line)
+// live on the Lifecycle interface returned by DB.Catalog; the equivalent
+// methods on DB are deprecated wrappers. Note that expiry is permanent in
+// the same sense as the paper's snapshot deletion: re-creating a snapshot
+// at an old version after its records expired does not resurrect them.
+//
+// # Configuration defaults
+//
+// Every Config field's zero value is valid and means:
+//
+//	Dir              — (required unless InMemory)
+//	InMemory         — false: the database lives in Dir
+//	CacheBytes       — 0: 32 MB page cache (negative disables caching)
+//	Partitions       — 0: one partition
+//	PartitionSpan    — 0: unused (required only when Partitions > 1)
+//	WriteShards      — 0: runtime.GOMAXPROCS(0) shards
+//	Durability       — DurabilityCheckpointOnly (the paper's model)
+//	AutoCompact      — false: call Compact explicitly
+//	CompactThreshold — 0: threshold 8 (values below 2 clamp to 2)
+//	Retention        — RetainAll: no expiry, the paper's behavior
+//
+// Config.Validate reports structurally invalid configurations (it wraps
+// ErrBadConfig); Open calls it first.
+//
 // # Build, test, bench
 //
 // The module has no dependencies outside the standard library:
@@ -163,6 +213,7 @@ import (
 	"sync/atomic"
 
 	"github.com/backlogfs/backlog/internal/core"
+	"github.com/backlogfs/backlog/internal/lsm"
 	"github.com/backlogfs/backlog/internal/storage"
 	"github.com/backlogfs/backlog/internal/wal"
 )
@@ -243,6 +294,65 @@ type Config struct {
 	// the run count of a fully compacted partition). Only used with
 	// AutoCompact.
 	CompactThreshold int
+	// Retention selects the snapshot-retention policy (default RetainAll;
+	// see the package documentation's Retention and expiry section).
+	// RetainLive enables drop-based expiry: the background maintainer
+	// (started even without AutoCompact) expires runs after every
+	// checkpoint, background compaction seals finished CP windows instead
+	// of re-merging them, and queries skip runs below the reclaim horizon.
+	Retention RetentionPolicy
+}
+
+// RetentionPolicy selects how aggressively records of deleted snapshots
+// are reclaimed; see Config.Retention.
+type RetentionPolicy = core.RetentionPolicy
+
+const (
+	// RetainAll keeps every record until a compaction purges it — the
+	// paper's baseline behavior and the default.
+	RetainAll = core.RetainAll
+	// RetainLive expires records wholesale: runs whose consistency-point
+	// window falls entirely below the oldest reachable snapshot are
+	// dropped without being read.
+	RetainLive = core.RetainLive
+)
+
+// ErrBadConfig is wrapped by every Config.Validate error.
+var ErrBadConfig = errors.New("backlog: invalid Config")
+
+// Validate reports whether the configuration is structurally valid. Open
+// calls it first; it is exported so configuration loaded from flags or
+// files can be checked early. All errors wrap ErrBadConfig.
+func (cfg Config) Validate() error {
+	bad := func(format string, args ...any) error {
+		return fmt.Errorf("%w: %s", ErrBadConfig, fmt.Sprintf(format, args...))
+	}
+	if !cfg.InMemory && cfg.Dir == "" {
+		return bad("Dir is required (or set InMemory)")
+	}
+	if cfg.Partitions < 0 {
+		return bad("Partitions is negative (%d)", cfg.Partitions)
+	}
+	if cfg.Partitions > 1 && cfg.PartitionSpan == 0 {
+		return bad("PartitionSpan is required when Partitions > 1")
+	}
+	if cfg.WriteShards < 0 {
+		return bad("WriteShards is negative (%d)", cfg.WriteShards)
+	}
+	if cfg.CompactThreshold < 0 {
+		return bad("CompactThreshold is negative (%d)", cfg.CompactThreshold)
+	}
+	switch cfg.Durability {
+	case DurabilityCheckpointOnly, DurabilityBuffered, DurabilitySync:
+	default:
+		return bad("unknown Durability (%d)", cfg.Durability)
+	}
+	switch cfg.Retention {
+	case RetainAll, RetainLive:
+	default:
+		return bad("unknown Retention (%d)", cfg.Retention)
+	}
+	return nil
 }
 
 // MaintenanceStats reports the background maintenance scheduler's
@@ -259,15 +369,16 @@ type DB struct {
 
 const catalogFile = "CATALOG"
 
-// Open opens or creates a database.
+// Open opens or creates a database. The configuration is validated first;
+// errors from an invalid one wrap ErrBadConfig.
 func Open(cfg Config) (*DB, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	var vfs storage.VFS
 	if cfg.InMemory {
 		vfs = storage.NewMemFS()
 	} else {
-		if cfg.Dir == "" {
-			return nil, errors.New("backlog: Config.Dir is required (or set InMemory)")
-		}
 		d, err := storage.NewDirFS(cfg.Dir)
 		if err != nil {
 			return nil, err
@@ -294,6 +405,7 @@ func openVFS(vfs storage.VFS, cfg Config) (*DB, error) {
 		Durability:       cfg.Durability,
 		AutoCompact:      cfg.AutoCompact,
 		CompactThreshold: cfg.CompactThreshold,
+		Retention:        cfg.Retention,
 	})
 	if err != nil {
 		return nil, err
@@ -419,27 +531,100 @@ func (db *DB) RelocateBlock(oldBlock, newBlock uint64) error {
 	return db.eng.RelocateBlock(oldBlock, newBlock)
 }
 
+// Lifecycle is the snapshot-topology API: everything that creates or
+// destroys snapshots, clones, and lines. It is the masking authority —
+// query results and compaction's purge policy follow whatever topology it
+// describes — and under Config.Retention == RetainLive it also drives the
+// reclaim horizon that expiry and query pruning use. Obtain it from
+// DB.Catalog. Changes become durable at the next Checkpoint, Compact, or
+// Expire (each persists the catalog before touching reference data).
+type Lifecycle interface {
+	// CreateSnapshot retains version v (a CP number) of the given line.
+	CreateSnapshot(line, v uint64) error
+	// DeleteSnapshot removes a snapshot; if it has clones it is kept as a
+	// zombie until they disappear.
+	DeleteSnapshot(line, v uint64) error
+	// CreateClone registers writable line newLine as a clone of (parent,
+	// base). The clone's references are represented implicitly; no
+	// records are written.
+	CreateClone(newLine, parent, base uint64) error
+	// DeleteLine destroys a line's live file system.
+	DeleteLine(line uint64) error
+	// Snapshots lists the retained snapshot versions of a line.
+	Snapshots(line uint64) []uint64
+	// Lines lists all known snapshot lines.
+	Lines() []uint64
+}
+
+// Catalog returns the database's snapshot-lifecycle API. All methods are
+// safe for concurrent use with each other and with reference updates and
+// queries.
+func (db *DB) Catalog() Lifecycle { return db.cat }
+
+// ExpireStats reports what one Expire pass did.
+type ExpireStats = core.ExpireStats
+
+// Expire drops every Combined run whose consistency-point window falls
+// entirely below the oldest snapshot still reachable from the catalog —
+// reclaiming deleted snapshots' records without reading or rewriting any
+// data; see the package documentation's Retention and expiry section.
+// Runs only become droppable under Config.Retention == RetainLive (whose
+// background maintainer also calls this automatically after every
+// checkpoint); with RetainAll, Expire is a harmless no-op.
+//
+// Like Compact, zombie snapshots are reaped and the catalog persisted
+// before the engine destroys durable state: the drop is justified by the
+// reaped topology, so the reaping must not be lost to a crash while the
+// drop survives.
+func (db *DB) Expire() (ExpireStats, error) {
+	db.cat.ReapZombies()
+	if err := db.saveCatalog(); err != nil {
+		return ExpireStats{}, err
+	}
+	return db.eng.Expire()
+}
+
+// RunInfo describes one live read-store run, including the
+// consistency-point window its records cover.
+type RunInfo = lsm.RunInfo
+
+// Runs returns metadata for every live run — what backlogctl's stats
+// subcommand prints per partition.
+func (db *DB) Runs() []RunInfo { return db.eng.RunInfos() }
+
 // CreateSnapshot retains version v (a CP number) of the given line.
+//
+// Deprecated: use Catalog().CreateSnapshot.
 func (db *DB) CreateSnapshot(line, v uint64) error { return db.cat.CreateSnapshot(line, v) }
 
 // DeleteSnapshot removes a snapshot; if it has clones it is kept as a
 // zombie until they disappear.
+//
+// Deprecated: use Catalog().DeleteSnapshot.
 func (db *DB) DeleteSnapshot(line, v uint64) error { return db.cat.DeleteSnapshot(line, v) }
 
 // CreateClone registers writable line newLine as a clone of (parent,
 // base). The clone's references are represented implicitly; no records are
 // written.
+//
+// Deprecated: use Catalog().CreateClone.
 func (db *DB) CreateClone(newLine, parent, base uint64) error {
 	return db.cat.CreateClone(newLine, parent, base)
 }
 
 // DeleteLine destroys a line's live file system.
+//
+// Deprecated: use Catalog().DeleteLine.
 func (db *DB) DeleteLine(line uint64) error { return db.cat.DeleteLine(line) }
 
 // Snapshots lists the retained snapshot versions of a line.
+//
+// Deprecated: use Catalog().Snapshots.
 func (db *DB) Snapshots(line uint64) []uint64 { return db.cat.Snapshots(line) }
 
 // Lines lists all known snapshot lines.
+//
+// Deprecated: use Catalog().Lines.
 func (db *DB) Lines() []uint64 { return db.cat.Lines() }
 
 // CP returns the last durable consistency point.

@@ -1,7 +1,11 @@
 package backlog
 
 import (
+	"errors"
 	"testing"
+
+	"github.com/backlogfs/backlog/internal/core"
+	"github.com/backlogfs/backlog/internal/storage"
 )
 
 func openMem(t *testing.T) *DB {
@@ -277,5 +281,151 @@ func TestCompactKeepsAnswers(t *testing.T) {
 	}
 	if got, _ := db.Query(50); len(got) != 0 {
 		t.Fatalf("purged block still owned: %+v", got)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := []Config{
+		{InMemory: true},
+		{Dir: "/nonexistent/never-opened"},
+		{InMemory: true, Partitions: 4, PartitionSpan: 1024, WriteShards: 2,
+			Durability: DurabilitySync, Retention: RetainLive},
+	}
+	for i, cfg := range good {
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("good[%d]: Validate = %v", i, err)
+		}
+	}
+	bad := []struct {
+		name string
+		cfg  Config
+	}{
+		{"missing dir", Config{}},
+		{"negative partitions", Config{InMemory: true, Partitions: -1}},
+		{"partitions without span", Config{InMemory: true, Partitions: 2}},
+		{"negative write shards", Config{InMemory: true, WriteShards: -1}},
+		{"negative compact threshold", Config{InMemory: true, CompactThreshold: -1}},
+		{"unknown durability", Config{InMemory: true, Durability: Durability(9)}},
+		{"unknown retention", Config{InMemory: true, Retention: RetentionPolicy(9)}},
+	}
+	for _, c := range bad {
+		if err := c.cfg.Validate(); !errors.Is(err, ErrBadConfig) {
+			t.Errorf("%s: Validate = %v, want ErrBadConfig", c.name, err)
+		}
+		// Open must reject the same configurations up front.
+		if _, err := Open(c.cfg); !errors.Is(err, ErrBadConfig) {
+			t.Errorf("%s: Open = %v, want ErrBadConfig", c.name, err)
+		}
+	}
+}
+
+// TestCatalogLifecycle drives every Lifecycle method through db.Catalog()
+// and checks the deprecated DB wrappers stay views of the same state.
+func TestCatalogLifecycle(t *testing.T) {
+	db := openMem(t)
+	defer db.Close()
+	cat := db.Catalog()
+
+	db.AddRef(Ref{Block: 1, Inode: 1, Offset: 0, Line: 0}, 2)
+	if err := db.Checkpoint(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.CreateSnapshot(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.CreateClone(1, 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if lines := cat.Lines(); len(lines) != 2 || lines[0] != 0 || lines[1] != 1 {
+		t.Fatalf("Lines = %v", lines)
+	}
+	if snaps := cat.Snapshots(0); len(snaps) != 1 || snaps[0] != 2 {
+		t.Fatalf("Snapshots(0) = %v", snaps)
+	}
+	// The deprecated wrappers read the same catalog.
+	if snaps := db.Snapshots(0); len(snaps) != 1 || snaps[0] != 2 {
+		t.Fatalf("deprecated Snapshots(0) = %v", snaps)
+	}
+	if lines := db.Lines(); len(lines) != 2 {
+		t.Fatalf("deprecated Lines = %v", lines)
+	}
+	if err := cat.DeleteLine(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.DeleteSnapshot(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if snaps := cat.Snapshots(0); len(snaps) != 0 {
+		t.Fatalf("Snapshots(0) after delete = %v", snaps)
+	}
+}
+
+// TestExpireEndToEnd seals two epochs behind RetainLive, deletes the
+// first snapshot, and verifies db.Expire reclaims the first epoch's run
+// without reading it — the public face of drop-based expiry — and that
+// db.Runs exposes the CP windows driving the decision.
+func TestExpireEndToEnd(t *testing.T) {
+	fs := storage.NewMemFS()
+	db, err := openVFS(fs, Config{InMemory: true, Retention: RetainLive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	cat := db.Catalog()
+
+	epoch := func(snap, block uint64) {
+		if err := cat.CreateSnapshot(0, snap); err != nil {
+			t.Fatal(err)
+		}
+		db.AddRef(Ref{Block: block, Inode: block, Offset: 0, Line: 0}, snap)
+		if err := db.Checkpoint(snap); err != nil {
+			t.Fatal(err)
+		}
+		db.RemoveRef(Ref{Block: block, Inode: block, Offset: 0, Line: 0}, snap+1)
+		if err := db.Checkpoint(snap + 1); err != nil {
+			t.Fatal(err)
+		}
+		// Under RetainLive, Compact runs in tiered mode and seals the
+		// finished window instead of re-merging it.
+		if err := db.Compact(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	epoch(1, 1)
+	epoch(3, 3)
+
+	var sealed []RunInfo
+	for _, r := range db.Runs() {
+		if r.Table == core.TableCombined && r.Level >= 1 && r.CPWindowKnown && r.Overrides == 0 {
+			sealed = append(sealed, r)
+		}
+	}
+	if len(sealed) != 2 || sealed[0].MinCP != 1 || sealed[0].MaxCP != 2 {
+		t.Fatalf("sealed runs = %+v, want two with the first windowed [1, 2]", sealed)
+	}
+
+	if err := cat.DeleteSnapshot(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	before := fs.Stats()
+	est, err := db.Expire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Deferred || est.RunsDropped != 1 || est.RecordsDropped != 1 {
+		t.Fatalf("ExpireStats = %+v, want 1 run / 1 record dropped", est)
+	}
+	if d := fs.Stats().Sub(before); d.BytesRead != 0 {
+		t.Fatalf("public expiry read %d bytes", d.BytesRead)
+	}
+	if owners, err := db.Query(1); err != nil || len(owners) != 0 {
+		t.Fatalf("expired block 1: owners=%v err=%v", owners, err)
+	}
+	if owners, err := db.Query(3); err != nil || len(owners) != 1 {
+		t.Fatalf("retained block 3: owners=%v err=%v", owners, err)
+	}
+	st := db.Stats()
+	if st.Expiries != 1 || st.RunsExpired != 1 || st.RecordsExpired != 1 {
+		t.Fatalf("expiry counters = %+v", st)
 	}
 }

@@ -766,3 +766,90 @@ func BenchmarkPublicAPIAddRefCheckpoint(b *testing.B) {
 		}
 	}
 }
+
+// --- Drop-based expiry vs compaction reclaim ---
+
+// benchSealedDB builds a database of `epochs` sealed CP-windowed Combined
+// runs, each retained by a per-epoch snapshot (see the Retention and
+// expiry section of the package docs).
+func benchSealedDB(b *testing.B, fs *storage.MemFS, epochs, perEpoch, blocks int) *DB {
+	b.Helper()
+	db, err := openVFS(fs, Config{InMemory: true, WriteShards: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cp := uint64(1)
+	for e := 0; e < epochs; e++ {
+		if err := db.Catalog().CreateSnapshot(0, cp); err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < perEpoch; i++ {
+			db.AddRef(Ref{Block: uint64(i % blocks), Inode: uint64(e + 2), Offset: uint64(i), Length: 1}, cp)
+		}
+		if err := db.Checkpoint(cp); err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < perEpoch; i++ {
+			db.RemoveRef(Ref{Block: uint64(i % blocks), Inode: uint64(e + 2), Offset: uint64(i), Length: 1}, cp+1)
+		}
+		if err := db.Checkpoint(cp + 1); err != nil {
+			b.Fatal(err)
+		}
+		if err := db.eng.CompactTiered(); err != nil {
+			b.Fatal(err)
+		}
+		cp += 2
+	}
+	return db
+}
+
+// BenchmarkExpireVsCompact reclaims the same deleted snapshots two ways:
+// Expire drops their CP-windowed runs by manifest edit, Compact merges
+// every run and purges record by record. The io-bytes/op metric is the
+// headline — expiry must come in at least an order of magnitude under
+// compaction (it reads nothing at all).
+func BenchmarkExpireVsCompact(b *testing.B) {
+	const (
+		epochs   = 8
+		perEpoch = 1024
+		blocks   = 256
+		retain   = 1
+	)
+	paths := []struct {
+		name    string
+		reclaim func(*DB) error
+	}{
+		{"expire", func(db *DB) error { _, err := db.Expire(); return err }},
+		{"compact", (*DB).Compact},
+	}
+	for _, p := range paths {
+		b.Run(p.name, func(b *testing.B) {
+			var ioBytes, ioReads int64
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				fs := storage.NewMemFS()
+				db := benchSealedDB(b, fs, epochs, perEpoch, blocks)
+				for e := 0; e < epochs-retain; e++ {
+					if err := db.Catalog().DeleteSnapshot(0, uint64(2*e+1)); err != nil {
+						b.Fatal(err)
+					}
+				}
+				before := fs.Stats()
+				b.StartTimer()
+				if err := p.reclaim(db); err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				d := fs.Stats().Sub(before)
+				ioBytes += d.BytesRead + d.BytesWritten
+				ioReads += d.BytesRead
+				if err := db.Close(); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+			}
+			b.ReportMetric(float64(ioBytes)/float64(b.N), "io-bytes/op")
+			b.ReportMetric(float64(ioReads)/float64(b.N), "read-bytes/op")
+		})
+	}
+}

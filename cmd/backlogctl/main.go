@@ -6,6 +6,7 @@
 //	backlogctl lines   -dir /path/to/db
 //	backlogctl query   -dir /path/to/db -block 12345 [-n 16]
 //	backlogctl compact -dir /path/to/db
+//	backlogctl expire  -dir /path/to/db -retention live
 package main
 
 import (
@@ -21,10 +22,11 @@ func usage() {
 	fmt.Fprintf(os.Stderr, `usage: backlogctl <command> [flags]
 
 commands:
-  stats    print database size and counters
+  stats    print database size, counters, and per-partition run CP windows
   lines    print snapshot lines and retained versions
   query    print the owners of a block (or a run of blocks with -n)
   compact  run database maintenance
+  expire   drop runs below the reclaim horizon (use -retention live)
 `)
 	os.Exit(2)
 }
@@ -44,6 +46,7 @@ func main() {
 	durability := fs.String("durability", "checkpoint-only", "durability mode: checkpoint-only|buffered|sync")
 	autoCompact := fs.Bool("autocompact", false, "run background maintenance while the database is open")
 	compactThreshold := fs.Int("compact-threshold", 0, "per-partition run count that triggers background compaction (0 = default)")
+	retention := fs.String("retention", "all", "retention policy: all|live (live enables drop-based expiry)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
@@ -56,11 +59,22 @@ func main() {
 		fmt.Fprintln(os.Stderr, "backlogctl:", err)
 		os.Exit(2)
 	}
+	var rmode backlog.RetentionPolicy
+	switch *retention {
+	case "all":
+		rmode = backlog.RetainAll
+	case "live":
+		rmode = backlog.RetainLive
+	default:
+		fmt.Fprintf(os.Stderr, "backlogctl: unknown -retention %q (want all or live)\n", *retention)
+		os.Exit(2)
+	}
 
 	db, err := backlog.Open(backlog.Config{
 		Dir: *dir, WriteShards: *shards, Durability: dmode,
 		Partitions: *partitions, PartitionSpan: *span,
 		AutoCompact: *autoCompact, CompactThreshold: *compactThreshold,
+		Retention: rmode,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "backlogctl:", err)
@@ -95,15 +109,34 @@ func main() {
 		fmt.Printf("compactions:       %d\n", st.Compactions)
 		fmt.Printf("records flushed:   %d\n", st.RecordsFlushed)
 		fmt.Printf("records purged:    %d\n", st.RecordsPurged)
+		if st.Expiries > 0 {
+			fmt.Printf("expiries:          %d (%d runs, %d records dropped unread)\n",
+				st.Expiries, st.RunsExpired, st.RecordsExpired)
+		}
 		ms := db.MaintenanceStats()
 		fmt.Printf("worst partition:   %d runs (threshold %d)\n", ms.MaxRuns, ms.CompactThreshold)
 		if ms.Enabled {
 			fmt.Printf("auto-compactions:  %d (%d conflicts, %d errors)\n",
 				ms.AutoCompactions, ms.Conflicts, ms.Errors)
 		}
+		if runs := db.Runs(); len(runs) > 0 {
+			fmt.Printf("runs:\n")
+			w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+			fmt.Fprintln(w, "  table\tpart\tlevel\trecords\tbytes\tcp window\toverrides")
+			for _, r := range runs {
+				window := "unknown"
+				if r.CPWindowKnown {
+					window = fmt.Sprintf("[%d, %d]", r.MinCP, r.MaxCP)
+				}
+				fmt.Fprintf(w, "  %s\t%d\t%d\t%d\t%d\t%s\t%d\n",
+					r.Table, r.Partition, r.Level, r.Records, r.SizeBytes, window, r.Overrides)
+			}
+			w.Flush()
+		}
 	case "lines":
-		for _, line := range db.Lines() {
-			fmt.Printf("line %d: snapshots %v\n", line, db.Snapshots(line))
+		cat := db.Catalog()
+		for _, line := range cat.Lines() {
+			fmt.Printf("line %d: snapshots %v\n", line, cat.Snapshots(line))
 		}
 	case "query":
 		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
@@ -131,6 +164,23 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("compacted: %d -> %d bytes\n", before, db.SizeBytes())
+	case "expire":
+		before := db.SizeBytes()
+		est, err := db.Expire()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "backlogctl:", err)
+			os.Exit(1)
+		}
+		if est.Deferred {
+			fmt.Println("expire deferred (checkpoint in flight or unpersisted relocations); retry after a checkpoint")
+			break
+		}
+		horizon := fmt.Sprintf("%d", est.Horizon)
+		if est.Horizon == backlog.Infinity {
+			horizon = "inf"
+		}
+		fmt.Printf("expired: %d runs (%d records, %d deletion-vector entries) below horizon %s, %d -> %d bytes\n",
+			est.RunsDropped, est.RecordsDropped, est.DVEntriesDropped, horizon, before, db.SizeBytes())
 	default:
 		usage()
 	}

@@ -29,8 +29,9 @@ func main() {
 	if err := db.Checkpoint(4); err != nil {
 		log.Fatal(err)
 	}
-	// Retain CP 4 as a snapshot of line 0.
-	if err := db.CreateSnapshot(0, 4); err != nil {
+	// Retain CP 4 as a snapshot of line 0. Snapshot lifecycle operations
+	// live on the catalog.
+	if err := db.Catalog().CreateSnapshot(0, 4); err != nil {
 		log.Fatal(err)
 	}
 

@@ -33,6 +33,16 @@ type Catalog interface {
 	// deleted: clone-base versions of needed clones, including zombie
 	// snapshots (Section 4.2.2).
 	PinnedIn(line, from, to uint64) bool
+	// OldestReachable returns the smallest consistency point any retained
+	// snapshot or zombie (deleted-but-cloned) version of any line still
+	// pins, and ok=false when no such version exists. It is the reclaim
+	// horizon of drop-based expiry: a complete back-reference interval
+	// ending before it can never again be exposed by masking, because
+	// clone bases are always members of their parent's snapshot-or-zombie
+	// set, so the minimum over those sets bounds every PinnedIn answer
+	// too. Live lines need no term here — their references are incomplete
+	// (to == Infinity) or protected as override records.
+	OldestReachable() (uint64, bool)
 }
 
 // MemCatalog is a Catalog implementation that also provides the management
@@ -43,6 +53,12 @@ type Catalog interface {
 type MemCatalog struct {
 	mu    sync.RWMutex
 	lines map[uint64]*lineInfo
+
+	// reach caches OldestReachable (recomputing it scans every line's
+	// snapshot and zombie sets); any mutation invalidates it.
+	reachValid bool
+	reachOK    bool
+	reach      uint64
 }
 
 type lineInfo struct {
@@ -84,6 +100,7 @@ func (c *MemCatalog) CreateSnapshot(line, v uint64) error {
 		return fmt.Errorf("core: snapshot on unknown line %d", line)
 	}
 	li.Snapshots[v] = true
+	c.reachValid = false
 	return nil
 }
 
@@ -98,6 +115,7 @@ func (c *MemCatalog) DeleteSnapshot(line, v uint64) error {
 		return fmt.Errorf("core: delete of unknown snapshot (%d, %d)", line, v)
 	}
 	delete(li.Snapshots, v)
+	c.reachValid = false
 	for _, base := range li.Clones {
 		if base == v {
 			li.Zombies[v] = true
@@ -126,6 +144,7 @@ func (c *MemCatalog) CreateClone(newLine, parent, base uint64) error {
 	li.Parent, li.Base, li.HasParent = parent, base, true
 	c.lines[newLine] = li
 	pl.Clones[newLine] = base
+	c.reachValid = false
 	return nil
 }
 
@@ -139,6 +158,7 @@ func (c *MemCatalog) DeleteLine(line uint64) error {
 		return fmt.Errorf("core: delete of unknown line %d", line)
 	}
 	li.Live = false
+	c.reachValid = false
 	return nil
 }
 
@@ -149,6 +169,7 @@ func (c *MemCatalog) DeleteLine(line uint64) error {
 func (c *MemCatalog) ReapZombies() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.reachValid = false
 	released := 0
 	for _, li := range c.lines {
 		for cloneLine, base := range li.Clones {
@@ -261,6 +282,31 @@ func (c *MemCatalog) PinnedIn(line, from, to uint64) bool {
 	return false
 }
 
+// OldestReachable implements Catalog: the minimum over every line's
+// retained snapshot and zombie versions, cached until the next mutation.
+func (c *MemCatalog) OldestReachable() (uint64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.reachValid {
+		c.reachOK = false
+		c.reach = 0
+		for _, li := range c.lines {
+			for v := range li.Snapshots {
+				if !c.reachOK || v < c.reach {
+					c.reach, c.reachOK = v, true
+				}
+			}
+			for v := range li.Zombies {
+				if !c.reachOK || v < c.reach {
+					c.reach, c.reachOK = v, true
+				}
+			}
+		}
+		c.reachValid = true
+	}
+	return c.reach, c.reachOK
+}
+
 // Lines returns all known line IDs in ascending order.
 func (c *MemCatalog) Lines() []uint64 {
 	c.mu.RLock()
@@ -342,6 +388,7 @@ func (c *MemCatalog) UnmarshalJSON(data []byte) error {
 	if len(c.lines) == 0 {
 		c.lines[0] = newLineInfo(0)
 	}
+	c.reachValid = false
 	return nil
 }
 

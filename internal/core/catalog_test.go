@@ -205,3 +205,54 @@ func TestCatalogLines(t *testing.T) {
 		t.Fatalf("Lines = %v", lines)
 	}
 }
+
+// TestOldestReachable pins the reclaim-horizon contract: the minimum over
+// every line's snapshot AND zombie versions, ok=false when nothing is
+// retained, and invalidation on every mutation that can move it.
+func TestOldestReachable(t *testing.T) {
+	c := NewMemCatalog()
+	if _, ok := c.OldestReachable(); ok {
+		t.Fatal("empty catalog reports a reachable version")
+	}
+
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	at := func(want uint64) {
+		t.Helper()
+		got, ok := c.OldestReachable()
+		if !ok || got != want {
+			t.Fatalf("OldestReachable = (%d, %v), want (%d, true)", got, ok, want)
+		}
+	}
+
+	must(c.CreateSnapshot(0, 7))
+	at(7)
+	must(c.CreateSnapshot(0, 4))
+	at(4)
+	// A snapshot on a cloned line counts too.
+	must(c.CreateClone(1, 0, 7))
+	must(c.CreateSnapshot(1, 9))
+	at(4)
+
+	// Deleting the oldest snapshot advances the horizon...
+	must(c.DeleteSnapshot(0, 4))
+	at(7)
+	// ...but deleting a clone base only zombifies it: version 7 stays
+	// reachable until the clone disappears.
+	must(c.DeleteSnapshot(0, 7))
+	at(7)
+
+	// Dropping the clone and reaping the zombie finally releases 7.
+	must(c.DeleteLine(1))
+	must(c.DeleteSnapshot(1, 9))
+	if c.ReapZombies() != 1 {
+		t.Fatal("zombie version 7 not reaped")
+	}
+	if _, ok := c.OldestReachable(); ok {
+		t.Fatal("horizon still pinned after the last retained version died")
+	}
+}

@@ -32,10 +32,31 @@ const compactRetries = 4
 // re-keyed replacements buffered in the write stores are durable. Call
 // Checkpoint first (the background maintainer runs after checkpoints, so
 // it sees the persisted state naturally).
+//
+// Under Options.Retention == RetainLive, Compact runs in tiered mode
+// (CompactTiered): merging a sealed run across the reclaim horizon would
+// destroy the disjoint CP windows that let Expire reclaim it for free.
 func (e *Engine) Compact() error {
+	return e.compactAll(e.expiryEnabled())
+}
+
+// CompactTiered is Compact in CP-tiered mode: Combined runs that are
+// sealed — level >= 1, trustworthy CP window, no override records — are
+// left untouched instead of being re-merged, so their windows stay
+// disjoint and a later Expire can drop them whole once the reclaim
+// horizon passes their MaxCP. Everything else (From, To, unsealed
+// Combined runs, the override run) merges exactly as in Compact; the
+// merged Combined output is split so override records land in their own
+// run, keeping the regular output sealed. The background maintainer uses
+// this mode when Options.Retention is RetainLive.
+func (e *Engine) CompactTiered() error {
+	return e.compactAll(true)
+}
+
+func (e *Engine) compactAll(tiered bool) error {
 	var errs []error
 	for p := 0; p < e.db.Partitions(); p++ {
-		compacted, err := e.compactPartition(p)
+		compacted, err := e.compactPartitionMode(p, tiered)
 		if err != nil {
 			errs = append(errs, fmt.Errorf("core: compacting partition %d: %w", p, err))
 			continue
@@ -50,7 +71,7 @@ func (e *Engine) Compact() error {
 // CompactPartition compacts a single partition; partitions can be
 // maintained selectively and independently (Section 5.3).
 func (e *Engine) CompactPartition(p int) error {
-	compacted, err := e.compactPartition(p)
+	compacted, err := e.compactPartitionMode(p, false)
 	if err != nil {
 		return err
 	}
@@ -88,14 +109,29 @@ type groupRecs struct {
 // concurrent compaction makes the attempt retry against a fresh view,
 // and after compactRetries conflicts the merge falls back to running
 // entirely under the exclusive lock.
-func (e *Engine) compactPartition(p int) (bool, error) {
+func (e *Engine) compactPartitionMode(p int, tiered bool) (bool, error) {
 	for attempt := 0; ; attempt++ {
-		compacted, installed, err := e.compactAttempt(p, attempt >= compactRetries)
+		compacted, installed, err := e.compactAttempt(p, attempt >= compactRetries, tiered)
 		if err != nil || installed {
 			return compacted, err
 		}
 		e.stats.compactConflicts.Add(1)
 	}
+}
+
+// sealedBelow selects the sealed Combined runs of a tiered merge: already
+// compacted (level >= 1), trustworthy CP window, and free of override
+// records. Tiered compaction never re-merges them — re-merging would union
+// their windows with newer records and push the result's MaxCP past the
+// horizon forever, so nothing would ever expire.
+func sealedBelow(runs []*lsm.Run) []*lsm.Run {
+	var sealed []*lsm.Run
+	for _, r := range runs {
+		if r.Level() >= 1 && r.CPWindowKnown() && r.Overrides() == 0 {
+			sealed = append(sealed, r)
+		}
+	}
+	return sealed
 }
 
 // compactAttempt performs one merge-and-install attempt. With
@@ -106,7 +142,7 @@ func (e *Engine) compactPartition(p int) (bool, error) {
 // with the window in which a checkpoint's write stores are frozen but its
 // runs are uninstalled — and the structural lock is then held throughout,
 // so validation is unnecessary and the attempt always installs.
-func (e *Engine) compactAttempt(p int, exclusive bool) (compacted, installed bool, err error) {
+func (e *Engine) compactAttempt(p int, exclusive, tiered bool) (compacted, installed bool, err error) {
 	if exclusive {
 		e.cpMu.Lock()
 		defer e.cpMu.Unlock()
@@ -146,8 +182,26 @@ func (e *Engine) compactAttempt(p int, exclusive bool) (compacted, installed boo
 	vFrom := v.Runs(TableFrom, p)
 	vTo := v.Runs(TableTo, p)
 	vComb := v.Runs(TableCombined, p)
-	if len(vFrom) == 0 && len(vTo) == 0 && len(vComb) <= 1 {
-		// Nothing to merge; at most the single compacted Combined run.
+	// Tiered mode leaves sealed Combined runs out of the merge (see
+	// sealedBelow); only the remainder — Level-0 runs and the override
+	// run — is read and rewritten.
+	mergeComb := vComb
+	var sealed []*lsm.Run
+	if tiered {
+		sealed = sealedBelow(vComb)
+		if len(sealed) > 0 {
+			mergeComb = make([]*lsm.Run, 0, len(vComb)-len(sealed))
+			for _, r := range vComb {
+				if r.Level() >= 1 && r.CPWindowKnown() && r.Overrides() == 0 {
+					continue
+				}
+				mergeComb = append(mergeComb, r)
+			}
+		}
+	}
+	if len(vFrom) == 0 && len(vTo) == 0 && len(mergeComb) <= 1 {
+		// Nothing to merge; at most the single compacted Combined run (in
+		// tiered mode, possibly plus sealed runs awaiting expiry).
 		return false, true, nil
 	}
 
@@ -159,7 +213,7 @@ func (e *Engine) compactAttempt(p int, exclusive bool) (compacted, installed boo
 	if err != nil {
 		return false, true, err
 	}
-	combIt, err := v.MergedIter(TableCombined, p)
+	combIt, err := v.MergedIterOf(TableCombined, mergeComb)
 	if err != nil {
 		return false, true, err
 	}
@@ -186,9 +240,26 @@ func (e *Engine) compactAttempt(p int, exclusive bool) (compacted, installed boo
 		newFrom.Abort()
 		return false, true, err
 	}
+	// Tiered mode writes surviving override records to a run of their own:
+	// overrides must outlive their line's snapshots, so mixing them into
+	// the regular output would poison its droppability. The override run
+	// (Overrides > 0) is re-merged on every tiered pass, which is also what
+	// purges overrides once their line is fully gone.
+	var newOver *lsm.RunBuilder
+	if tiered {
+		newOver, err = e.db.NewRunBuilder(TableCombined, p, 1, v.CP())
+		if err != nil {
+			newFrom.Abort()
+			newComb.Abort()
+			return false, true, err
+		}
+	}
 	abort := func(err error) (bool, bool, error) {
 		newFrom.Abort()
 		newComb.Abort()
+		if newOver != nil {
+			newOver.Abort()
+		}
 		return false, true, err
 	}
 
@@ -203,7 +274,7 @@ func (e *Engine) compactAttempt(p int, exclusive bool) (compacted, installed boo
 		if !ok {
 			break
 		}
-		if err := e.emitGroup(g, newFrom, newComb, &purged); err != nil {
+		if err := e.emitGroup(g, newFrom, newComb, newOver, &purged); err != nil {
 			return abort(err)
 		}
 	}
@@ -214,18 +285,35 @@ func (e *Engine) compactAttempt(p int, exclusive bool) (compacted, installed boo
 	if ref, ok, err := newFrom.Finish(); err != nil {
 		newFrom.Abort()
 		newComb.Abort()
+		if newOver != nil {
+			newOver.Abort()
+		}
 		return false, true, err
 	} else if ok {
 		added = append(added, ref)
 	}
 	if ref, ok, err := newComb.Finish(); err != nil {
 		newComb.Abort()
+		if newOver != nil {
+			newOver.Abort()
+		}
 		for _, r := range added {
 			e.db.DiscardRun(r)
 		}
 		return false, true, err
 	} else if ok {
 		added = append(added, ref)
+	}
+	if newOver != nil {
+		if ref, ok, err := newOver.Finish(); err != nil {
+			newOver.Abort()
+			for _, r := range added {
+				e.db.DiscardRun(r)
+			}
+			return false, true, err
+		} else if ok {
+			added = append(added, ref)
+		}
 	}
 
 	if !exclusive {
@@ -258,12 +346,26 @@ func (e *Engine) compactAttempt(p int, exclusive bool) (compacted, installed boo
 	for _, r := range vTo {
 		edit.DropRun(TableTo, r.Name())
 	}
-	for _, r := range vComb {
+	for _, r := range mergeComb {
 		edit.DropRun(TableCombined, r.Name())
 	}
 	clearedFrom := fromTbl.ClearDVPartition(p)
 	clearedTo := toTbl.ClearDVPartition(p)
-	clearedComb := combTbl.ClearDVPartition(p)
+	// Sealed runs were not rewritten, so deletion-vector entries whose
+	// records may live in them must survive the clear; entries outside
+	// every sealed run's block range paired only with rewritten runs.
+	var keepDV func(block uint64) bool
+	if len(sealed) > 0 {
+		keepDV = func(block uint64) bool {
+			for _, r := range sealed {
+				if block >= r.MinBlock() && block <= r.MaxBlock() {
+					return true
+				}
+			}
+			return false
+		}
+	}
+	clearedComb := combTbl.ClearDVPartitionKeep(p, keepDV)
 	edit.FlushDV(TableFrom).FlushDV(TableTo).FlushDV(TableCombined)
 	if err := edit.Commit(); err != nil {
 		// The commit did not land (a failed Commit removes its added run
@@ -279,8 +381,11 @@ func (e *Engine) compactAttempt(p int, exclusive bool) (compacted, installed boo
 }
 
 // emitGroup joins one identity group, applies the purge policy, and writes
-// the surviving records. Purged records are tallied into *purged.
-func (e *Engine) emitGroup(g groupRecs, newFrom, newComb *lsm.RunBuilder, purged *uint64) error {
+// the surviving records. Purged records are tallied into *purged. When
+// newOver is non-nil (tiered mode), override records (from == 0) go to it
+// instead of newComb, so the regular Combined output stays free of
+// overrides and therefore sealed.
+func (e *Engine) emitGroup(g groupRecs, newFrom, newComb, newOver *lsm.RunBuilder, purged *uint64) error {
 	cat := e.catalog
 	line := g.id.Line
 
@@ -307,7 +412,11 @@ func (e *Engine) emitGroup(g groupRecs, newFrom, newComb *lsm.RunBuilder, purged
 			Ref:  Ref{Block: g.id.Block, Inode: g.id.Inode, Offset: g.id.Offset, Line: line, Length: g.id.Length},
 			From: iv.from, To: iv.to,
 		})
-		if err := newComb.Add(rec); err != nil {
+		dst := newComb
+		if newOver != nil && iv.from == 0 {
+			dst = newOver
+		}
+		if err := dst.Add(rec); err != nil {
 			return err
 		}
 	}

@@ -77,7 +77,30 @@ type Options struct {
 	// also bounds how stale queries can get between maintenance passes —
 	// the run count is what query cost scales with (Section 6.4).
 	CompactThreshold int
+	// Retention selects the snapshot-retention policy. RetainAll (the
+	// default) changes nothing: records referring only to deleted
+	// snapshots are reclaimed by compaction alone. RetainLive enables
+	// drop-based expiry end to end — the background maintainer (started
+	// even without AutoCompact) runs an Expire pass after every
+	// checkpoint, background compaction switches to CP-tiered merging
+	// that seals finished Combined windows instead of re-merging them,
+	// and queries skip Combined runs entirely below the reclaim horizon.
+	Retention RetentionPolicy
 }
+
+// RetentionPolicy selects how aggressively the engine reclaims records of
+// deleted snapshots; see Options.Retention.
+type RetentionPolicy int
+
+const (
+	// RetainAll keeps every record until a compaction purges it — the
+	// paper's baseline behavior.
+	RetainAll RetentionPolicy = iota
+	// RetainLive expires records wholesale: runs whose CP window falls
+	// entirely below the oldest reachable snapshot are dropped without
+	// being read.
+	RetainLive
+)
 
 // Stats counts engine activity. All counters are cumulative.
 type Stats struct {
@@ -91,6 +114,9 @@ type Stats struct {
 	RecordsPurged  uint64 // records dropped by compaction
 	Queries        uint64
 	Relocations    uint64
+	Expiries       uint64 // Expire passes that dropped at least one run
+	RunsExpired    uint64 // runs dropped whole by expiry (never read)
+	RecordsExpired uint64 // records inside runs dropped by expiry
 	WALAppends     uint64 // records appended to the write-ahead log
 	WALBatches     uint64 // WAL group-commit flushes (one WriteAt+Sync each)
 	WALReplayed    uint64 // records replayed from the WAL at Open
@@ -121,6 +147,9 @@ type counters struct {
 	recordsPurged    atomic.Uint64
 	queries          atomic.Uint64
 	relocations      atomic.Uint64
+	expiries         atomic.Uint64
+	runsExpired      atomic.Uint64
+	recordsExpired   atomic.Uint64
 	cpSwapNanos      atomic.Uint64
 	cpFlushNanos     atomic.Uint64
 	cpInstallNanos   atomic.Uint64
@@ -261,9 +290,10 @@ func Open(opts Options) (*Engine, error) {
 	}
 	db, err := lsm.Open(opts.VFS, lsm.Options{
 		Tables: []lsm.TableSpec{
-			{Name: TableFrom, RecordSize: FromRecSize, BloomMaxBytes: bfFromTo},
-			{Name: TableTo, RecordSize: ToRecSize, BloomMaxBytes: bfFromTo},
-			{Name: TableCombined, RecordSize: CombinedSize, BloomMaxBytes: bfCombined},
+			{Name: TableFrom, RecordSize: FromRecSize, BloomMaxBytes: bfFromTo, Span: spanFrom},
+			{Name: TableTo, RecordSize: ToRecSize, BloomMaxBytes: bfFromTo, Span: spanTo},
+			{Name: TableCombined, RecordSize: CombinedSize, BloomMaxBytes: bfCombined,
+				Span: spanCombined, IsOverride: isOverrideCombined},
 		},
 		Partitions:       opts.Partitions,
 		PartitionSpan:    opts.PartitionSpan,
@@ -297,7 +327,10 @@ func Open(opts Options) (*Engine, error) {
 	if err := e.openWAL(); err != nil {
 		return nil, err
 	}
-	if opts.AutoCompact {
+	if opts.AutoCompact || opts.Retention == RetainLive {
+		// RetainLive starts the maintainer even without AutoCompact: the
+		// expiry pass after each checkpoint is what reclaims dropped
+		// snapshots' runs.
 		e.maint = newMaintainer(e)
 		// A reopened database may already carry more runs than the
 		// threshold allows; let the maintainer look immediately.
@@ -305,6 +338,10 @@ func Open(opts Options) (*Engine, error) {
 	}
 	return e, nil
 }
+
+// expiryEnabled reports whether drop-based expiry (and with it tiered
+// background compaction and CP-window query pruning) is active.
+func (e *Engine) expiryEnabled() bool { return e.opts.Retention == RetainLive }
 
 // openWAL recovers the write-ahead log tail into the write stores and, in
 // Buffered/Sync modes, opens the log for appending. In CheckpointOnly
@@ -413,6 +450,9 @@ func (e *Engine) Stats() Stats {
 		RecordsPurged:  e.stats.recordsPurged.Load(),
 		Queries:        e.stats.queries.Load(),
 		Relocations:    e.stats.relocations.Load(),
+		Expiries:       e.stats.expiries.Load(),
+		RunsExpired:    e.stats.runsExpired.Load(),
+		RecordsExpired: e.stats.recordsExpired.Load(),
 		WALReplayed:    e.walReplayed,
 
 		CheckpointSwapNanos:    e.stats.cpSwapNanos.Load(),
@@ -1154,6 +1194,14 @@ func collectWSTo(ws *memtree.Tree[ToRec], block uint64) []ToRec {
 		return true
 	})
 	return out
+}
+
+// RunInfos returns metadata for every live run, including each run's
+// consistency-point window — what backlogctl's per-partition stats print.
+func (e *Engine) RunInfos() []lsm.RunInfo {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.db.RunInfos()
 }
 
 // Catalog returns the engine's snapshot catalog.

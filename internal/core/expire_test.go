@@ -1,0 +1,633 @@
+// Drop-based expiry tests: the no-read reclaim contract, the safety
+// deferrals, crash windows around the manifest commit, the expiry-vs-
+// compaction I/O gap, and a -race hammer that runs Expire against the
+// full concurrent workload with a moving reclaim horizon. They live in
+// package core_test to share the gated-VFS harness and the naive-oracle
+// helpers with freeze_test.go and maintain_test.go.
+package core_test
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/backlogfs/backlog/internal/core"
+	"github.com/backlogfs/backlog/internal/lsm"
+	"github.com/backlogfs/backlog/internal/storage"
+)
+
+// sealedEnv builds a database with two sealed Combined runs in partition
+// 0 and one live reference:
+//
+//	run A, window [1, 2]: block 1's interval [1, 2), retained by snapshot v1
+//	run B, window [3, 4]: block 3's interval [3, 4), retained by snapshot v3
+//	From run:             block 2, live since CP 1
+//
+// Deleting snapshot v1 moves the reclaim horizon to 3, making exactly
+// run A droppable.
+func sealedEnv(t *testing.T, vfs storage.VFS) (*core.Engine, *core.MemCatalog) {
+	t.Helper()
+	cat := core.NewMemCatalog()
+	eng, err := core.Open(core.Options{VFS: vfs, Catalog: cat})
+	if err != nil {
+		t.Fatal(err)
+	}
+	epoch := func(snap, block, inode uint64) {
+		if err := cat.CreateSnapshot(0, snap); err != nil {
+			t.Fatal(err)
+		}
+		eng.AddRef(fref(block, inode, 0, 0), snap)
+		if block == 1 {
+			eng.AddRef(fref(2, 2, 0, 0), snap) // the long-lived reference
+		}
+		fCheckpoint(t, eng, snap)
+		eng.RemoveRef(fref(block, inode, 0, 0), snap+1)
+		fCheckpoint(t, eng, snap+1)
+		if err := eng.CompactTiered(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	epoch(1, 1, 1)
+	epoch(3, 3, 3)
+	if got := len(sealedRuns(eng)); got != 2 {
+		t.Fatalf("sealedEnv built %d sealed runs, want 2: %+v", got, eng.RunInfos())
+	}
+	return eng, cat
+}
+
+// sealedRuns returns the Combined runs eligible for expiry, oldest window
+// first (RunInfos orders runs by age within a partition).
+func sealedRuns(eng *core.Engine) []lsm.RunInfo {
+	var out []lsm.RunInfo
+	for _, ri := range eng.RunInfos() {
+		if ri.Table == core.TableCombined && ri.Level >= 1 && ri.CPWindowKnown && ri.Overrides == 0 {
+			out = append(out, ri)
+		}
+	}
+	return out
+}
+
+// TestExpireDropsRunsWithoutReadingData is the headline contract: once
+// the only snapshot covering a sealed run's window is deleted, Expire
+// removes the run in a single manifest edit — zero bytes of run data
+// read — while every record still reachable keeps answering queries.
+func TestExpireDropsRunsWithoutReadingData(t *testing.T) {
+	fs := storage.NewMemFS()
+	eng, cat := sealedEnv(t, fs)
+	if err := cat.DeleteSnapshot(0, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	before := fs.Stats()
+	est, err := eng.Expire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta := fs.Stats().Sub(before)
+	if est.Deferred {
+		t.Fatal("expiry deferred on an idle engine")
+	}
+	if est.Horizon != 3 {
+		t.Fatalf("Horizon = %d, want 3 (the surviving snapshot)", est.Horizon)
+	}
+	if est.RunsDropped != 1 || est.RecordsDropped != 1 {
+		t.Fatalf("dropped (%d runs, %d records), want (1, 1)", est.RunsDropped, est.RecordsDropped)
+	}
+	if delta.BytesRead != 0 {
+		t.Fatalf("expiry read %d bytes of run data; the drop must be a pure manifest edit", delta.BytesRead)
+	}
+	if delta.FilesRemoved == 0 {
+		t.Fatal("no view pinned the dropped run, so its file must be deleted in the same pass")
+	}
+
+	// Reachability after the drop: the expired interval is gone, the
+	// retained interval and the live reference are untouched.
+	if owners := fQuery(t, eng, 1); len(owners) != 0 {
+		t.Fatalf("expired block 1 still answers: %+v", owners)
+	}
+	if owners := fQuery(t, eng, 3); len(owners) != 1 || owners[0].Live {
+		t.Fatalf("retained block 3 wrong after expiry: %+v", owners)
+	}
+	if owners := fQuery(t, eng, 2); len(owners) != 1 || !owners[0].Live {
+		t.Fatalf("live block 2 wrong after expiry: %+v", owners)
+	}
+	st := eng.Stats()
+	if st.Expiries != 1 || st.RunsExpired != 1 || st.RecordsExpired != 1 {
+		t.Fatalf("expiry counters wrong: %+v", st)
+	}
+
+	// A second pass finds nothing and must not rewrite the manifest.
+	before = fs.Stats()
+	est, err = eng.Expire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.RunsDropped != 0 {
+		t.Fatalf("second pass dropped %d runs", est.RunsDropped)
+	}
+	if w := fs.Stats().Sub(before).BytesWritten; w != 0 {
+		t.Fatalf("no-op expiry wrote %d bytes", w)
+	}
+	if got := eng.Stats().Expiries; got != 1 {
+		t.Fatalf("Expiries = %d after a no-op pass, want 1", got)
+	}
+
+	// The drop is durable: a reopen sees one sealed run and the same
+	// query results.
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	eng2, err := core.Open(core.Options{VFS: fs, Catalog: cat})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng2.Close()
+	if got := len(sealedRuns(eng2)); got != 1 {
+		t.Fatalf("%d sealed runs after reopen, want 1", got)
+	}
+	if owners := fQuery(t, eng2, 1); len(owners) != 0 {
+		t.Fatalf("expired block 1 resurrected by reopen: %+v", owners)
+	}
+	if owners := fQuery(t, eng2, 3); len(owners) != 1 {
+		t.Fatalf("retained block 3 lost by reopen: %+v", owners)
+	}
+}
+
+// TestExpireDefersUntilSafe covers both deferral conditions: a checkpoint
+// holding frozen stores mid-flush, and a dirty deletion vector whose
+// re-keyed partner records are not yet durable. In both states Expire
+// must do nothing (without error); once the state clears, the same call
+// drops the run.
+func TestExpireDefersUntilSafe(t *testing.T) {
+	fs := storage.NewMemFS()
+	g := newGatedVFS(fs)
+	eng, cat := sealedEnv(t, g)
+	defer eng.Close()
+	if err := cat.DeleteSnapshot(0, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	// Mid-flush: freeze a checkpoint on its first run file, then expire.
+	eng.AddRef(fref(9, 9, 0, 0), 5)
+	entered, release := g.arm()
+	done := make(chan error, 1)
+	go func() { done <- eng.Checkpoint(5) }()
+	<-entered
+	est, err := eng.Expire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !est.Deferred || est.RunsDropped != 0 {
+		t.Fatalf("expiry mid-flush = %+v, want a deferral", est)
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+
+	// Dirty deletion vector: relocating block 3 masks its sealed-run
+	// records while the re-keyed copies are still volatile.
+	if err := eng.RelocateBlock(3, 700); err != nil {
+		t.Fatal(err)
+	}
+	est, err = eng.Expire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !est.Deferred || est.RunsDropped != 0 {
+		t.Fatalf("expiry on a dirty deletion vector = %+v, want a deferral", est)
+	}
+	if got := eng.Stats().Expiries; got != 0 {
+		t.Fatalf("deferred passes counted as expiries: %d", got)
+	}
+
+	// The checkpoint persists vector and replacements together; now the
+	// pass goes through.
+	fCheckpoint(t, eng, 6)
+	est, err = eng.Expire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Deferred || est.RunsDropped != 1 {
+		t.Fatalf("expiry after the covering checkpoint = %+v, want 1 run dropped", est)
+	}
+	if owners := fQuery(t, eng, 700); len(owners) != 1 {
+		t.Fatalf("relocated block lost across expiry: %+v", owners)
+	}
+	if owners := fQuery(t, eng, 3); len(owners) != 0 {
+		t.Fatalf("relocated-away block resurrected: %+v", owners)
+	}
+}
+
+// removeRunVFS fails Remove for run files while armed, simulating a crash
+// that lands after the expiry's manifest commit but before the deferred
+// file deletion.
+type removeRunVFS struct {
+	storage.VFS
+	block atomic.Bool
+}
+
+func (v *removeRunVFS) Remove(name string) error {
+	if v.block.Load() && strings.HasSuffix(name, ".run") {
+		return fmt.Errorf("injected remove failure for %s", name)
+	}
+	return v.VFS.Remove(name)
+}
+
+// TestExpireCrashAfterCommitCollectsOrphan: if the crash beats the run-
+// file deletion, the committed manifest is the truth — reopening must
+// collect the orphaned file, and the expired records must not resurrect.
+func TestExpireCrashAfterCommitCollectsOrphan(t *testing.T) {
+	fs := storage.NewMemFS()
+	rv := &removeRunVFS{VFS: fs}
+	eng, cat := sealedEnv(t, rv)
+	if err := cat.DeleteSnapshot(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	doomed := sealedRuns(eng)[0].Name
+
+	rv.block.Store(true)
+	est, err := eng.Expire()
+	rv.block.Store(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.RunsDropped != 1 {
+		t.Fatalf("RunsDropped = %d, want 1", est.RunsDropped)
+	}
+	exists := func(name string) bool {
+		names, err := fs.List()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, n := range names {
+			if n == name {
+				return true
+			}
+		}
+		return false
+	}
+	if !exists(doomed) {
+		t.Fatal("test harness broken: the injected failure did not keep the run file")
+	}
+
+	fs.Crash()
+	eng2, err := core.Open(core.Options{VFS: fs, Catalog: cat})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng2.Close()
+	if exists(doomed) {
+		t.Fatal("orphaned run file leaked across reopen")
+	}
+	if owners := fQuery(t, eng2, 1); len(owners) != 0 {
+		t.Fatalf("expired records resurrected after crash: %+v", owners)
+	}
+	if owners := fQuery(t, eng2, 3); len(owners) != 1 {
+		t.Fatalf("retained block 3 lost: %+v", owners)
+	}
+	// Nothing else leaked: every run file on disk is in the manifest.
+	live := map[string]bool{}
+	for _, ri := range eng2.RunInfos() {
+		live[ri.Name] = true
+	}
+	names, err := fs.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range names {
+		if strings.HasSuffix(n, ".run") && !live[n] {
+			t.Fatalf("leaked run file %s", n)
+		}
+	}
+}
+
+// TestExpireCrashBeforeCommitKeepsState: a failure before the manifest
+// lands must leave the pre-expiry state intact — both sealed runs load
+// after the crash, and a retry completes the drop.
+func TestExpireCrashBeforeCommitKeepsState(t *testing.T) {
+	fs := storage.NewMemFS()
+	eng, cat := sealedEnv(t, fs)
+	if err := cat.DeleteSnapshot(0, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	fs.SetFailurePlan(storage.FailurePlan{FailAfterPageWrites: fs.Stats().PageWrites})
+	if _, err := eng.Expire(); err == nil {
+		t.Fatal("expiry survived the injected manifest-write failure")
+	}
+	fs.SetFailurePlan(storage.FailurePlan{})
+	if got := eng.Stats().Expiries; got != 0 {
+		t.Fatalf("failed pass counted as an expiry: %d", got)
+	}
+
+	fs.Crash()
+	eng2, err := core.Open(core.Options{VFS: fs, Catalog: cat})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng2.Close()
+	if got := len(sealedRuns(eng2)); got != 2 {
+		t.Fatalf("%d sealed runs after failed expiry + crash, want 2 (unchanged)", got)
+	}
+	if owners := fQuery(t, eng2, 3); len(owners) != 1 {
+		t.Fatalf("retained block 3 lost: %+v", owners)
+	}
+	est, err := eng2.Expire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.RunsDropped != 1 {
+		t.Fatalf("retry dropped %d runs, want 1", est.RunsDropped)
+	}
+}
+
+// buildExpirable writes epochs of references that each live for exactly
+// one checkpoint, retained by a per-epoch snapshot, and seals each epoch
+// into its own Combined run via tiered compaction. Deleting the first
+// epochs' snapshots then makes their runs reclaimable two ways: Expire
+// (drop) or Compact (merge-and-purge).
+func buildExpirable(t *testing.T, vfs storage.VFS, epochs, perEpoch, blocks int) (*core.Engine, *core.MemCatalog) {
+	t.Helper()
+	cat := core.NewMemCatalog()
+	eng, err := core.Open(core.Options{VFS: vfs, Catalog: cat})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := uint64(1)
+	for e := 0; e < epochs; e++ {
+		if err := cat.CreateSnapshot(0, cp); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < perEpoch; i++ {
+			eng.AddRef(core.Ref{Block: uint64(i % blocks), Inode: uint64(e + 1), Offset: uint64(i), Length: 1}, cp)
+		}
+		fCheckpoint(t, eng, cp)
+		for i := 0; i < perEpoch; i++ {
+			eng.RemoveRef(core.Ref{Block: uint64(i % blocks), Inode: uint64(e + 1), Offset: uint64(i), Length: 1}, cp+1)
+		}
+		fCheckpoint(t, eng, cp+1)
+		if err := eng.CompactTiered(); err != nil {
+			t.Fatal(err)
+		}
+		cp += 2
+	}
+	return eng, cat
+}
+
+// TestExpireVsCompactReclaimIO pins the economics: reclaiming the same
+// deleted snapshots must cost expiry at least 10x less I/O than the
+// compaction path, which reads and rewrites every surviving record. Both
+// engines must agree on what remains.
+func TestExpireVsCompactReclaimIO(t *testing.T) {
+	const (
+		epochs   = 8
+		perEpoch = 256
+		blocks   = 64
+	)
+	fsE := storage.NewMemFS()
+	engE, catE := buildExpirable(t, fsE, epochs, perEpoch, blocks)
+	defer engE.Close()
+	fsC := storage.NewMemFS()
+	engC, catC := buildExpirable(t, fsC, epochs, perEpoch, blocks)
+	defer engC.Close()
+
+	// Delete every snapshot but the last epoch's on both.
+	for e := 0; e < epochs-1; e++ {
+		if err := catE.DeleteSnapshot(0, uint64(2*e+1)); err != nil {
+			t.Fatal(err)
+		}
+		if err := catC.DeleteSnapshot(0, uint64(2*e+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	beforeE := fsE.Stats()
+	est, err := engE.Expire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dE := fsE.Stats().Sub(beforeE)
+	ioE := dE.BytesRead + dE.BytesWritten
+	if est.RunsDropped != epochs-1 || est.RecordsDropped != uint64((epochs-1)*perEpoch) {
+		t.Fatalf("expiry dropped (%d runs, %d records), want (%d, %d)",
+			est.RunsDropped, est.RecordsDropped, epochs-1, (epochs-1)*perEpoch)
+	}
+
+	beforeC := fsC.Stats()
+	if err := engC.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	dC := fsC.Stats().Sub(beforeC)
+	ioC := dC.BytesRead + dC.BytesWritten
+
+	if ioE == 0 {
+		t.Fatal("expiry reported zero I/O; the manifest commit must be visible to the meter")
+	}
+	if ioC < 10*ioE {
+		t.Fatalf("compaction reclaim I/O = %d bytes, expiry = %d bytes; want >= 10x gap", ioC, ioE)
+	}
+	if dE.BytesRead != 0 {
+		t.Fatalf("expiry read %d bytes", dE.BytesRead)
+	}
+
+	// Both paths converge to the same reachable state.
+	for b := uint64(0); b < blocks; b++ {
+		oe := fQuery(t, engE, b)
+		oc := fQuery(t, engC, b)
+		if len(oe) != len(oc) {
+			t.Fatalf("block %d: expiry sees %d owners, compaction %d", b, len(oe), len(oc))
+		}
+		for i := range oe {
+			if fmt.Sprintf("%+v", oe[i]) != fmt.Sprintf("%+v", oc[i]) {
+				t.Fatalf("block %d owner %d: expiry %+v, compaction %+v", b, i, oe[i], oc[i])
+			}
+		}
+		if len(oe) != perEpoch/blocks {
+			t.Fatalf("block %d: %d owners after reclaim, want %d (last epoch only)", b, len(oe), perEpoch/blocks)
+		}
+	}
+}
+
+// TestRetainLiveStartsMaintainer: the retention policy alone must start
+// the background maintainer — expiry sweeps need no AutoCompact opt-in.
+func TestRetainLiveStartsMaintainer(t *testing.T) {
+	eng, err := core.Open(core.Options{
+		VFS:       storage.NewMemFS(),
+		Catalog:   core.NewMemCatalog(),
+		Retention: core.RetainLive,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	if !eng.MaintenanceStats().Enabled {
+		t.Fatal("RetainLive without AutoCompact left the maintainer off")
+	}
+}
+
+// TestExpireHammerAgainstNaiveOracle runs the full concurrent workload —
+// AddRef/RemoveRef/Query/Checkpoint plus background tiered compaction —
+// while a snapshot churner keeps only a sliding window of recent
+// snapshots (so the reclaim horizon climbs continuously) and a dedicated
+// goroutine hammers Expire. Run under -race. Afterwards the live
+// reference set must match the naive oracle, and a final full expiry
+// (every snapshot deleted, horizon = Infinity) must reclaim every sealed
+// run without touching live data.
+func TestExpireHammerAgainstNaiveOracle(t *testing.T) {
+	const (
+		workers = 4
+		opsEach = 800
+		blocks  = 256
+		maxCP   = 10
+	)
+	fs := storage.NewMemFS()
+	cat := core.NewMemCatalog()
+	eng, err := core.Open(core.Options{
+		VFS:              fs,
+		Catalog:          cat,
+		Partitions:       4,
+		HashPartitioning: true,
+		WriteShards:      workers,
+		AutoCompact:      true,
+		CompactThreshold: 4,
+		Retention:        core.RetainLive,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	streams := genOps(workers, opsEach, blocks, maxCP)
+	stop := make(chan struct{})
+	errc := make(chan error, 8)
+	var aux sync.WaitGroup
+
+	// Checkpointer + snapshot churner: every committed CP becomes a
+	// snapshot, and snapshots more than three CPs behind are deleted, so
+	// the reclaim horizon advances under the running expiry.
+	var cpMu sync.Mutex
+	lastCP := uint64(maxCP + 1)
+	aux.Add(1)
+	go func() {
+		defer aux.Done()
+		var snaps []uint64
+		for cp := uint64(maxCP + 2); ; cp++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := eng.Checkpoint(cp); err != nil {
+				errc <- fmt.Errorf("checkpoint %d: %w", cp, err)
+				return
+			}
+			cpMu.Lock()
+			lastCP = cp
+			cpMu.Unlock()
+			if err := cat.CreateSnapshot(0, cp); err != nil {
+				errc <- err
+				return
+			}
+			snaps = append(snaps, cp)
+			for len(snaps) > 3 {
+				if err := cat.DeleteSnapshot(0, snaps[0]); err != nil {
+					errc <- err
+					return
+				}
+				snaps = snaps[1:]
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	// Expiry hammer: races checkpoints (deferral path), compaction
+	// installs, and pinned-view queries.
+	aux.Add(1)
+	go func() {
+		defer aux.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := eng.Expire(); err != nil {
+				errc <- fmt.Errorf("concurrent expire: %w", err)
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	// Query hammer across the whole block range.
+	aux.Add(1)
+	go func() {
+		defer aux.Done()
+		rng := rand.New(rand.NewSource(99))
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := eng.Query(uint64(rng.Intn(blocks))); err != nil {
+				errc <- fmt.Errorf("concurrent query: %w", err)
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(stream []oracleOp) {
+			defer wg.Done()
+			for _, o := range stream {
+				if o.remove {
+					eng.RemoveRef(o.ref, o.cp)
+				} else {
+					eng.AddRef(o.ref, o.cp)
+				}
+			}
+		}(streams[w])
+	}
+	wg.Wait()
+	close(stop)
+	aux.Wait()
+	select {
+	case err := <-errc:
+		t.Fatal(err)
+	default:
+	}
+
+	cpMu.Lock()
+	final := lastCP + 1
+	cpMu.Unlock()
+	fCheckpoint(t, eng, final)
+	waitMaintained(t, eng)
+	verifyLiveAgainstNaive(t, eng, streams, blocks)
+
+	// Tear down every snapshot: the horizon goes to Infinity, so one
+	// tiered pass plus one expiry must leave no sealed run behind — and
+	// the live set must still be intact.
+	for _, v := range cat.Snapshots(0) {
+		if err := cat.DeleteSnapshot(0, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := eng.CompactTiered(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Expire(); err != nil {
+		t.Fatal(err)
+	}
+	if left := sealedRuns(eng); len(left) != 0 {
+		t.Fatalf("%d sealed runs survive an Infinity horizon: %+v", len(left), left)
+	}
+	verifyLiveAgainstNaive(t, eng, streams, blocks)
+}

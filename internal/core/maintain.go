@@ -90,10 +90,24 @@ func (m *maintainer) loop() {
 	}
 }
 
-// drain compacts worst-first until every partition is at or below the
+// drain runs one maintenance pass. Under RetainLive it starts with an
+// expiry sweep — the cheapest reclamation available, a pure manifest edit
+// — then compacts worst-first until every partition is at or below the
 // threshold, pacing between partitions and aborting promptly on stop.
+// Tiered mode counts only compactable (non-sealed) runs against the
+// threshold and finishes with a second expiry sweep, since the compactions
+// may have sealed windows the horizon has already passed.
 func (m *maintainer) drain() {
 	e := m.e
+	tiered := e.expiryEnabled()
+	if tiered {
+		if _, err := e.Expire(); err != nil {
+			e.stats.maintErrors.Add(1)
+		}
+	}
+	if !e.opts.AutoCompact {
+		return
+	}
 	threshold := e.compactThreshold()
 	for {
 		select {
@@ -101,11 +115,16 @@ func (m *maintainer) drain() {
 			return
 		default:
 		}
-		p, runs := e.worstPartition()
-		if runs <= threshold {
-			return
+		var p, runs int
+		if tiered {
+			p, runs = e.worstCompactable()
+		} else {
+			p, runs = e.worstPartition()
 		}
-		compacted, err := e.compactPartition(p)
+		if runs <= threshold {
+			break
+		}
+		compacted, err := e.compactPartitionMode(p, tiered)
 		if err != nil {
 			// Abandon the pass; the next checkpoint kicks a retry.
 			e.stats.maintErrors.Add(1)
@@ -122,6 +141,11 @@ func (m *maintainer) drain() {
 		case <-m.stop:
 			return
 		case <-time.After(maintainPace):
+		}
+	}
+	if tiered {
+		if _, err := e.Expire(); err != nil {
+			e.stats.maintErrors.Add(1)
 		}
 	}
 }
@@ -157,12 +181,42 @@ func (e *Engine) worstPartition() (int, int) {
 	return worst, max
 }
 
+// worstCompactable returns the partition with the most compactable runs —
+// runs a tiered merge would actually read — and that count. Sealed
+// Combined runs are excluded: tiered compaction never re-merges them, so
+// counting them against the threshold would keep the maintainer spinning
+// on a partition it cannot shrink (a tiered partition steady-states at
+// one From run plus one override run plus any number of sealed runs
+// awaiting expiry).
+func (e *Engine) worstCompactable() (int, int) {
+	counts := map[int]int{}
+	for _, ri := range e.RunInfos() {
+		if ri.Table == TableCombined && ri.Level >= 1 && ri.CPWindowKnown && ri.Overrides == 0 {
+			continue
+		}
+		counts[ri.Partition]++
+	}
+	worst, max := 0, 0
+	for p := 0; p < e.db.Partitions(); p++ {
+		if n := counts[p]; n > max {
+			worst, max = p, n
+		}
+	}
+	return worst, max
+}
+
 // MaintenanceStats returns a snapshot of the background maintainer's
-// counters and the current worst per-partition run count. Safe to call
-// concurrently; meaningful (Enabled=false, zero counters) without
-// AutoCompact too.
+// counters and the current worst per-partition run count — the signal the
+// maintainer actually watches, so under RetainLive sealed runs awaiting
+// expiry are excluded. Safe to call concurrently; meaningful
+// (Enabled=false, zero counters) without AutoCompact too.
 func (e *Engine) MaintenanceStats() MaintenanceStats {
-	_, max := e.worstPartition()
+	var max int
+	if e.expiryEnabled() {
+		_, max = e.worstCompactable()
+	} else {
+		_, max = e.worstPartition()
+	}
 	return MaintenanceStats{
 		Enabled:          e.maint != nil,
 		CompactThreshold: e.compactThreshold(),

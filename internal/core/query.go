@@ -174,7 +174,17 @@ func (e *Engine) combinedForBlock(v *lsm.View, ws wsRecords, block uint64) (map[
 	}); err != nil {
 		return nil, err
 	}
-	if err := v.CollectBlock(TableCombined, block, func(rec []byte) bool {
+	// Under RetainLive, Combined runs sealed entirely below the reclaim
+	// horizon are skipped without being opened: every record in them
+	// describes an interval that ended before the oldest retained
+	// snapshot, so masking would discard it anyway. With RetainAll the
+	// horizon is 0 and pruning is disabled — identical behavior (and
+	// identical I/O) to the baseline.
+	var horizon uint64
+	if e.expiryEnabled() {
+		horizon = e.ReclaimHorizon()
+	}
+	if err := v.CollectBlockPruned(TableCombined, block, horizon, func(rec []byte) bool {
 		combineds = append(combineds, DecodeCombined(rec))
 		return true
 	}); err != nil {

@@ -190,3 +190,40 @@ func DecodeCombined(b []byte) CombinedRec {
 		To:   binary.BigEndian.Uint64(b[identityLen+8:]),
 	}
 }
+
+// spanFrom, spanTo, and spanCombined are the lsm.TableSpec.Span callbacks:
+// they report the consistency-point window a record covers, which run
+// builders fold into per-run [MinCP, MaxCP] metadata. A From record's
+// reference is born at From (its death, if any, lives in another table, so
+// From runs are never expiry candidates); a To record covers its death
+// point; a Combined record covers its whole validity interval. Override
+// records (from == 0) span only their end point — their synthetic zero
+// start is not a real consistency point, and counting it would pin every
+// run containing one at MinCP 0 forever.
+func spanFrom(rec []byte) (uint64, uint64) {
+	f := binary.BigEndian.Uint64(rec[identityLen:])
+	return f, f
+}
+
+func spanTo(rec []byte) (uint64, uint64) {
+	t := binary.BigEndian.Uint64(rec[identityLen:])
+	return t, t
+}
+
+func spanCombined(rec []byte) (uint64, uint64) {
+	f := binary.BigEndian.Uint64(rec[identityLen:])
+	t := binary.BigEndian.Uint64(rec[identityLen+8:])
+	if f == 0 {
+		return t, t
+	}
+	return f, t
+}
+
+// isOverrideCombined reports whether a Combined record is an inheritance
+// override (from == 0, Section 4.2.2). Runs containing overrides are
+// never dropped by expiry: an override must outlive every snapshot-bound
+// record of its line, or purging it would resurrect inheritance the file
+// system explicitly terminated.
+func isOverrideCombined(rec []byte) bool {
+	return binary.BigEndian.Uint64(rec[identityLen:]) == 0
+}

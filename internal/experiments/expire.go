@@ -1,0 +1,172 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/backlogfs/backlog/internal/core"
+	"github.com/backlogfs/backlog/internal/storage"
+)
+
+// ExpireConfig parameterizes the expiry-vs-compaction experiment. It is
+// not a paper figure: the paper reclaims deleted snapshots' records only
+// through maintenance, which reads and rewrites every surviving record.
+// The experiment quantifies what CP-windowed runs buy — two identical
+// databases reclaim the same deleted snapshots, one by drop-based Expire
+// (a manifest edit) and one by a full Compact, and the meter compares
+// their I/O.
+type ExpireConfig struct {
+	// Epochs is the number of snapshot epochs. Each epoch's references are
+	// added at one CP, removed at the next, retained by a per-epoch
+	// snapshot, and sealed into their own CP-windowed Combined run by
+	// tiered compaction.
+	Epochs int
+	// OpsPerEpoch is the number of references per epoch.
+	OpsPerEpoch int
+	// Blocks is the physical block space.
+	Blocks int
+	// Retain is how many of the newest epochs keep their snapshots; the
+	// older Epochs-Retain epochs are deleted and reclaimed.
+	Retain int
+}
+
+// DefaultExpireConfig returns the small-scale default.
+func DefaultExpireConfig() ExpireConfig {
+	return ExpireConfig{Epochs: 12, OpsPerEpoch: 2000, Blocks: 1 << 14, Retain: 2}
+}
+
+// ExpirePoint is one reclaim path's measured cost.
+type ExpirePoint struct {
+	Path             string // "expire" or "compact"
+	RunsReclaimed    int
+	RecordsReclaimed uint64
+	BytesRead        int64
+	BytesWritten     int64
+	Millis           float64
+}
+
+// ExpireResult is the experiment's output.
+type ExpireResult struct {
+	Points []ExpirePoint
+	// IORatio is the compaction path's total I/O bytes divided by the
+	// expiry path's.
+	IORatio float64
+}
+
+// buildExpireDB ingests cfg.Epochs sealed epochs into a fresh metered
+// database. The workload is deterministic, so the two databases the
+// experiment builds are byte-for-byte peers.
+func buildExpireDB(cfg ExpireConfig) (*core.Engine, *core.MemCatalog, *storage.MemFS, error) {
+	fs := storage.NewMemFS()
+	cat := core.NewMemCatalog()
+	eng, err := core.Open(core.Options{VFS: fs, Catalog: cat, WriteShards: 1})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	cp := uint64(1)
+	for e := 0; e < cfg.Epochs; e++ {
+		if err := cat.CreateSnapshot(0, cp); err != nil {
+			return nil, nil, nil, err
+		}
+		for i := 0; i < cfg.OpsPerEpoch; i++ {
+			eng.AddRef(core.Ref{
+				Block:  uint64(i % cfg.Blocks),
+				Inode:  uint64(e + 2),
+				Offset: uint64(i),
+				Length: 1,
+			}, cp)
+		}
+		if err := eng.Checkpoint(cp); err != nil {
+			return nil, nil, nil, err
+		}
+		for i := 0; i < cfg.OpsPerEpoch; i++ {
+			eng.RemoveRef(core.Ref{
+				Block:  uint64(i % cfg.Blocks),
+				Inode:  uint64(e + 2),
+				Offset: uint64(i),
+				Length: 1,
+			}, cp+1)
+		}
+		if err := eng.Checkpoint(cp + 1); err != nil {
+			return nil, nil, nil, err
+		}
+		if err := eng.CompactTiered(); err != nil {
+			return nil, nil, nil, err
+		}
+		cp += 2
+	}
+	return eng, cat, fs, nil
+}
+
+// RunExpire builds two identical databases of sealed epochs, deletes the
+// same old snapshots in both, and reclaims them via Expire on one and
+// Compact on the other, metering each path's I/O.
+func RunExpire(cfg ExpireConfig) (ExpireResult, error) {
+	var res ExpireResult
+	if cfg.Retain < 1 || cfg.Retain >= cfg.Epochs {
+		return res, fmt.Errorf("expire: Retain %d out of range [1, %d)", cfg.Retain, cfg.Epochs)
+	}
+
+	engE, catE, fsE, err := buildExpireDB(cfg)
+	if err != nil {
+		return res, err
+	}
+	defer engE.Close()
+	engC, catC, fsC, err := buildExpireDB(cfg)
+	if err != nil {
+		return res, err
+	}
+	defer engC.Close()
+
+	for e := 0; e < cfg.Epochs-cfg.Retain; e++ {
+		snap := uint64(2*e + 1)
+		if err := catE.DeleteSnapshot(0, snap); err != nil {
+			return res, err
+		}
+		if err := catC.DeleteSnapshot(0, snap); err != nil {
+			return res, err
+		}
+	}
+
+	// Path 1: drop-based expiry.
+	before := fsE.Stats()
+	t0 := time.Now()
+	est, err := engE.Expire()
+	if err != nil {
+		return res, err
+	}
+	d := fsE.Stats().Sub(before)
+	res.Points = append(res.Points, ExpirePoint{
+		Path:             "expire",
+		RunsReclaimed:    est.RunsDropped,
+		RecordsReclaimed: est.RecordsDropped,
+		BytesRead:        d.BytesRead,
+		BytesWritten:     d.BytesWritten,
+		Millis:           float64(time.Since(t0).Microseconds()) / 1e3,
+	})
+	ioE := d.BytesRead + d.BytesWritten
+
+	// Path 2: full compaction, which merges every run and purges the
+	// unreachable records one by one.
+	runsBefore := engC.RunCount()
+	before = fsC.Stats()
+	t0 = time.Now()
+	if err := engC.Compact(); err != nil {
+		return res, err
+	}
+	d = fsC.Stats().Sub(before)
+	res.Points = append(res.Points, ExpirePoint{
+		Path:             "compact",
+		RunsReclaimed:    runsBefore - engC.RunCount(),
+		RecordsReclaimed: engC.Stats().RecordsPurged,
+		BytesRead:        d.BytesRead,
+		BytesWritten:     d.BytesWritten,
+		Millis:           float64(time.Since(t0).Microseconds()) / 1e3,
+	})
+	ioC := d.BytesRead + d.BytesWritten
+
+	if ioE > 0 {
+		res.IORatio = float64(ioC) / float64(ioE)
+	}
+	return res, nil
+}

@@ -21,6 +21,13 @@ type Edit struct {
 	drop      map[string][]string // table -> run names to drop
 	replaceDV map[string]bool     // tables whose (possibly empty) DV should be persisted
 	dvAsOf    map[string]dvSnap   // tables whose DV is persisted from a snapshot instead
+	// gcDV marks tables whose deletion vector should be garbage-collected
+	// at commit: entries whose block cannot belong to any surviving run
+	// are removed and the pruned vector persisted in the same manifest
+	// replacement (DropRunsBelow sets this). dvCollected counts entries
+	// removed by the last Commit.
+	gcDV        map[string]bool
+	dvCollected int
 }
 
 // dvSnap is a deletion-vector snapshot captured before lock-free work
@@ -34,7 +41,7 @@ type dvSnap struct {
 // NewEdit starts an empty edit.
 func (db *DB) NewEdit() *Edit {
 	return &Edit{db: db, drop: map[string][]string{}, replaceDV: map[string]bool{},
-		dvAsOf: map[string]dvSnap{}}
+		dvAsOf: map[string]dvSnap{}, gcDV: map[string]bool{}}
 }
 
 // SetCP records the consistency point number this edit commits.
@@ -54,6 +61,38 @@ func (e *Edit) DropRun(table, runName string) *Edit {
 	e.drop[table] = append(e.drop[table], runName)
 	return e
 }
+
+// DropRunsBelow marks for dropping every run of table whose CP window lies
+// entirely below cp — the drop-based expiry path: no record is read or
+// rewritten, the runs simply vanish from the manifest the Commit installs,
+// and their files are reclaimed once the last pinning view releases them.
+// Runs with unknown windows or override records are skipped. Deletion-
+// vector entries that can only refer to dropped runs are garbage-collected
+// in the same commit (see Commit). Returns the number of runs and records
+// marked. The caller must hold the structural lock exclusively.
+func (e *Edit) DropRunsBelow(table string, cp uint64) (runs int, records uint64) {
+	t := e.db.tables[table]
+	if t == nil {
+		return 0, 0
+	}
+	for _, part := range t.runs {
+		for _, r := range part {
+			if r.DroppableBelow(cp) {
+				e.DropRun(table, r.name)
+				runs++
+				records += r.records
+			}
+		}
+	}
+	if runs > 0 {
+		e.gcDV[table] = true
+	}
+	return runs, records
+}
+
+// CollectedDVEntries returns the number of deletion-vector entries the
+// last Commit garbage-collected on behalf of DropRunsBelow.
+func (e *Edit) CollectedDVEntries() int { return e.dvCollected }
 
 // FlushDV persists the current in-memory deletion vector of the table
 // (which may be empty, dropping a previously persisted vector).
@@ -107,7 +146,7 @@ func (e *Edit) Commit() error {
 	}
 
 	// Build the next manifest from in-memory state plus this edit.
-	next := manifest{Version: 1, CP: db.m.CP, Tables: map[string]tableManifest{}}
+	next := manifest{Version: manifestVersion, CP: db.m.CP, Tables: map[string]tableManifest{}}
 	if e.setCP {
 		if e.cp < db.m.CP {
 			// Rolling the manifest CP backwards would un-skip already
@@ -164,11 +203,34 @@ func (e *Edit) Commit() error {
 	// captured snapshot for FlushDVAsOf.
 	newDVFiles := map[string]string{}
 	newDVCounts := map[string]int{}
+	dvPruned := map[string]map[string]struct{}{}
+	e.dvCollected = 0
 	var dvToDelete []string
 	for name, t := range db.tables {
 		cur := db.m.Tables[name].DVFile
 		dv := t.dv
-		if snap, ok := e.dvAsOf[name]; ok {
+		if e.gcDV[name] {
+			// Runs were dropped below the reclaim horizon: deletion-vector
+			// entries whose block no surviving run's range covers can only
+			// have referred to dropped runs, so they are dead weight —
+			// collect them in the same commit. Entries whose block a
+			// surviving run may still hold are kept (conservative: the
+			// block-range check never reads run data).
+			pruned := make(map[string]struct{}, len(t.dv))
+			for rec := range t.dv {
+				blk := blockOf([]byte(rec))
+				p := db.PartitionOf(blk)
+				for _, r := range newRuns[name][p] {
+					if blk >= r.minBlock && blk <= r.maxBlock {
+						pruned[rec] = struct{}{}
+						break
+					}
+				}
+			}
+			e.dvCollected += len(t.dv) - len(pruned)
+			dvPruned[name] = pruned
+			dv = pruned
+		} else if snap, ok := e.dvAsOf[name]; ok {
 			dv = snap.dv
 			if t.dvGen != snap.gen {
 				// The vector mutated after the capture. Entries removed
@@ -222,6 +284,8 @@ func (e *Edit) Commit() error {
 				tm.Partitions[p] = append(tm.Partitions[p], runManifest{
 					Name: r.name, Level: r.level, Records: r.records,
 					MinBlock: r.minBlock, MaxBlock: r.maxBlock, CP: r.cp,
+					MinCP: r.minCP, MaxCP: r.maxCP, Overrides: r.overrides,
+					CPUnknown: r.cpUnknown,
 				})
 			}
 		}
@@ -246,6 +310,19 @@ func (e *Edit) Commit() error {
 	db.viewMu.Lock()
 	for name, t := range db.tables {
 		t.runs = newRuns[name]
+		if pruned, ok := dvPruned[name]; ok {
+			// The garbage-collected vector was persisted; install it as the
+			// live map. Old versions keep the map they snapshotted. The
+			// generation bump (content changed) makes in-flight optimistic
+			// compactions fail validation and retry against current state.
+			if len(pruned) != len(t.dv) {
+				t.dvGen++
+			}
+			t.dv = pruned
+			t.dvShared = false
+			t.dvDirty = false
+			continue
+		}
 		if snap, ok := e.dvAsOf[name]; ok {
 			// The snapshot (intersected with the live map, see above),
 			// not the live map itself, was persisted. If the vector
@@ -427,11 +504,24 @@ func (t *Table) ClearDVRange(lo, hi uint64) {
 // entries in place; if the commit then fails, the caller restores the
 // returned records with RestoreDV so in-memory reads keep hiding them.
 func (t *Table) ClearDVPartition(p int) []string {
+	return t.ClearDVPartitionKeep(p, nil)
+}
+
+// ClearDVPartitionKeep is ClearDVPartition for compactions that merge only
+// a subset of a partition's runs: entries whose block keep reports true
+// are left in place because they may hide records in runs the compaction
+// did not rewrite. A nil keep clears every entry of the partition.
+func (t *Table) ClearDVPartitionKeep(p int, keep func(block uint64) bool) []string {
 	var cleared []string
 	for rec := range t.dv {
-		if t.db.PartitionOf(blockOf([]byte(rec))) == p {
-			cleared = append(cleared, rec)
+		blk := blockOf([]byte(rec))
+		if t.db.PartitionOf(blk) != p {
+			continue
 		}
+		if keep != nil && keep(blk) {
+			continue
+		}
+		cleared = append(cleared, rec)
 	}
 	if len(cleared) == 0 {
 		return nil

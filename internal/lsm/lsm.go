@@ -28,6 +28,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sort"
 	"strings"
 	"sync"
 
@@ -38,6 +39,12 @@ import (
 const (
 	manifestName    = "MANIFEST"
 	manifestTmpName = "MANIFEST.tmp"
+
+	// manifestVersion is the current on-disk manifest format. Version 2
+	// added per-run consistency-point windows ([min_cp, max_cp]) and
+	// override-record counts; version-1 manifests load with conservative
+	// windows (see loadManifest).
+	manifestVersion = 2
 )
 
 // TableSpec declares one table of a DB.
@@ -49,6 +56,17 @@ type TableSpec struct {
 	// BloomMaxBytes caps the Bloom filter size of this table's runs
 	// (DefaultFilterBytes if zero).
 	BloomMaxBytes int
+	// Span reports the consistency-point window [lo, hi] a record covers.
+	// Run builders fold it into the run's [MinCP, MaxCP] metadata, which
+	// drop-based expiry (Edit.DropRunsBelow) and CP-window query pruning
+	// rely on. When nil, runs of this table carry no CP window and are
+	// never dropped or pruned by CP.
+	Span func(rec []byte) (lo, hi uint64)
+	// IsOverride reports whether a record is an inheritance-override
+	// record that must outlive ordinary expiry. Runs containing at least
+	// one override record are never dropped by DropRunsBelow. Optional;
+	// only consulted when Span is set.
+	IsOverride func(rec []byte) bool
 }
 
 // Options configures Open.
@@ -171,12 +189,80 @@ type tableManifest struct {
 }
 
 type runManifest struct {
-	Name     string `json:"name"`
-	Level    int    `json:"level"`
-	Records  uint64 `json:"records"`
-	MinBlock uint64 `json:"min_block"`
-	MaxBlock uint64 `json:"max_block"`
-	CP       uint64 `json:"cp"` // CP at which the run was created
+	Name     string
+	Level    int
+	Records  uint64
+	MinBlock uint64
+	MaxBlock uint64
+	CP       uint64 // CP at which the run was created
+	// MinCP and MaxCP bound the consistency points covered by the run's
+	// records (as reported by the table's Span callback). A run whose
+	// MaxCP lies below the reclaim horizon — and which contains no
+	// override records — can be dropped whole without rewriting data.
+	MinCP, MaxCP uint64
+	// Overrides counts inheritance-override records in the run; runs with
+	// Overrides > 0 are never dropped by DropRunsBelow.
+	Overrides uint64
+	// CPUnknown marks runs without trustworthy window metadata: runs
+	// loaded from a version-1 manifest and runs of tables without a Span
+	// callback. Such runs are never dropped or pruned by CP.
+	CPUnknown bool
+}
+
+// runManifestJSON is the wire form of runManifest. MinCP and MaxCP are
+// omitted when equal to CP (the common case for level-0 flushes, where
+// every record carries the flushed consistency point), keeping manifests
+// of pre-window workloads byte-identical modulo the version field.
+type runManifestJSON struct {
+	Name      string  `json:"name"`
+	Level     int     `json:"level"`
+	Records   uint64  `json:"records"`
+	MinBlock  uint64  `json:"min_block"`
+	MaxBlock  uint64  `json:"max_block"`
+	CP        uint64  `json:"cp"`
+	MinCP     *uint64 `json:"min_cp,omitempty"`
+	MaxCP     *uint64 `json:"max_cp,omitempty"`
+	Overrides uint64  `json:"overrides,omitempty"`
+	CPUnknown bool    `json:"cp_unknown,omitempty"`
+}
+
+func (rm runManifest) MarshalJSON() ([]byte, error) {
+	w := runManifestJSON{
+		Name: rm.Name, Level: rm.Level, Records: rm.Records,
+		MinBlock: rm.MinBlock, MaxBlock: rm.MaxBlock, CP: rm.CP,
+		CPUnknown: rm.CPUnknown,
+	}
+	if !rm.CPUnknown {
+		if rm.MinCP != rm.CP {
+			v := rm.MinCP
+			w.MinCP = &v
+		}
+		if rm.MaxCP != rm.CP {
+			v := rm.MaxCP
+			w.MaxCP = &v
+		}
+		w.Overrides = rm.Overrides
+	}
+	return json.Marshal(&w)
+}
+
+func (rm *runManifest) UnmarshalJSON(data []byte) error {
+	var w runManifestJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	*rm = runManifest{
+		Name: w.Name, Level: w.Level, Records: w.Records,
+		MinBlock: w.MinBlock, MaxBlock: w.MaxBlock, CP: w.CP,
+		MinCP: w.CP, MaxCP: w.CP, Overrides: w.Overrides, CPUnknown: w.CPUnknown,
+	}
+	if w.MinCP != nil {
+		rm.MinCP = *w.MinCP
+	}
+	if w.MaxCP != nil {
+		rm.MaxCP = *w.MaxCP
+	}
+	return nil
 }
 
 // Open opens or creates a DB in vfs.
@@ -305,10 +391,54 @@ func (db *DB) PartitionRunCounts() []int {
 	return counts
 }
 
+// RunInfo describes one live run for observability (backlogctl stats).
+type RunInfo struct {
+	Table     string
+	Partition int
+	Name      string
+	Level     int
+	Records   uint64
+	SizeBytes int64
+	MinBlock  uint64
+	MaxBlock  uint64
+	CP        uint64
+	// MinCP and MaxCP bound the consistency points covered by the run's
+	// records; meaningful only when CPWindowKnown.
+	MinCP, MaxCP  uint64
+	Overrides     uint64
+	CPWindowKnown bool
+}
+
+// RunInfos lists every live run ordered by (table, partition, age). The
+// caller must hold the structural lock (shared suffices).
+func (db *DB) RunInfos() []RunInfo {
+	var infos []RunInfo
+	names := make([]string, 0, len(db.tables))
+	for name := range db.tables {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		t := db.tables[name]
+		for p, part := range t.runs {
+			for _, r := range part {
+				infos = append(infos, RunInfo{
+					Table: name, Partition: p, Name: r.name, Level: r.level,
+					Records: r.records, SizeBytes: r.sizeBytes,
+					MinBlock: r.minBlock, MaxBlock: r.maxBlock, CP: r.cp,
+					MinCP: r.minCP, MaxCP: r.maxCP, Overrides: r.overrides,
+					CPWindowKnown: !r.cpUnknown,
+				})
+			}
+		}
+	}
+	return infos
+}
+
 func (db *DB) loadManifest() error {
 	f, err := db.vfs.Open(manifestName)
 	if errors.Is(err, storage.ErrNotExist) {
-		db.m = manifest{Version: 1, NextID: 1, Tables: map[string]tableManifest{}}
+		db.m = manifest{Version: manifestVersion, NextID: 1, Tables: map[string]tableManifest{}}
 		return nil
 	}
 	if err != nil {
@@ -326,6 +456,25 @@ func (db *DB) loadManifest() error {
 	var m manifest
 	if err := json.Unmarshal(buf, &m); err != nil {
 		return fmt.Errorf("lsm: decoding manifest: %w", err)
+	}
+	if m.Version > manifestVersion {
+		return fmt.Errorf("lsm: manifest version %d newer than supported %d", m.Version, manifestVersion)
+	}
+	if m.Version < 2 {
+		// Version 1 recorded no CP windows. [0, CP] is a safe bound (every
+		// record was written at or before the run's creation CP), but the
+		// override count is unknowable without reading the data, so legacy
+		// runs stay marked CPUnknown and are never dropped or pruned by CP
+		// until a compaction rewrites them with full metadata.
+		for name, tm := range m.Tables {
+			for p, runs := range tm.Partitions {
+				for i, rm := range runs {
+					rm.MinCP, rm.MaxCP, rm.Overrides, rm.CPUnknown = 0, rm.CP, 0, true
+					m.Tables[name].Partitions[p][i] = rm
+				}
+			}
+		}
+		m.Version = manifestVersion
 	}
 	db.m = m
 	for name, tm := range m.Tables {

@@ -19,6 +19,15 @@ type Run struct {
 	cp        uint64
 	sizeBytes int64
 
+	// minCP and maxCP bound the consistency-point window covered by the
+	// run's records; overrides counts inheritance-override records.
+	// cpUnknown marks legacy runs (version-1 manifests, tables without a
+	// Span callback) whose window metadata cannot be trusted.
+	minCP     uint64
+	maxCP     uint64
+	overrides uint64
+	cpUnknown bool
+
 	table *Table
 
 	// refs counts the versions whose run lists include this run (the
@@ -51,6 +60,29 @@ func (r *Run) MinBlock() uint64 { return r.minBlock }
 // MaxBlock returns the largest block number present in the run.
 func (r *Run) MaxBlock() uint64 { return r.maxBlock }
 
+// MinCP and MaxCP bound the consistency points covered by the run's
+// records; meaningful only when CPWindowKnown reports true.
+func (r *Run) MinCP() uint64 { return r.minCP }
+
+// MaxCP returns the upper bound of the run's consistency-point window.
+func (r *Run) MaxCP() uint64 { return r.maxCP }
+
+// Overrides returns the number of inheritance-override records in the run.
+func (r *Run) Overrides() uint64 { return r.overrides }
+
+// CPWindowKnown reports whether the run carries trustworthy CP-window
+// metadata (false for legacy runs and tables without a Span callback).
+func (r *Run) CPWindowKnown() bool { return !r.cpUnknown }
+
+// DroppableBelow reports whether the run can be dropped whole once no
+// consistency point below cp is reachable: its window must be known, it
+// must contain no override records, and every record's span must end
+// before cp. Queries use the same predicate to skip such runs when
+// masking against the live snapshot graph.
+func (r *Run) DroppableBelow(cp uint64) bool {
+	return !r.cpUnknown && r.overrides == 0 && r.maxCP < cp
+}
+
 func (db *DB) openRun(t *Table, rm runManifest) (*Run, error) {
 	f, err := db.vfs.Open(rm.Name)
 	if err != nil {
@@ -71,6 +103,10 @@ func (db *DB) openRun(t *Table, rm runManifest) (*Run, error) {
 		minBlock:  rm.MinBlock,
 		maxBlock:  rm.MaxBlock,
 		cp:        rm.CP,
+		minCP:     rm.MinCP,
+		maxCP:     rm.MaxCP,
+		overrides: rm.Overrides,
+		cpUnknown: rm.CPUnknown,
 		sizeBytes: rd.SizeBytes(),
 		table:     t,
 		reader:    rd,
@@ -147,6 +183,12 @@ type RunBuilder struct {
 	minBlock, maxBlock uint64
 	prevBlock          uint64
 	any                bool
+
+	// CP-window metadata folded from the table's Span/IsOverride
+	// callbacks; without a Span callback the run is marked CPUnknown.
+	minCP, maxCP uint64
+	overrides    uint64
+	anyCP        bool
 }
 
 // NewRunBuilder starts a new run for (table, partition). Level 0 marks a
@@ -202,6 +244,22 @@ func (b *RunBuilder) Add(rec []byte) error {
 	}
 	b.prevBlock = blk
 	b.maxBlock = blk
+	if span := b.table.spec.Span; span != nil {
+		lo, hi := span(rec)
+		if !b.anyCP {
+			b.minCP, b.maxCP, b.anyCP = lo, hi, true
+		} else {
+			if lo < b.minCP {
+				b.minCP = lo
+			}
+			if hi > b.maxCP {
+				b.maxCP = hi
+			}
+		}
+		if ov := b.table.spec.IsOverride; ov != nil && ov(rec) {
+			b.overrides++
+		}
+	}
 	return nil
 }
 
@@ -238,17 +296,23 @@ func (b *RunBuilder) Finish() (ref RunRef, ok bool, err error) {
 	if err := b.file.Close(); err != nil {
 		return RunRef{}, false, err
 	}
+	rm := runManifest{
+		Name:     b.name,
+		Level:    b.level,
+		Records:  b.writer.Count(),
+		MinBlock: b.minBlock,
+		MaxBlock: b.maxBlock,
+		CP:       b.cp,
+	}
+	if b.table.spec.Span != nil && b.anyCP {
+		rm.MinCP, rm.MaxCP, rm.Overrides = b.minCP, b.maxCP, b.overrides
+	} else {
+		rm.MinCP, rm.MaxCP, rm.CPUnknown = 0, b.cp, true
+	}
 	return RunRef{
 		table:     b.table.spec.Name,
 		partition: b.partition,
-		rm: runManifest{
-			Name:     b.name,
-			Level:    b.level,
-			Records:  b.writer.Count(),
-			MinBlock: b.minBlock,
-			MaxBlock: b.maxBlock,
-			CP:       b.cp,
-		},
+		rm:        rm,
 	}, true, nil
 }
 

@@ -161,6 +161,36 @@ func (v *View) CollectBlock(table string, block uint64, visit func(rec []byte) b
 	return collectBlock(tv.runs[p], tv.t.spec.RecordSize, tv.dv, block, visit)
 }
 
+// CollectBlockPruned is CollectBlock with CP-window pruning: runs whose
+// window lies entirely below horizon (and which carry no override
+// records) are skipped without being opened — their records cannot
+// survive masking against a snapshot graph whose oldest reachable CP is
+// horizon. A zero horizon disables pruning.
+func (v *View) CollectBlockPruned(table string, block, horizon uint64, visit func(rec []byte) bool) error {
+	tv := v.ver.tables[table]
+	p := v.db.PartitionOf(block)
+	runs := tv.runs[p]
+	if horizon > 0 {
+		kept := make([]*Run, 0, len(runs))
+		for _, r := range runs {
+			if !r.DroppableBelow(horizon) {
+				kept = append(kept, r)
+			}
+		}
+		runs = kept
+	}
+	return collectBlock(runs, tv.t.spec.RecordSize, tv.dv, block, visit)
+}
+
+// MergedIterOf is MergedIter restricted to an explicit subset of the
+// view's pinned runs of one table — tiered compaction merges only the
+// runs that are not sealed below the reclaim horizon, leaving sealed
+// runs eligible for drop-based expiry.
+func (v *View) MergedIterOf(table string, runs []*Run) (RecIter, error) {
+	tv := v.ver.tables[table]
+	return mergedIter(runs, tv.dv)
+}
+
 // MergedIter returns a sorted, duplicate-free, deletion-vector-filtered
 // stream over the view's pinned runs of one partition — the input to
 // incremental compaction, which merges against a pinned view with no
