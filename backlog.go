@@ -154,6 +154,64 @@
 // the same sense as the paper's snapshot deletion: re-creating a snapshot
 // at an old version after its records expired does not resurrect them.
 //
+// # Observability
+//
+// The engine is instrumented end to end, and all of it is off by default:
+// with Config.Metrics, Tracer, SlowOpThreshold, and DebugAddr unset, the
+// instrumented paths cost one pointer check and take no timestamps, so
+// paper-figure experiments stay byte-identical (the fsimbench "obs"
+// experiment measures the enabled cost too — within a ~2% throughput
+// budget).
+//
+// Config.Metrics enables the metrics registry:
+//
+//   - Counters mirroring every Stats field (backlog_refs_added_total,
+//     backlog_checkpoints_total, ...), computed from the same atomics at
+//     snapshot time so the hot path is never charged twice.
+//   - Latency histograms with p50/p90/p99/max on every hot and background
+//     path: backlog_addref_ns, backlog_removeref_ns, backlog_query_ns,
+//     backlog_queryrange_ns, the write-ahead log's append latency
+//     (backlog_wal_append_ns), flush duration (backlog_wal_flush_ns) and
+//     group-commit batch-size distribution (backlog_wal_batch_records),
+//     the three checkpoint phases (backlog_checkpoint_freeze_ns,
+//     _flush_ns, _install_ns — the structured successors of the
+//     deprecated Stats.Checkpoint*Nanos counters), compaction
+//     (backlog_compaction_ns), and expiry (backlog_expire_ns). To keep
+//     enabled overhead within a few percent, per-block hot-op latencies
+//     are sampled — one op in Config.MetricsSampleEvery (default 32) is
+//     timed — while background-op histograms time every occurrence.
+//   - Gauges over live structures, computed at scrape time: per-shard
+//     write-store sizes (backlog_ws_records{shard="N"}), frozen
+//     generations mid-checkpoint, pinned views (backlog_view_pins),
+//     dropped-but-pinned run files (backlog_deferred_run_files), live
+//     runs, WAL segments, and on-disk bytes.
+//
+// DB.Metrics returns the structured snapshot; DB.WriteMetrics renders it
+// in the Prometheus text exposition format. Config.DebugAddr starts an
+// HTTP listener serving /metrics (a Prometheus scrape target),
+// /debug/vars (the same snapshot as JSON, expvar-style), /debug/slowops,
+// and the standard net/http/pprof profiling surface under /debug/pprof/:
+//
+//	scrape_configs:
+//	  - job_name: backlog
+//	    static_configs:
+//	      - targets: ["localhost:6060"]   # Config.DebugAddr
+//
+// Config.Tracer registers an op-tracing hook: start and end events for
+// every AddRef, RemoveRef, Query, QueryRange, RelocateBlock, Checkpoint,
+// compaction, and expiry, carrying the op kind, write-store shard,
+// consistency point, duration, and error. Both hooks run inline on the
+// operation's goroutine, so tracers must be fast and concurrent-safe.
+// Config.SlowOpThreshold enables the built-in tracer: a bounded ring
+// buffer (Config.SlowOpLogSize entries) retaining only operations at or
+// above the threshold, readable via DB.SlowOps or /debug/slowops.
+// backlogctl serves the same surfaces on a database directory:
+//
+//	backlogctl stats -dir DIR -json          # one-shot counters, machine-readable
+//	backlogctl metrics -dir DIR              # one-shot Prometheus text
+//	backlogctl metrics -dir DIR -watch       # live terminal dashboard
+//	backlogctl metrics -addr localhost:6060  # scrape a running process instead
+//
 // # Configuration defaults
 //
 // Every Config field's zero value is valid and means:
@@ -211,9 +269,11 @@ import (
 	"fmt"
 	"io"
 	"sync/atomic"
+	"time"
 
 	"github.com/backlogfs/backlog/internal/core"
 	"github.com/backlogfs/backlog/internal/lsm"
+	"github.com/backlogfs/backlog/internal/obs"
 	"github.com/backlogfs/backlog/internal/storage"
 	"github.com/backlogfs/backlog/internal/wal"
 )
@@ -301,6 +361,42 @@ type Config struct {
 	// checkpoint, background compaction seals finished CP windows instead
 	// of re-merging them, and queries skip runs below the reclaim horizon.
 	Retention RetentionPolicy
+	// Metrics enables the metrics registry: counters, gauges, and latency
+	// histograms over every engine, WAL, and maintenance path, readable
+	// via DB.Metrics and DB.WriteMetrics (see the package documentation's
+	// Observability section). Off by default; when off, the instrumented
+	// paths cost one pointer check and take no timestamps.
+	Metrics bool
+	// MetricsSampleEvery is the hot-op latency sampling period: one
+	// AddRef/RemoveRef/Query per this many ops (per shard, rounded up to
+	// a power of two; default 32) is timed into its latency histogram,
+	// keeping enabled-metrics overhead within a few percent. Set 1 to
+	// time every op. Counters, gauges, and background-op histograms
+	// (checkpoint phases, compaction, expiry, WAL) are always exact.
+	// Ignored when a Tracer or SlowOpThreshold is set — trace events
+	// always carry real durations, so every op is timed.
+	MetricsSampleEvery int
+	// Tracer, if non-nil, receives start and end events for every engine
+	// operation (updates, queries, relocation, checkpoints, compaction,
+	// expiry). Hooks run inline on the operation's goroutine, so the
+	// tracer must be fast and safe for concurrent use. Setting a Tracer
+	// enables per-operation timing even when Metrics is false.
+	Tracer Tracer
+	// SlowOpThreshold, when positive, enables the built-in slow-op log: a
+	// bounded ring buffer retaining operations whose duration is at or
+	// above the threshold, readable via DB.SlowOps (and /debug/slowops on
+	// the debug listener). Composes with Tracer; both observe every op.
+	SlowOpThreshold time.Duration
+	// SlowOpLog caps the slow-op ring buffer (default 128 entries). Only
+	// used with SlowOpThreshold.
+	SlowOpLog int
+	// DebugAddr, when non-empty, starts an HTTP listener on the address
+	// (for example "localhost:6060", or "127.0.0.1:0" for an ephemeral
+	// port — see DB.DebugAddr) serving /metrics in Prometheus text
+	// format, /debug/vars (JSON), /debug/slowops, and net/http/pprof
+	// under /debug/pprof/. Implies Metrics. The listener is closed by
+	// DB.Close.
+	DebugAddr string
 }
 
 // RetentionPolicy selects how aggressively records of deleted snapshots
@@ -352,6 +448,15 @@ func (cfg Config) Validate() error {
 	default:
 		return bad("unknown Retention (%d)", cfg.Retention)
 	}
+	if cfg.SlowOpThreshold < 0 {
+		return bad("SlowOpThreshold is negative (%v)", cfg.SlowOpThreshold)
+	}
+	if cfg.MetricsSampleEvery < 0 {
+		return bad("MetricsSampleEvery is negative (%d)", cfg.MetricsSampleEvery)
+	}
+	if cfg.SlowOpLog < 0 {
+		return bad("SlowOpLog is negative (%d)", cfg.SlowOpLog)
+	}
 	return nil
 }
 
@@ -359,11 +464,45 @@ func (cfg Config) Validate() error {
 // activity; see DB.MaintenanceStats.
 type MaintenanceStats = core.MaintenanceStats
 
+// Tracer receives start and end events for every engine operation; see
+// Config.Tracer. Implementations must be safe for concurrent use.
+type Tracer = obs.Tracer
+
+// OpEvent describes one traced engine operation: kind, write-store shard
+// (-1 when not applicable), consistency point, block, start time,
+// duration (end events only), and error.
+type OpEvent = obs.OpEvent
+
+// OpKind identifies the operation class of a trace event.
+type OpKind = obs.OpKind
+
+// Operation kinds reported to a Tracer and in slow-op log entries.
+const (
+	OpAddRef     = obs.OpAddRef
+	OpRemoveRef  = obs.OpRemoveRef
+	OpQuery      = obs.OpQuery
+	OpQueryRange = obs.OpQueryRange
+	OpRelocate   = obs.OpRelocate
+	OpCheckpoint = obs.OpCheckpoint
+	OpCompact    = obs.OpCompact
+	OpExpire     = obs.OpExpire
+)
+
+// MetricsSnapshot is a point-in-time copy of every registered metric; see
+// DB.Metrics.
+type MetricsSnapshot = obs.Snapshot
+
+// HistogramSnapshot is one latency histogram inside a MetricsSnapshot,
+// with Quantile and Mean accessors.
+type HistogramSnapshot = obs.HistogramSnapshot
+
 // DB is a back-reference database.
 type DB struct {
 	vfs    storage.VFS
 	cat    *core.MemCatalog
 	eng    *core.Engine
+	reg    *obs.Registry
+	debug  *obs.DebugServer
 	closed atomic.Bool
 }
 
@@ -395,22 +534,40 @@ func openVFS(vfs storage.VFS, cfg Config) (*DB, error) {
 	if err := loadCatalog(vfs, cat); err != nil {
 		return nil, err
 	}
+	var reg *obs.Registry
+	if cfg.Metrics || cfg.DebugAddr != "" {
+		reg = obs.NewRegistry()
+	}
 	eng, err := core.Open(core.Options{
-		VFS:              vfs,
-		Catalog:          cat,
-		CacheBytes:       cfg.CacheBytes,
-		Partitions:       cfg.Partitions,
-		PartitionSpan:    cfg.PartitionSpan,
-		WriteShards:      cfg.WriteShards,
-		Durability:       cfg.Durability,
-		AutoCompact:      cfg.AutoCompact,
-		CompactThreshold: cfg.CompactThreshold,
-		Retention:        cfg.Retention,
+		VFS:                vfs,
+		Catalog:            cat,
+		CacheBytes:         cfg.CacheBytes,
+		Partitions:         cfg.Partitions,
+		PartitionSpan:      cfg.PartitionSpan,
+		WriteShards:        cfg.WriteShards,
+		Durability:         cfg.Durability,
+		AutoCompact:        cfg.AutoCompact,
+		CompactThreshold:   cfg.CompactThreshold,
+		Retention:          cfg.Retention,
+		Metrics:            reg,
+		MetricsSampleEvery: cfg.MetricsSampleEvery,
+		Tracer:             cfg.Tracer,
+		SlowOpThreshold:    cfg.SlowOpThreshold,
+		SlowOpLogSize:      cfg.SlowOpLog,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &DB{vfs: vfs, cat: cat, eng: eng}, nil
+	db := &DB{vfs: vfs, cat: cat, eng: eng, reg: reg}
+	if cfg.DebugAddr != "" {
+		srv, err := obs.Serve(cfg.DebugAddr, reg, eng.SlowLog())
+		if err != nil {
+			eng.Close()
+			return nil, fmt.Errorf("backlog: debug listener: %w", err)
+		}
+		db.debug = srv
+	}
+	return db, nil
 }
 
 func loadCatalog(vfs storage.VFS, cat *core.MemCatalog) error {
@@ -637,6 +794,31 @@ func (db *DB) Stats() Stats { return db.eng.Stats() }
 // activity (AutoCompact) and the current worst per-partition run count.
 func (db *DB) MaintenanceStats() MaintenanceStats { return db.eng.MaintenanceStats() }
 
+// Metrics returns a point-in-time snapshot of every registered metric:
+// counters, gauges, and latency histograms (see the package
+// documentation's Observability section). The zero MetricsSnapshot is
+// returned when Config.Metrics is off.
+func (db *DB) Metrics() MetricsSnapshot { return db.eng.Metrics() }
+
+// WriteMetrics writes the current metrics in the Prometheus text
+// exposition format — the same bytes the debug listener's /metrics
+// endpoint serves. A no-op when Config.Metrics is off.
+func (db *DB) WriteMetrics(w io.Writer) error { return db.reg.WritePrometheus(w) }
+
+// SlowOps returns the retained slow operations, oldest first; empty
+// unless Config.SlowOpThreshold is set. The returned slice is a copy.
+func (db *DB) SlowOps() []OpEvent { return db.eng.SlowOps() }
+
+// DebugAddr returns the debug listener's bound address, or "" when
+// Config.DebugAddr was empty. Useful with "127.0.0.1:0", which binds an
+// ephemeral port.
+func (db *DB) DebugAddr() string {
+	if db.debug == nil {
+		return ""
+	}
+	return db.debug.Addr()
+}
+
 // DurabilityErr reports the database's sticky durability error, if any. A
 // non-nil error means a write-ahead-log append failed, so updates
 // acknowledged since then are only as durable as DurabilityCheckpointOnly
@@ -669,6 +851,9 @@ func (db *DB) SizeBytes() int64 { return db.eng.SizeBytes() }
 func (db *DB) Close() error {
 	if !db.closed.CompareAndSwap(false, true) {
 		return nil
+	}
+	if db.debug != nil {
+		db.debug.Close()
 	}
 	err := db.eng.Close()
 	if serr := db.saveCatalog(); err == nil {

@@ -2,18 +2,25 @@
 //
 // Usage:
 //
-//	backlogctl stats   -dir /path/to/db
+//	backlogctl stats   -dir /path/to/db [-json]
 //	backlogctl lines   -dir /path/to/db
 //	backlogctl query   -dir /path/to/db -block 12345 [-n 16]
 //	backlogctl compact -dir /path/to/db
 //	backlogctl expire  -dir /path/to/db -retention live
+//	backlogctl metrics -dir /path/to/db [-watch [-interval 2s]]
+//	backlogctl metrics -addr localhost:6060 [-watch]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
+	"strings"
 	"text/tabwriter"
+	"time"
 
 	"github.com/backlogfs/backlog"
 )
@@ -27,8 +34,47 @@ commands:
   query    print the owners of a block (or a run of blocks with -n)
   compact  run database maintenance
   expire   drop runs below the reclaim horizon (use -retention live)
+  metrics  print metrics in Prometheus text format; -watch refreshes
+           continuously; -addr scrapes a running process's debug listener
+           instead of opening -dir
 `)
 	os.Exit(2)
+}
+
+// clearScreen is the ANSI home+clear sequence -watch uses between frames.
+const clearScreen = "\033[H\033[2J"
+
+// scrapeMetrics fetches /metrics from a running process's debug listener
+// (Config.DebugAddr) — the counters there are the live process's, which a
+// fresh open of the same directory cannot see.
+func scrapeMetrics(addr string, watch bool, interval time.Duration) error {
+	url := addr
+	if !strings.Contains(url, "://") {
+		url = "http://" + addr
+	}
+	url = strings.TrimSuffix(url, "/") + "/metrics"
+	for {
+		resp, err := http.Get(url)
+		if err != nil {
+			return err
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("%s: %s", url, resp.Status)
+		}
+		if watch {
+			fmt.Printf("%s# %s @ %s\n", clearScreen, url, time.Now().Format(time.RFC3339))
+		}
+		os.Stdout.Write(body)
+		if !watch {
+			return nil
+		}
+		time.Sleep(interval)
+	}
 }
 
 func main() {
@@ -47,8 +93,20 @@ func main() {
 	autoCompact := fs.Bool("autocompact", false, "run background maintenance while the database is open")
 	compactThreshold := fs.Int("compact-threshold", 0, "per-partition run count that triggers background compaction (0 = default)")
 	retention := fs.String("retention", "all", "retention policy: all|live (live enables drop-based expiry)")
+	jsonOut := fs.Bool("json", false, "machine-readable JSON output (stats)")
+	addr := fs.String("addr", "", "scrape a running process's debug listener instead of opening -dir (metrics)")
+	watch := fs.Bool("watch", false, "refresh continuously (metrics)")
+	interval := fs.Duration("interval", 2*time.Second, "refresh interval with -watch (metrics)")
+	debugAddr := fs.String("debug-addr", "", "serve /metrics, /debug/vars, and pprof on this address while the command runs")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
+	}
+	if cmd == "metrics" && *addr != "" {
+		if err := scrapeMetrics(*addr, *watch, *interval); err != nil {
+			fmt.Fprintln(os.Stderr, "backlogctl:", err)
+			os.Exit(1)
+		}
+		return
 	}
 	if *dir == "" {
 		fmt.Fprintln(os.Stderr, "backlogctl: -dir is required")
@@ -75,6 +133,7 @@ func main() {
 		Partitions: *partitions, PartitionSpan: *span,
 		AutoCompact: *autoCompact, CompactThreshold: *compactThreshold,
 		Retention: rmode,
+		Metrics:   cmd == "metrics", DebugAddr: *debugAddr,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "backlogctl:", err)
@@ -83,7 +142,40 @@ func main() {
 	defer db.Close()
 
 	switch cmd {
+	case "metrics":
+		for {
+			if *watch {
+				fmt.Printf("%s# %s @ %s\n", clearScreen, *dir, time.Now().Format(time.RFC3339))
+			}
+			if err := db.WriteMetrics(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, "backlogctl:", err)
+				os.Exit(1)
+			}
+			if !*watch {
+				break
+			}
+			time.Sleep(*interval)
+		}
 	case "stats":
+		if *jsonOut {
+			out := struct {
+				CP          uint64
+				SizeBytes   int64
+				WriteShards int
+				Durability  string
+				Stats       backlog.Stats
+				Maintenance backlog.MaintenanceStats
+				Runs        []backlog.RunInfo
+			}{db.CP(), db.SizeBytes(), db.WriteShards(), db.Durability().String(),
+				db.Stats(), db.MaintenanceStats(), db.Runs()}
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(out); err != nil {
+				fmt.Fprintln(os.Stderr, "backlogctl:", err)
+				os.Exit(1)
+			}
+			break
+		}
 		st := db.Stats()
 		fmt.Printf("consistency point: %d\n", db.CP())
 		fmt.Printf("database size:     %d bytes\n", db.SizeBytes())

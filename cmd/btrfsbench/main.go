@@ -16,6 +16,7 @@ import (
 	"text/tabwriter"
 
 	"github.com/backlogfs/backlog/internal/experiments"
+	"github.com/backlogfs/backlog/internal/obs"
 	"github.com/backlogfs/backlog/internal/wal"
 )
 
@@ -27,6 +28,8 @@ func main() {
 		"Backlog durability mode: checkpoint-only (paper-faithful)|buffered|sync")
 	autoCompact := flag.Bool("autocompact", false,
 		"run Backlog's background maintenance during the benchmarks (off = paper-faithful unmaintained runs)")
+	debugAddr := flag.String("debug-addr", "",
+		"serve live Backlog metrics (/metrics, /debug/vars, pprof) on this address while the benchmarks run")
 	flag.Parse()
 	dmode, err := wal.ParseDurability(*durability)
 	if err != nil {
@@ -47,6 +50,16 @@ func main() {
 	cfg.WriteShards = *shards
 	cfg.Durability = dmode
 	cfg.AutoCompact = *autoCompact
+	if *debugAddr != "" {
+		cfg.Metrics = obs.NewRegistry()
+		srv, err := obs.Serve(*debugAddr, cfg.Metrics, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "debug listener on http://%s/metrics\n", srv.Addr())
+	}
 
 	rows, err := experiments.RunTable1(cfg)
 	if err != nil {

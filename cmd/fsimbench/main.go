@@ -10,7 +10,7 @@
 // The default "small" scale finishes in seconds; "full" approaches the
 // paper's configuration (hundreds of CPs of tens of thousands of ops) and
 // takes minutes. Absolute values differ from the paper's hardware; the
-// shapes are the reproduction target (see EXPERIMENTS.md).
+// shapes are the reproduction target.
 package main
 
 import (
@@ -24,7 +24,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("experiment", "all", "fig5|fig6|fig7|fig8|fig9|fig10|naive|ingest|wal|interference|cpstall|expire|all")
+	exp := flag.String("experiment", "all", "fig5|fig6|fig7|fig8|fig9|fig10|naive|ingest|wal|interference|cpstall|expire|obs|all")
 	scale := flag.String("scale", "small", "small|full")
 	flag.Parse()
 
@@ -53,6 +53,7 @@ func main() {
 	run("interference", runInterference)
 	run("cpstall", runCPStall)
 	run("expire", runExpire)
+	run("obs", runObs)
 }
 
 func tw() *tabwriter.Writer {
@@ -315,6 +316,27 @@ func runExpire(full bool) error {
 	}
 	fmt.Printf("compaction-to-expiry I/O ratio: %.0fx\n", res.IORatio)
 	return nil
+}
+
+func runObs(full bool) error {
+	fmt.Println("Observability overhead: mixed update/query throughput with instrumentation off and on")
+	fmt.Println("(not a paper figure; the budget is <=2% enabled overhead, and the figure experiments")
+	fmt.Println(" run with observability disabled, where the instrumented paths take no timestamps)")
+	cfg := experiments.DefaultObsConfig()
+	if full {
+		cfg.Ops = 4_000_000
+		cfg.Rounds = 11
+	}
+	pts, err := experiments.RunObs(cfg)
+	if err != nil {
+		return err
+	}
+	w := tw()
+	fmt.Fprintln(w, "configuration\tops\tops/sec\toverhead\ttrace events")
+	for _, p := range pts {
+		fmt.Fprintf(w, "%s\t%d\t%.0f\t%.1f%%\t%d\n", p.Name, p.Ops, p.OpsPerSec, p.OverheadPct, p.TraceEvents)
+	}
+	return w.Flush()
 }
 
 func runIngest(full bool) error {

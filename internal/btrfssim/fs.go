@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"github.com/backlogfs/backlog/internal/core"
+	"github.com/backlogfs/backlog/internal/obs"
 	"github.com/backlogfs/backlog/internal/storage"
 	"github.com/backlogfs/backlog/internal/wal"
 )
@@ -59,6 +60,11 @@ type Config struct {
 	// scheduler in ModeBacklog (the paper's runs accumulate unmaintained
 	// across a benchmark, so this is off by default).
 	AutoCompact bool
+	// Metrics, if non-nil, registers the Backlog engine's metrics in
+	// ModeBacklog — btrfsbench's -debug-addr serves them live while a
+	// benchmark runs. Successive FS instances re-register against the
+	// same registry; the latest engine's gauges win.
+	Metrics *obs.Registry
 }
 
 // FS is the simulated btrfs file layer.
@@ -138,7 +144,7 @@ func New(cfg Config) (*FS, error) {
 	}
 	if cfg.Mode == ModeBacklog {
 		fs.cat = core.NewMemCatalog()
-		eng, err := core.Open(core.Options{VFS: cfg.VFS, Catalog: fs.cat, WriteShards: cfg.WriteShards, Durability: cfg.Durability, AutoCompact: cfg.AutoCompact})
+		eng, err := core.Open(core.Options{VFS: cfg.VFS, Catalog: fs.cat, WriteShards: cfg.WriteShards, Durability: cfg.Durability, AutoCompact: cfg.AutoCompact, Metrics: cfg.Metrics})
 		if err != nil {
 			return nil, err
 		}

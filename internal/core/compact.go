@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"github.com/backlogfs/backlog/internal/lsm"
+	"github.com/backlogfs/backlog/internal/obs"
 )
 
 // compactRetries is how many optimistic lock-free merge attempts
@@ -110,6 +111,19 @@ type groupRecs struct {
 // and after compactRetries conflicts the merge falls back to running
 // entirely under the exclusive lock.
 func (e *Engine) compactPartitionMode(p int, tiered bool) (bool, error) {
+	if o := e.obs; o != nil {
+		// Trace events reuse the Shard field for the partition — the
+		// closest analogue of "which slice of the keyspace" for a
+		// compaction.
+		start := o.opStart(obs.OpCompact, p, 0, 0)
+		compacted, err := e.compactPartitionLoop(p, tiered)
+		o.opEnd(obs.OpCompact, p, 0, 0, start, o.compact, err)
+		return compacted, err
+	}
+	return e.compactPartitionLoop(p, tiered)
+}
+
+func (e *Engine) compactPartitionLoop(p int, tiered bool) (bool, error) {
 	for attempt := 0; ; attempt++ {
 		compacted, installed, err := e.compactAttempt(p, attempt >= compactRetries, tiered)
 		if err != nil || installed {

@@ -13,6 +13,7 @@ import (
 	"github.com/backlogfs/backlog/internal/errgroup"
 	"github.com/backlogfs/backlog/internal/lsm"
 	"github.com/backlogfs/backlog/internal/memtree"
+	"github.com/backlogfs/backlog/internal/obs"
 	"github.com/backlogfs/backlog/internal/storage"
 	"github.com/backlogfs/backlog/internal/wal"
 )
@@ -77,6 +78,34 @@ type Options struct {
 	// also bounds how stale queries can get between maintenance passes —
 	// the run count is what query cost scales with (Section 6.4).
 	CompactThreshold int
+
+	// Metrics, when non-nil, registers the engine's metrics with the
+	// registry: CounterFunc mirrors of every Stats counter, gauges over
+	// live structures (write-store sizes per shard, view pins, deferred
+	// run files, frozen generations), and latency histograms on the hot
+	// and background paths (AddRef/RemoveRef/Query/QueryRange, WAL
+	// append/flush/batch-size, checkpoint freeze/flush/install,
+	// compaction, expiry). Nil disables metrics entirely; the
+	// instrumented paths then cost one pointer check and take no
+	// timestamps, so experiment results stay byte-identical.
+	Metrics *obs.Registry
+	// Tracer receives start/end events for every instrumented operation.
+	// Both hooks run inline on the operation's goroutine; see obs.Tracer.
+	Tracer obs.Tracer
+	// SlowOpThreshold enables the built-in slow-op log: operations whose
+	// duration meets the threshold are retained in a bounded ring buffer
+	// (see Engine.SlowOps). Zero disables it.
+	SlowOpThreshold time.Duration
+	// SlowOpLogSize is the slow-op ring capacity
+	// (obs.DefaultSlowLogSize if zero).
+	SlowOpLogSize int
+	// MetricsSampleEvery is the hot-op latency sampling period: one
+	// AddRef/RemoveRef/Query in every MetricsSampleEvery (rounded up to a
+	// power of two; default 32) is timed into its histogram. 1 times every
+	// op. Ignored when a tracer is attached — trace events always carry
+	// real durations. Counters and background-op histograms are always
+	// exact.
+	MetricsSampleEvery int
 	// Retention selects the snapshot-retention policy. RetainAll (the
 	// default) changes nothing: records referring only to deleted
 	// snapshots are reclaimed by compaction alone. RetainLive enables
@@ -126,6 +155,12 @@ type Stats struct {
 	// while validating + installing the finished runs (InstallNanos);
 	// updates and queries stall for at most those two windows. The
 	// run-building I/O between them (FlushNanos) holds no structural lock.
+	//
+	// Deprecated: these raw cumulative sums remain populated for
+	// compatibility, but the per-phase latency histograms
+	// (backlog_checkpoint_freeze_ns / _flush_ns / _install_ns, via
+	// Options.Metrics) carry the same information with full
+	// distributions; prefer them.
 	CheckpointSwapNanos    uint64
 	CheckpointFlushNanos   uint64
 	CheckpointInstallNanos uint64
@@ -262,6 +297,12 @@ type Engine struct {
 	maint *maintainer
 
 	stats counters
+
+	// obs is the observability state (nil when Options.Metrics, Tracer,
+	// and SlowOpThreshold are all unset). Instrumented paths gate every
+	// timestamp on this pointer, so disabled observability costs one
+	// branch per operation.
+	obs *engineObs
 }
 
 // Open opens or creates a Backlog database.
@@ -324,9 +365,11 @@ func Open(opts Options) (*Engine, error) {
 		cache:   cache,
 		shards:  shards,
 	}
+	e.obs = newEngineObs(opts)
 	if err := e.openWAL(); err != nil {
 		return nil, err
 	}
+	e.registerMetrics(opts.Metrics)
 	if opts.AutoCompact || opts.Retention == RetainLive {
 		// RetainLive starts the maintainer even without AutoCompact: the
 		// expiry pass after each checkpoint is what reclaims dropped
@@ -358,10 +401,16 @@ func (e *Engine) openWAL() error {
 		rec = r
 		e.staleWAL = r.Found
 	} else {
-		log, r, err := wal.Open(e.vfs, wal.Options{
+		wopts := wal.Options{
 			Durability:   e.opts.Durability,
 			SegmentBytes: e.opts.WALSegmentBytes,
-		})
+		}
+		if e.obs != nil {
+			wopts.AppendHist = e.obs.walAppend
+			wopts.FlushHist = e.obs.walFlush
+			wopts.BatchHist = e.obs.walBatch
+		}
+		log, r, err := wal.Open(e.vfs, wopts)
 		if err != nil {
 			return err
 		}
@@ -421,10 +470,16 @@ func (e *Engine) openWAL() error {
 // decorrelates the shard index from block-allocation locality so
 // sequential writers spread across shards.
 func (e *Engine) shardOf(block uint64) *writeShard {
+	return e.shards[e.shardIndex(block)]
+}
+
+// shardIndex returns the index of the shard owning a block; trace events
+// carry it so slow ops can be attributed to a contended shard.
+func (e *Engine) shardIndex(block uint64) int {
 	if len(e.shards) == 1 {
-		return e.shards[0]
+		return 0
 	}
-	return e.shards[lsm.Mix64(block)%uint64(len(e.shards))]
+	return int(lsm.Mix64(block) % uint64(len(e.shards)))
 }
 
 // WriteShards returns the number of write-store shards.
@@ -562,6 +617,17 @@ func (e *Engine) AddRef(ref Ref, cp uint64) {
 	if ref.Length == 0 {
 		ref.Length = 1
 	}
+	if o := e.obs; o != nil && o.sampleHot(ref.Block) {
+		shard := e.shardIndex(ref.Block)
+		start := o.opStart(obs.OpAddRef, shard, ref.Block, cp)
+		e.addRef(ref, cp)
+		o.opEnd(obs.OpAddRef, shard, ref.Block, cp, start, o.addRef, nil)
+		return
+	}
+	e.addRef(ref, cp)
+}
+
+func (e *Engine) addRef(ref Ref, cp uint64) {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	if e.wal != nil {
@@ -604,6 +670,17 @@ func (e *Engine) RemoveRef(ref Ref, cp uint64) {
 	if ref.Length == 0 {
 		ref.Length = 1
 	}
+	if o := e.obs; o != nil && o.sampleHot(ref.Block) {
+		shard := e.shardIndex(ref.Block)
+		start := o.opStart(obs.OpRemoveRef, shard, ref.Block, cp)
+		e.removeRef(ref, cp)
+		o.opEnd(obs.OpRemoveRef, shard, ref.Block, cp, start, o.removeRef, nil)
+		return
+	}
+	e.removeRef(ref, cp)
+}
+
+func (e *Engine) removeRef(ref Ref, cp uint64) {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	if e.wal != nil {
@@ -690,6 +767,16 @@ var ErrStaleCP = errors.New("core: checkpoint CP not newer than committed CP")
 // are merged back into the write stores, so the caller can retry or
 // replay.
 func (e *Engine) Checkpoint(cp uint64) error {
+	if o := e.obs; o != nil {
+		start := o.opStart(obs.OpCheckpoint, -1, 0, cp)
+		err := e.checkpoint(cp)
+		o.opEnd(obs.OpCheckpoint, -1, 0, cp, start, nil, err)
+		return err
+	}
+	return e.checkpoint(cp)
+}
+
+func (e *Engine) checkpoint(cp uint64) error {
 	e.cpMu.Lock()
 	defer e.cpMu.Unlock()
 
@@ -741,7 +828,11 @@ func (e *Engine) Checkpoint(cp uint64) error {
 		}
 	}
 	e.mu.Unlock()
-	e.stats.cpSwapNanos.Add(uint64(time.Since(start)))
+	d := time.Since(start)
+	e.stats.cpSwapNanos.Add(uint64(d))
+	if e.obs != nil {
+		e.obs.cpFreeze.ObserveDuration(d)
+	}
 
 	// On any failure: merge the frozen records back into the active trees
 	// and restore the durability error taken at the freeze, so "on error,
@@ -803,7 +894,11 @@ func (e *Engine) Checkpoint(cp uint64) error {
 		// waiting for orphan collection at the next Open.
 		return restore(results, err)
 	}
-	e.stats.cpFlushNanos.Add(uint64(time.Since(start)))
+	d = time.Since(start)
+	e.stats.cpFlushNanos.Add(uint64(d))
+	if e.obs != nil {
+		e.obs.cpFlush.ObserveDuration(d)
+	}
 
 	// Phase 3 — install: re-acquire the lock, commit every run plus the
 	// captured deletion-vector snapshots and the CP atomically, and clear
@@ -852,7 +947,11 @@ func (e *Engine) Checkpoint(cp uint64) error {
 	e.frozenDel = nil
 	e.flushingCP = 0
 	e.mu.Unlock()
-	e.stats.cpInstallNanos.Add(uint64(time.Since(start)))
+	d = time.Since(start)
+	e.stats.cpInstallNanos.Add(uint64(d))
+	if e.obs != nil {
+		e.obs.cpInstall.ObserveDuration(d)
+	}
 	e.stats.checkpoints.Add(1)
 	e.stats.recordsFlushed.Add(flushed)
 
@@ -1019,6 +1118,16 @@ func flushWS[T any](db *lsm.DB, refs *[]lsm.RunRef, table string, cp uint64,
 // relocation utilities (defragmentation, volume shrinking) call this after
 // moving the physical data and rewriting the file-system pointers.
 func (e *Engine) RelocateBlock(oldBlock, newBlock uint64) error {
+	if o := e.obs; o != nil {
+		start := o.opStart(obs.OpRelocate, e.shardIndex(oldBlock), oldBlock, 0)
+		err := e.relocateBlock(oldBlock, newBlock)
+		o.opEnd(obs.OpRelocate, e.shardIndex(oldBlock), oldBlock, 0, start, o.relocate, err)
+		return err
+	}
+	return e.relocateBlock(oldBlock, newBlock)
+}
+
+func (e *Engine) relocateBlock(oldBlock, newBlock uint64) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if oldBlock == newBlock {

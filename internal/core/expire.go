@@ -1,5 +1,7 @@
 package core
 
+import "github.com/backlogfs/backlog/internal/obs"
+
 // Drop-based snapshot expiry. When every snapshot that could reference a
 // Combined run's records has been deleted, the run as a whole is garbage:
 // masking (Section 4.2.1) would filter every record in it. Compaction
@@ -63,6 +65,16 @@ func (e *Engine) ReclaimHorizon() uint64 {
 // retries after every checkpoint, which is exactly when the vector comes
 // clean.
 func (e *Engine) Expire() (ExpireStats, error) {
+	if o := e.obs; o != nil {
+		start := o.opStart(obs.OpExpire, -1, 0, 0)
+		st, err := e.expire()
+		o.opEnd(obs.OpExpire, -1, 0, 0, start, o.expire, err)
+		return st, err
+	}
+	return e.expire()
+}
+
+func (e *Engine) expire() (ExpireStats, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.flushingCP != 0 || e.db.Table(TableCombined).DVDirty() {

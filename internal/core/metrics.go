@@ -1,0 +1,305 @@
+package core
+
+import (
+	"sync/atomic"
+	"time"
+
+	"github.com/backlogfs/backlog/internal/obs"
+)
+
+// engineObs bundles the engine's observability state: the typed metric
+// handles on the hot and background paths, the registered tracer chain
+// (application tracer + built-in slow-op log), and the slow-op log itself.
+// A nil *engineObs means observability is fully disabled: every
+// instrumented path checks one pointer and takes no timestamp, so the
+// disabled cost is a branch — paper-figure experiments stay byte-identical.
+//
+// The histograms are nil when no Registry is configured (a tracer can run
+// without metrics); obs histogram handles are nil-safe, so the record
+// calls need no second gate.
+type engineObs struct {
+	tracer obs.Tracer
+	slow   *obs.SlowLog
+
+	// sampleMask gates the hot-op latency timestamps (AddRef, RemoveRef,
+	// Query): one op in every mask+1 per sample slot is timed, keeping
+	// the enabled overhead of two clock reads per op off the common case.
+	// Zero records every op — the configuration when a tracer is attached
+	// (trace events need real durations) or when
+	// Options.MetricsSampleEvery is 1. Counters are unaffected: they
+	// mirror the Stats atomics and stay exact.
+	sampleMask uint64
+	samples    [sampleSlots]sampleCounter
+
+	// Hot-path latencies (ns).
+	addRef     *obs.Histogram
+	removeRef  *obs.Histogram
+	query      *obs.Histogram
+	queryRange *obs.Histogram
+	relocate   *obs.Histogram
+
+	// Checkpoint phase timings (ns) — the structured successors of the
+	// raw Stats.Checkpoint*Nanos counters.
+	cpFreeze  *obs.Histogram
+	cpFlush   *obs.Histogram
+	cpInstall *obs.Histogram
+
+	// Background maintenance durations (ns).
+	compact *obs.Histogram
+	expire  *obs.Histogram
+
+	// WAL metrics, handed to wal.Open via wal.Options.
+	walAppend *obs.Histogram
+	walFlush  *obs.Histogram
+	walBatch  *obs.Histogram
+}
+
+// sampleSlots is the number of padded per-shard sample counters; shards
+// map onto slots by index mask, so distinct shards rarely contend on the
+// same counter cache line.
+const sampleSlots = 16
+
+// defaultSampleEvery is the hot-op latency sampling period when
+// Options.MetricsSampleEvery is unset.
+const defaultSampleEvery = 32
+
+// sampleCounter is a cache-line-padded atomic counter: adjacent shards'
+// sampling decisions must not false-share, or the sampling would cost
+// what it exists to avoid.
+type sampleCounter struct {
+	n atomic.Uint64
+	_ [56]byte
+}
+
+// newEngineObs builds the observability state, or returns nil when every
+// surface is disabled. Histograms register against opts.Metrics (nil
+// registry ⇒ nil handles, which record as no-ops — the tracer still sees
+// events).
+func newEngineObs(opts Options) *engineObs {
+	if opts.Metrics == nil && opts.Tracer == nil && opts.SlowOpThreshold <= 0 {
+		return nil
+	}
+	o := &engineObs{}
+	if opts.SlowOpThreshold > 0 {
+		o.slow = obs.NewSlowLog(opts.SlowOpThreshold, opts.SlowOpLogSize)
+	}
+	o.tracer = obs.MultiTracer(opts.Tracer, slowTracer(o.slow))
+	if o.tracer == nil {
+		every := opts.MetricsSampleEvery
+		if every <= 0 {
+			every = defaultSampleEvery
+		}
+		o.sampleMask = pow2Mask(every)
+		// Seed every slot at the mask so the first op it sees is sampled
+		// — short-lived processes get latency data immediately instead of
+		// after sampleMask ops per slot.
+		for i := range o.samples {
+			o.samples[i].n.Store(o.sampleMask)
+		}
+	}
+	r := opts.Metrics
+	lat := obs.LatencyBuckets()
+	o.addRef = r.Histogram("backlog_addref_ns", "AddRef latency", "ns", lat)
+	o.removeRef = r.Histogram("backlog_removeref_ns", "RemoveRef latency", "ns", lat)
+	o.query = r.Histogram("backlog_query_ns", "Query latency (one block)", "ns", lat)
+	o.queryRange = r.Histogram("backlog_queryrange_ns", "QueryRange latency (whole range)", "ns", lat)
+	o.relocate = r.Histogram("backlog_relocate_ns", "RelocateBlock latency", "ns", lat)
+	o.cpFreeze = r.Histogram("backlog_checkpoint_freeze_ns",
+		"Checkpoint freeze phase (exclusive structural lock held)", "ns", lat)
+	o.cpFlush = r.Histogram("backlog_checkpoint_flush_ns",
+		"Checkpoint run-building flush phase (no structural lock held)", "ns", lat)
+	o.cpInstall = r.Histogram("backlog_checkpoint_install_ns",
+		"Checkpoint validate-and-install phase (exclusive structural lock held)", "ns", lat)
+	o.compact = r.Histogram("backlog_compaction_ns", "Duration of one partition compaction", "ns", lat)
+	o.expire = r.Histogram("backlog_expire_ns", "Duration of one expiry pass", "ns", lat)
+	o.walAppend = r.Histogram("backlog_wal_append_ns",
+		"WAL append latency per record: enqueue to written (Buffered) or fsynced (Sync)", "ns", lat)
+	o.walFlush = r.Histogram("backlog_wal_flush_ns",
+		"WAL group-commit flush duration: one WriteAt plus, in Sync mode, one fsync", "ns", lat)
+	o.walBatch = r.Histogram("backlog_wal_batch_records",
+		"Records per WAL group-commit flush", "ops", obs.CountBuckets(16))
+	return o
+}
+
+// slowTracer adapts a possibly-nil *SlowLog to the Tracer interface
+// without handing MultiTracer a non-nil interface holding a nil pointer.
+func slowTracer(s *obs.SlowLog) obs.Tracer {
+	if s == nil {
+		return nil
+	}
+	return s
+}
+
+// pow2Mask returns the smallest power-of-two-minus-one mask covering n,
+// so the sampling test is a single AND instead of a modulo.
+func pow2Mask(n int) uint64 {
+	m := uint64(1)
+	for m < uint64(n) {
+		m <<= 1
+	}
+	return m - 1
+}
+
+// sampleHot is the hot-path gate: AddRef, RemoveRef, and Query call it
+// before doing any observability work at all, so an unsampled op pays one
+// atomic add and a branch — no shard lookup, no timestamps, no event
+// construction. Background and rare ops (checkpoint phases, compaction,
+// expiry, relocation, range queries) skip the gate and are always timed:
+// their rate is low and their tail is the interesting part. A tracer
+// disables sampling — trace events always carry real durations.
+func (o *engineObs) sampleHot(block uint64) bool {
+	if o.tracer != nil {
+		return true
+	}
+	return o.samples[block%sampleSlots].n.Add(1)&o.sampleMask == 0
+}
+
+// opStart stamps an operation's begin time and emits the start trace
+// event. Hot-path callers gate on sampleHot first, so the timestamp is
+// only taken when some observability surface wants it.
+func (o *engineObs) opStart(kind obs.OpKind, shard int, block, cp uint64) time.Time {
+	start := time.Now()
+	if o.tracer != nil {
+		o.tracer.OpStart(obs.OpEvent{Kind: kind, Shard: shard, Block: block, CP: cp, Start: start})
+	}
+	return start
+}
+
+// opEnd records the operation's latency and emits the end trace event.
+func (o *engineObs) opEnd(kind obs.OpKind, shard int, block, cp uint64, start time.Time, h *obs.Histogram, err error) {
+	d := time.Since(start)
+	h.ObserveDuration(d)
+	if o.tracer != nil {
+		o.tracer.OpEnd(obs.OpEvent{Kind: kind, Shard: shard, Block: block, CP: cp, Start: start, Dur: d, Err: err})
+	}
+}
+
+// registerMetrics wires the engine's state into the registry: CounterFunc
+// mirrors of the legacy Stats atomics (so hot paths are never charged
+// twice for the same event and Stats stays the single source of truth)
+// and gauges computed from live structures at scrape time. Called once at
+// Open, after the WAL and shards exist.
+func (e *Engine) registerMetrics(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	r.CounterFunc("backlog_refs_added_total", "AddRef calls", e.stats.refsAdded.Load)
+	r.CounterFunc("backlog_refs_removed_total", "RemoveRef calls", e.stats.refsRemoved.Load)
+	r.CounterFunc("backlog_pruned_adds_total", "To entries cancelled by a same-CP AddRef", e.stats.prunedAdds.Load)
+	r.CounterFunc("backlog_pruned_removes_total", "From entries cancelled by a same-CP RemoveRef", e.stats.prunedRemoves.Load)
+	r.CounterFunc("backlog_checkpoints_total", "Committed checkpoints", e.stats.checkpoints.Load)
+	r.CounterFunc("backlog_compactions_total", "Partitions compacted", e.stats.compactions.Load)
+	r.CounterFunc("backlog_compact_conflicts_total", "Optimistic compaction attempts retried on conflict", e.stats.compactConflicts.Load)
+	r.CounterFunc("backlog_auto_compactions_total", "Partitions compacted by the background maintainer", e.stats.autoCompactions.Load)
+	r.CounterFunc("backlog_maintenance_errors_total", "Background maintenance passes abandoned on error", e.stats.maintErrors.Load)
+	r.CounterFunc("backlog_records_flushed_total", "Records written to Level-0 runs", e.stats.recordsFlushed.Load)
+	r.CounterFunc("backlog_records_purged_total", "Records dropped by compaction", e.stats.recordsPurged.Load)
+	r.CounterFunc("backlog_queries_total", "Blocks queried", e.stats.queries.Load)
+	r.CounterFunc("backlog_relocations_total", "RelocateBlock calls", e.stats.relocations.Load)
+	r.CounterFunc("backlog_expiries_total", "Expire passes that dropped at least one run", e.stats.expiries.Load)
+	r.CounterFunc("backlog_runs_expired_total", "Runs dropped whole by expiry", e.stats.runsExpired.Load)
+	r.CounterFunc("backlog_records_expired_total", "Records inside runs dropped by expiry", e.stats.recordsExpired.Load)
+	r.CounterFunc("backlog_wal_replayed_total", "WAL records replayed at Open", func() uint64 { return e.walReplayed })
+	if e.wal != nil {
+		r.CounterFunc("backlog_wal_appends_total", "Records appended to the write-ahead log",
+			func() uint64 { return e.wal.Stats().Appends })
+		r.CounterFunc("backlog_wal_batches_total", "WAL group-commit flushes",
+			func() uint64 { return e.wal.Stats().Batches })
+		r.GaugeFunc("backlog_wal_segments", "Live write-ahead-log segment files",
+			func() float64 { return float64(e.wal.SegmentCount()) })
+	}
+	if e.obs != nil && e.obs.slow != nil {
+		r.CounterFunc("backlog_slow_ops_total", "Ops that exceeded the slow-op threshold",
+			e.obs.slow.Total)
+	}
+
+	// Gauges over live structures. Scrapes run with no engine lock held
+	// (Metrics/debug endpoint), so the short shared acquisitions here
+	// cannot deadlock; they only delay a scrape behind an exclusive
+	// critical section, which is bounded (freeze/install are pointer
+	// swaps).
+	r.GaugeFunc("backlog_view_pins", "LSM views currently pinned by queries and compactions",
+		func() float64 { return float64(e.db.ActiveViews()) })
+	r.GaugeFunc("backlog_deferred_run_files", "Superseded run files awaiting deletion behind pinned views",
+		func() float64 { return float64(e.db.DeferredFiles()) })
+	r.GaugeFunc("backlog_runs_live", "Live read-store runs", func() float64 {
+		return float64(e.RunCount())
+	})
+	r.GaugeFunc("backlog_db_bytes", "On-disk size of the database", func() float64 {
+		return float64(e.SizeBytes())
+	})
+	r.GaugeFunc("backlog_frozen_shards", "Write-store shards with a frozen generation (checkpoint flush in flight)",
+		func() float64 {
+			e.mu.RLock()
+			defer e.mu.RUnlock()
+			var n int
+			for _, s := range e.shards {
+				if s.frozenFrom != nil {
+					n++
+				}
+			}
+			return float64(n)
+		})
+	for i, s := range e.shards {
+		s := s
+		r.GaugeFunc(gaugeName("backlog_ws_records", "shard", i),
+			"Buffered write-store records in the shard's active trees",
+			func() float64 {
+				s.mu.RLock()
+				n := s.from.Len() + s.to.Len() + s.combined.Len()
+				s.mu.RUnlock()
+				return float64(n)
+			})
+		r.GaugeFunc(gaugeName("backlog_ws_frozen_records", "shard", i),
+			"Write-store records frozen mid-flush in the shard",
+			func() float64 {
+				e.mu.RLock()
+				defer e.mu.RUnlock()
+				if s.frozenFrom == nil {
+					return 0
+				}
+				return float64(s.frozenFrom.Len() + s.frozenTo.Len() + s.frozenCombined.Len())
+			})
+	}
+}
+
+// gaugeName renders a labeled metric name ("backlog_ws_records" +
+// {shard="3"}) in the form obs.WritePrometheus understands.
+func gaugeName(base, label string, v int) string {
+	return base + "{" + label + "=\"" + itoa(v) + "\"}"
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// Metrics returns a snapshot of the engine's metrics registry (empty when
+// observability is disabled).
+func (e *Engine) Metrics() obs.Snapshot { return e.opts.Metrics.Snapshot() }
+
+// SlowOps returns the retained slow-op events, oldest first (nil when no
+// slow-op log is configured; see Options.SlowOpThreshold).
+func (e *Engine) SlowOps() []obs.OpEvent {
+	if e.obs == nil || e.obs.slow == nil {
+		return nil
+	}
+	return e.obs.slow.Snapshot()
+}
+
+// SlowLog returns the built-in slow-op log, or nil when disabled.
+func (e *Engine) SlowLog() *obs.SlowLog {
+	if e.obs == nil {
+		return nil
+	}
+	return e.obs.slow
+}

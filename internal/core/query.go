@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"github.com/backlogfs/backlog/internal/lsm"
+	"github.com/backlogfs/backlog/internal/obs"
 )
 
 // Owner is one query result: a logical owner of the queried block, with the
@@ -64,6 +65,16 @@ type interval struct {
 // only for their brief freeze and validate-and-install critical sections,
 // which are in-memory pointer swaps plus one manifest write.
 func (e *Engine) Query(block uint64) ([]Owner, error) {
+	if o := e.obs; o != nil && o.sampleHot(block) {
+		start := o.opStart(obs.OpQuery, e.shardIndex(block), block, 0)
+		owners, err := e.query(block)
+		o.opEnd(obs.OpQuery, e.shardIndex(block), block, 0, start, o.query, err)
+		return owners, err
+	}
+	return e.query(block)
+}
+
+func (e *Engine) query(block uint64) ([]Owner, error) {
 	e.stats.queries.Add(1)
 	v, ws := e.pinBlock(block)
 	defer v.Release()
@@ -376,6 +387,19 @@ func maskOwners(groups map[identity][]interval, cat Catalog) []Owner {
 // benchmarks (Section 6.4): consecutive sorted queries share pages via the
 // cache.
 func (e *Engine) QueryRange(block uint64, n int, visit func(block uint64, owners []Owner) bool) error {
+	if o := e.obs; o != nil {
+		// One event and one observation for the whole range — the
+		// per-block cost is what backlog_query_ns measures; this histogram
+		// captures the range-scan latency callers actually see.
+		start := o.opStart(obs.OpQueryRange, -1, block, 0)
+		err := e.queryRange(block, n, visit)
+		o.opEnd(obs.OpQueryRange, -1, block, 0, start, o.queryRange, err)
+		return err
+	}
+	return e.queryRange(block, n, visit)
+}
+
+func (e *Engine) queryRange(block uint64, n int, visit func(block uint64, owners []Owner) bool) error {
 	for i := 0; i < n; i++ {
 		b := block + uint64(i)
 		e.stats.queries.Add(1)

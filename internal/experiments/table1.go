@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"github.com/backlogfs/backlog/internal/btrfssim"
+	"github.com/backlogfs/backlog/internal/obs"
 	"github.com/backlogfs/backlog/internal/wal"
 )
 
@@ -28,6 +29,9 @@ type Table1Config struct {
 	// scheduler (off by default: the paper's Table 1 runs accumulate
 	// unmaintained).
 	AutoCompact bool
+	// Metrics, if non-nil, registers each Backlog-mode engine's metrics
+	// — btrfsbench's -debug-addr serves them live during a run.
+	Metrics *obs.Registry
 }
 
 // DefaultTable1Config returns the scaled default.
@@ -66,7 +70,7 @@ func RunTable1(cfg Table1Config) ([]Table1Row, error) {
 		measure func(mode btrfssim.Mode) (float64, error)
 	}
 	newFS := func(mode btrfssim.Mode, opsPerTx int) (*btrfssim.FS, error) {
-		return btrfssim.New(btrfssim.Config{Mode: mode, OpsPerTransaction: opsPerTx, WriteShards: cfg.WriteShards, Durability: cfg.Durability, AutoCompact: cfg.AutoCompact})
+		return btrfssim.New(btrfssim.Config{Mode: mode, OpsPerTransaction: opsPerTx, WriteShards: cfg.WriteShards, Durability: cfg.Durability, AutoCompact: cfg.AutoCompact, Metrics: cfg.Metrics})
 	}
 	msPerOp := func(fs *btrfssim.FS, start time.Time, startDisk int64, ops int) float64 {
 		elapsed := time.Since(start).Nanoseconds() + fs.VFS().Stats().DiskNanos - startDisk

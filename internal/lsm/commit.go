@@ -173,11 +173,13 @@ func (e *Edit) Commit() error {
 	// version refcounting reclaims their files once the last version
 	// referencing them is destroyed.
 	newRuns := map[string][][]*Run{}
+	var droppedRuns []*Run
 	for name, t := range db.tables {
 		parts := make([][]*Run, db.opts.Partitions)
 		for p, runs := range t.runs {
 			for _, r := range runs {
 				if dropSet[name][r.name] {
+					droppedRuns = append(droppedRuns, r)
 					continue
 				}
 				parts[p] = append(parts[p], r)
@@ -355,6 +357,15 @@ func (e *Edit) Commit() error {
 	// deletion-vector mutations.
 	db.verStale = false
 	doomed := old.unref()
+	db.undeferAll(doomed)
+	// Dropped runs that still carry references are pinned by an older
+	// version some view holds: their files outlive the manifest drop, so
+	// track them as deferred until the last pin goes.
+	for _, r := range droppedRuns {
+		if r.refs > 0 {
+			db.deferRun(r.name)
+		}
+	}
 	db.viewMu.Unlock()
 	// Reclaim outside viewMu: file removal must not stall concurrent view
 	// pins. doomed holds runs no version references anymore (none, if a

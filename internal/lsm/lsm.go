@@ -135,6 +135,49 @@ type DB struct {
 	// clears it under viewMu plus at least the shared structural lock.
 	cur      *version
 	verStale bool
+
+	// views counts live (unreleased) View pins, and deferred tracks run
+	// files already dropped from the manifest but still pinned by some
+	// version — files whose deletion is deferred behind a view. Both are
+	// guarded by viewMu and exported (ActiveViews, DeferredFiles) for the
+	// engine's observability gauges: a deferred count that grows without
+	// bound is the signature of a leaked view pin.
+	views    int
+	deferred map[string]struct{}
+}
+
+// ActiveViews returns the number of currently pinned (acquired, not yet
+// released) views.
+func (db *DB) ActiveViews() int {
+	db.viewMu.Lock()
+	defer db.viewMu.Unlock()
+	return db.views
+}
+
+// DeferredFiles returns the number of run files dropped from the manifest
+// whose deletion is deferred because a pinned view still references them.
+func (db *DB) DeferredFiles() int {
+	db.viewMu.Lock()
+	defer db.viewMu.Unlock()
+	return len(db.deferred)
+}
+
+// deferRun marks a dropped-but-still-pinned run file. Caller holds viewMu.
+func (db *DB) deferRun(name string) {
+	if db.deferred == nil {
+		db.deferred = make(map[string]struct{})
+	}
+	db.deferred[name] = struct{}{}
+}
+
+// undeferAll clears deferred-tracking for files whose last pin just went
+// (they are about to be removed). Caller holds viewMu. Deleting a name
+// that was never deferred (a run doomed without ever outliving its drop)
+// is a no-op.
+func (db *DB) undeferAll(doomed []string) {
+	for _, n := range doomed {
+		delete(db.deferred, n)
+	}
 }
 
 // allocID hands out the next file ID.

@@ -102,10 +102,12 @@ func (db *DB) AcquireView() *View {
 	if db.verStale {
 		next := db.newVersion()
 		doomed = db.cur.unref()
+		db.undeferAll(doomed)
 		db.cur = next
 		db.verStale = false
 	}
 	db.cur.refs++
+	db.views++
 	v := &View{db: db, ver: db.cur}
 	db.viewMu.Unlock()
 	for _, n := range doomed {
@@ -125,7 +127,9 @@ func (v *View) Release() {
 	var doomed []string
 	if !v.released {
 		v.released = true
+		v.db.views--
 		doomed = v.ver.unref()
+		v.db.undeferAll(doomed)
 	}
 	v.db.viewMu.Unlock()
 	for _, name := range doomed {

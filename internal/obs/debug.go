@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"runtime"
+	"time"
+)
+
+// DebugServer is the live debug endpoint started by Serve: an HTTP
+// listener exposing the metrics registry and the Go runtime's profiling
+// surfaces on a database that is up and serving traffic.
+//
+//	/metrics        Prometheus text format (scrape target)
+//	/debug/vars     the same snapshot as JSON, expvar-style, plus
+//	                cmdline and abridged runtime.MemStats
+//	/debug/slowops  the slow-op ring buffer as JSON (if a SlowLog is wired)
+//	/debug/pprof/   net/http/pprof (profile, heap, trace, ...)
+type DebugServer struct {
+	ln   net.Listener
+	srv  *http.Server
+	done chan struct{}
+}
+
+// Serve starts a debug server on addr (host:port; an empty port picks a
+// free one — see Addr). reg supplies /metrics and /debug/vars; slow (may
+// be nil) supplies /debug/slowops. The server runs until Close.
+func Serve(addr string, reg *Registry, slow *SlowLog) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: debug listener on %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		_ = json.NewEncoder(w).Encode(map[string]any{
+			"cmdline": os.Args,
+			"metrics": reg.Snapshot(),
+			"memstats": map[string]any{
+				"Alloc":      ms.Alloc,
+				"TotalAlloc": ms.TotalAlloc,
+				"Sys":        ms.Sys,
+				"HeapAlloc":  ms.HeapAlloc,
+				"HeapInuse":  ms.HeapInuse,
+				"NumGC":      ms.NumGC,
+				"PauseNs":    ms.PauseTotalNs,
+			},
+			"goroutines": runtime.NumGoroutine(),
+		})
+	})
+	if slow != nil {
+		mux.HandleFunc("/debug/slowops", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			events := slow.Snapshot()
+			type slowOp struct {
+				Kind  string    `json:"kind"`
+				Shard int       `json:"shard"`
+				CP    uint64    `json:"cp"`
+				Block uint64    `json:"block"`
+				Start time.Time `json:"start"`
+				DurNS int64     `json:"dur_ns"`
+				Err   string    `json:"err,omitempty"`
+			}
+			out := struct {
+				ThresholdNS int64    `json:"threshold_ns"`
+				Total       uint64   `json:"total"`
+				Ops         []slowOp `json:"ops"`
+			}{ThresholdNS: int64(slow.Threshold()), Total: slow.Total()}
+			for _, ev := range events {
+				op := slowOp{Kind: ev.Kind.String(), Shard: ev.Shard, CP: ev.CP,
+					Block: ev.Block, Start: ev.Start, DurNS: int64(ev.Dur)}
+				if ev.Err != nil {
+					op.Err = ev.Err.Error()
+				}
+				out.Ops = append(out.Ops, op)
+			}
+			_ = json.NewEncoder(w).Encode(out)
+		})
+	}
+	// net/http/pprof registers on http.DefaultServeMux at import; this
+	// server uses its own mux, so the handlers are mounted explicitly.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	ds := &DebugServer{
+		ln:   ln,
+		srv:  &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(ds.done)
+		_ = ds.srv.Serve(ln) // returns http.ErrServerClosed on Close
+	}()
+	return ds, nil
+}
+
+// Addr returns the listener's actual address (useful with ":0").
+func (ds *DebugServer) Addr() string { return ds.ln.Addr().String() }
+
+// Close stops the listener and waits for the serve loop to exit. In-flight
+// requests are dropped; this is a debug surface, not a production API.
+func (ds *DebugServer) Close() error {
+	err := ds.srv.Close()
+	<-ds.done
+	return err
+}

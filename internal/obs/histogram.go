@@ -1,0 +1,212 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is a fixed-bucket histogram with a lock-free record path:
+// Observe is three atomic adds plus a CAS loop for the max, with no
+// allocation and no lock. Bucket bounds are fixed at registration, so
+// concurrent Observe and Snapshot never coordinate.
+//
+// Values are unsigned integers in the histogram's unit — nanoseconds for
+// latency histograms (LatencyBuckets), plain counts for size distributions
+// (CountBuckets). Quantiles are estimated from the bucket counts by linear
+// interpolation within the containing bucket, the standard
+// Prometheus-style estimate.
+type Histogram struct {
+	name, help string
+	unit       string   // "ns", "ops", ... — documentation only
+	bounds     []uint64 // ascending upper bounds; +Inf implicit after last
+	buckets    []atomic.Uint64
+	count      atomic.Uint64
+	sum        atomic.Uint64
+	max        atomic.Uint64
+}
+
+func newHistogram(name, help, unit string, bounds []uint64) *Histogram {
+	b := append([]uint64(nil), bounds...)
+	sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
+	return &Histogram{
+		name: name, help: help, unit: unit,
+		bounds:  b,
+		buckets: make([]atomic.Uint64, len(b)+1),
+	}
+}
+
+// Observe records one value. Nil-safe no-op.
+func (h *Histogram) Observe(v uint64) {
+	if h == nil {
+		return
+	}
+	// Binary search over the immutable bounds: the first bucket whose
+	// upper bound is >= v; past the last bound lands in the +Inf bucket.
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if h.bounds[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	h.buckets[lo].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records a latency in nanoseconds. Negative durations
+// (clock steps) record as zero. Nil-safe no-op.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	if h == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	h.Observe(uint64(d.Nanoseconds()))
+}
+
+// Since records the latency from start to now. Nil-safe no-op — but note
+// the caller has already paid for time.Now(); call sites that must be free
+// when disabled should gate the timing itself (see the engine's obsOn
+// pattern).
+func (h *Histogram) Since(start time.Time) {
+	if h == nil {
+		return
+	}
+	h.ObserveDuration(time.Since(start))
+}
+
+// Count returns the number of recorded values (0 on nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Bucket is one histogram bucket in a snapshot: the number of observations
+// (non-cumulative) with value <= UpperBound and greater than the previous
+// bucket's bound. The last bucket's UpperBound is math.MaxUint64 (+Inf).
+type Bucket struct {
+	UpperBound uint64 `json:"le"`
+	Count      uint64 `json:"count"`
+}
+
+// HistogramSnapshot is a stable copy of a histogram's state plus derived
+// quantiles. P50/P90/P99 and Max are in the histogram's unit.
+type HistogramSnapshot struct {
+	Name    string   `json:"name"`
+	Help    string   `json:"help,omitempty"`
+	Unit    string   `json:"unit,omitempty"`
+	Count   uint64   `json:"count"`
+	Sum     uint64   `json:"sum"`
+	Max     uint64   `json:"max"`
+	P50     float64  `json:"p50"`
+	P90     float64  `json:"p90"`
+	P99     float64  `json:"p99"`
+	Buckets []Bucket `json:"buckets"`
+}
+
+// Snapshot copies the histogram's counters and derives quantiles. The
+// copy is stable: recording after Snapshot returns never changes it.
+// Buckets with zero counts are included, so bucket layouts of snapshots
+// from one histogram always align.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{
+		Name: h.name, Help: h.help, Unit: h.unit,
+		Count: h.count.Load(), Sum: h.sum.Load(), Max: h.max.Load(),
+		Buckets: make([]Bucket, len(h.buckets)),
+	}
+	for i := range h.buckets {
+		ub := uint64(math.MaxUint64)
+		if i < len(h.bounds) {
+			ub = h.bounds[i]
+		}
+		s.Buckets[i] = Bucket{UpperBound: ub, Count: h.buckets[i].Load()}
+	}
+	// The per-bucket loads race concurrent Observes, so the bucket total
+	// may not equal the count loaded above; quantiles are computed against
+	// the bucket total for internal consistency.
+	s.P50 = s.Quantile(0.50)
+	s.P90 = s.Quantile(0.90)
+	s.P99 = s.Quantile(0.99)
+	return s
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) from the bucket counts,
+// interpolating linearly within the containing bucket. The +Inf bucket
+// reports the recorded max. Returns 0 when the histogram is empty.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	var total uint64
+	for _, b := range s.Buckets {
+		total += b.Count
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var seen uint64
+	for i, b := range s.Buckets {
+		if b.Count == 0 {
+			continue
+		}
+		if float64(seen+b.Count) < rank {
+			seen += b.Count
+			continue
+		}
+		if b.UpperBound == math.MaxUint64 {
+			return float64(s.Max)
+		}
+		var lo float64
+		if i > 0 {
+			lo = float64(s.Buckets[i-1].UpperBound)
+		}
+		frac := (rank - float64(seen)) / float64(b.Count)
+		return lo + (float64(b.UpperBound)-lo)*frac
+	}
+	return float64(s.Max)
+}
+
+// Mean returns the arithmetic mean of recorded values (0 when empty).
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// LatencyBuckets returns the standard latency bounds in nanoseconds: a
+// 1–2.5–5 ladder from 250 ns to 10 s. It covers both the ~µs hot paths
+// (AddRef into a memtree) and multi-second background maintenance.
+func LatencyBuckets() []uint64 {
+	var b []uint64
+	for _, base := range []uint64{250, 2_500, 25_000, 250_000, 2_500_000, 25_000_000, 250_000_000, 2_500_000_000} {
+		b = append(b, base, base*2, base*4)
+	}
+	return append(b, 10_000_000_000)
+}
+
+// CountBuckets returns power-of-two bounds 1, 2, 4, ..., 2^log2Max — the
+// standard size-distribution layout (WAL group-commit batch sizes,
+// record counts).
+func CountBuckets(log2Max int) []uint64 {
+	b := make([]uint64, 0, log2Max+1)
+	for i := 0; i <= log2Max; i++ {
+		b = append(b, uint64(1)<<uint(i))
+	}
+	return b
+}

@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// WritePrometheus renders a snapshot in the Prometheus text exposition
+// format (version 0.0.4): counters and gauges as single samples,
+// histograms as cumulative `_bucket{le="..."}` series plus `_sum` and
+// `_count`. Metric names may carry a label set in braces
+// (`backlog_ws_records{shard="3"}`); the braces are stripped for the
+// HELP/TYPE header, which is emitted once per base name.
+func WritePrometheus(w io.Writer, s Snapshot) error {
+	seen := map[string]bool{}
+	header := func(name, help, typ string) (string, string, error) {
+		base, labels := splitLabels(name)
+		if !seen[base] {
+			seen[base] = true
+			if help != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", base, escapeHelp(help)); err != nil {
+					return "", "", err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", base, typ); err != nil {
+				return "", "", err
+			}
+		}
+		return base, labels, nil
+	}
+	for _, c := range s.Counters {
+		base, labels, err := header(c.Name, c.Help, "counter")
+		if err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s%s %d\n", base, labels, c.Value); err != nil {
+			return err
+		}
+	}
+	for _, g := range s.Gauges {
+		base, labels, err := header(g.Name, g.Help, "gauge")
+		if err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s%s %s\n", base, labels, formatFloat(g.Value)); err != nil {
+			return err
+		}
+	}
+	for _, h := range s.Histograms {
+		base, _, err := header(h.Name, h.Help, "histogram")
+		if err != nil {
+			return err
+		}
+		var cum uint64
+		for _, b := range h.Buckets {
+			cum += b.Count
+			le := "+Inf"
+			if b.UpperBound != math.MaxUint64 {
+				le = fmt.Sprintf("%d", b.UpperBound)
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", base, le, cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %d\n", base, h.Sum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_count %d\n", base, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WritePrometheus renders the registry's current state; see the
+// package-level WritePrometheus. A nil registry writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	return WritePrometheus(w, r.Snapshot())
+}
+
+// splitLabels splits "name{labels}" into "name" and "{labels}"; a plain
+// name returns an empty label part.
+func splitLabels(name string) (base, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i], name[i:]
+	}
+	return name, ""
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// formatFloat renders a gauge value: integers without a decimal point,
+// everything else in compact scientific-free form.
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}

@@ -38,7 +38,9 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
+	"github.com/backlogfs/backlog/internal/obs"
 	"github.com/backlogfs/backlog/internal/storage"
 )
 
@@ -101,6 +103,17 @@ type Options struct {
 	// SegmentBytes rotates the active segment once it grows past this
 	// size (DefaultSegmentBytes if zero).
 	SegmentBytes int64
+
+	// Optional observability hooks; nil histograms record nothing and add
+	// no timing overhead. AppendHist sees each record's append latency in
+	// nanoseconds — enqueue to written (Buffered) or fsynced (Sync),
+	// including time spent waiting behind the group-commit leader.
+	// FlushHist sees each physical flush's I/O duration (one WriteAt plus,
+	// in Sync mode, one fsync). BatchHist sees the number of records each
+	// flush covered — the group-commit batch-size distribution.
+	AppendHist *obs.Histogram
+	FlushHist  *obs.Histogram
+	BatchHist  *obs.Histogram
 }
 
 // Stats counts log activity. All counters are cumulative.
@@ -134,6 +147,14 @@ type Log struct {
 	segSize  int64
 	names    []string // live segment names, oldest first, active last
 
+	// pendingRecs counts the records in pending, so flushLocked can report
+	// the batch size it covered. Guarded by mu like pending itself.
+	pendingRecs int
+
+	appendHist *obs.Histogram
+	flushHist  *obs.Histogram
+	batchHist  *obs.Histogram
+
 	stats Stats
 }
 
@@ -162,9 +183,12 @@ func Open(vfs storage.VFS, opts Options) (*Log, Recovered, error) {
 		}
 	}
 	l := &Log{
-		vfs:      vfs,
-		syncEach: opts.Durability == Sync,
-		segBytes: opts.SegmentBytes,
+		vfs:        vfs,
+		syncEach:   opts.Durability == Sync,
+		segBytes:   opts.SegmentBytes,
+		appendHist: opts.AppendHist,
+		flushHist:  opts.FlushHist,
+		batchHist:  opts.BatchHist,
 	}
 	l.cond = sync.NewCond(&l.mu)
 	next := uint64(1)
@@ -228,6 +252,16 @@ func (l *Log) startSegmentLocked(index uint64) error {
 // file. A non-nil error means the record's durability is unknown; the log
 // refuses further appends until Truncate resets it.
 func (l *Log) Append(r Record) error {
+	if l.appendHist == nil {
+		return l.append(r)
+	}
+	start := time.Now()
+	err := l.append(r)
+	l.appendHist.ObserveDuration(time.Since(start))
+	return err
+}
+
+func (l *Log) append(r Record) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
@@ -238,6 +272,7 @@ func (l *Log) Append(r Record) error {
 	}
 	prev := len(l.pending)
 	l.pending = appendFrame(l.pending, r)
+	l.pendingRecs++
 	l.seq++
 	seq := l.seq
 	l.stats.Appends++
@@ -280,6 +315,8 @@ func (l *Log) flushLocked() {
 	}
 	buf := l.pending
 	l.pending = nil
+	recs := l.pendingRecs
+	l.pendingRecs = 0
 	target := l.seq
 	seg := l.seg
 	off := l.segSize
@@ -287,9 +324,16 @@ func (l *Log) flushLocked() {
 	l.flushing = true
 	l.mu.Unlock()
 
+	var start time.Time
+	if l.flushHist != nil {
+		start = time.Now()
+	}
 	_, err := seg.WriteAt(buf, off)
 	if err == nil && l.syncEach {
 		err = seg.Sync()
+	}
+	if l.flushHist != nil {
+		l.flushHist.ObserveDuration(time.Since(start))
 	}
 
 	l.mu.Lock()
@@ -299,6 +343,7 @@ func (l *Log) flushLocked() {
 	} else {
 		l.done = target
 		l.stats.Batches++
+		l.batchHist.Observe(uint64(recs))
 	}
 	l.cond.Broadcast()
 }
@@ -339,6 +384,7 @@ func (l *Log) Cut(cp uint64) (cut int, err error) {
 	}
 	l.err = nil
 	l.pending = nil
+	l.pendingRecs = 0
 	l.done = l.seq
 	if err := l.startSegmentLocked(l.segIndex + 1); err != nil {
 		l.err = err
@@ -413,6 +459,7 @@ func (l *Log) Truncate(cp uint64) error {
 	// applied to; drop it along with any sticky error.
 	l.err = nil
 	l.pending = nil
+	l.pendingRecs = 0
 	l.done = l.seq
 
 	// On any failure below, the old segment names are restored so the
