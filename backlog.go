@@ -154,6 +154,35 @@
 // the same sense as the paper's snapshot deletion: re-creating a snapshot
 // at an old version after its records expired does not resurrect them.
 //
+// # Compression
+//
+// The paper observes (Section 8) that back-reference tables are "highly
+// compressible, especially if we compress them by columns". Runs are
+// stored column-compressed by default: each leaf page of a run's B-tree
+// encodes its records per column as delta + zigzag + LEB128 varints
+// (format v2), restarting at every 4 KB page boundary so pages stay
+// independently seekable and checksummed. Sorted back-reference records
+// differ from their neighbors by tiny per-column deltas, so combined
+// tables typically shrink 3-8x, checkpoints write proportionally fewer
+// bytes, and a shared cache of decoded pages keeps warm point-query
+// latency within a few percent of the raw format.
+//
+// Config.Compression selects the format for newly written runs:
+//
+//   - CompressionDelta (the default) writes format-v2 column-delta runs.
+//   - CompressionNone writes raw fixed-stride format-v1 runs — the
+//     paper's original layout, pinned by the deterministic paper-figure
+//     experiments.
+//
+// The knob applies to new runs only; both formats are always readable,
+// an existing v1 database opens and queries under either setting with no
+// migration step, and compaction naturally rewrites old runs into the
+// configured format. DB.EstimateCompression projects the v2 size of a
+// table without rewriting it (using the same codec the writer uses), and
+// "backlogctl compression" prints per-table logical versus physical
+// bytes. The fsimbench "compress" experiment measures on-disk size,
+// checkpoint write-bytes, and cold/warm query latency for both formats.
+//
 // # Observability
 //
 // The engine is instrumented end to end, and all of it is off by default:
@@ -226,6 +255,7 @@
 //	AutoCompact      — false: call Compact explicitly
 //	CompactThreshold — 0: threshold 8 (values below 2 clamp to 2)
 //	Retention        — RetainAll: no expiry, the paper's behavior
+//	Compression      — CompressionDelta: format-v2 column-delta runs
 //
 // Config.Validate reports structurally invalid configurations (it wraps
 // ErrBadConfig); Open calls it first.
@@ -361,6 +391,12 @@ type Config struct {
 	// checkpoint, background compaction seals finished CP windows instead
 	// of re-merging them, and queries skip runs below the reclaim horizon.
 	Retention RetentionPolicy
+	// Compression selects the on-disk format of newly written runs
+	// (default CompressionDelta, the format-v2 column-delta encoding; see
+	// the package documentation's Compression section). Applies to new
+	// runs only — both formats are always readable, and compaction
+	// rewrites old runs into the configured format.
+	Compression Compression
 	// Metrics enables the metrics registry: counters, gauges, and latency
 	// histograms over every engine, WAL, and maintenance path, readable
 	// via DB.Metrics and DB.WriteMetrics (see the package documentation's
@@ -413,6 +449,25 @@ const (
 	RetainLive = core.RetainLive
 )
 
+// Compression selects the on-disk run format; see Config.Compression.
+type Compression = core.Compression
+
+const (
+	// CompressionDelta (the default) writes format-v2 runs: leaf pages
+	// encoded per column as delta + zigzag + LEB128 varints.
+	CompressionDelta = core.CompressionDelta
+	// CompressionNone writes raw fixed-stride format-v1 runs — the
+	// paper's original layout.
+	CompressionNone = core.CompressionNone
+)
+
+// Table names accepted by EstimateCompression and reported by Runs.
+const (
+	TableFrom     = core.TableFrom
+	TableTo       = core.TableTo
+	TableCombined = core.TableCombined
+)
+
 // ErrBadConfig is wrapped by every Config.Validate error.
 var ErrBadConfig = errors.New("backlog: invalid Config")
 
@@ -447,6 +502,11 @@ func (cfg Config) Validate() error {
 	case RetainAll, RetainLive:
 	default:
 		return bad("unknown Retention (%d)", cfg.Retention)
+	}
+	switch cfg.Compression {
+	case CompressionDelta, CompressionNone:
+	default:
+		return bad("unknown Compression (%d)", cfg.Compression)
 	}
 	if cfg.SlowOpThreshold < 0 {
 		return bad("SlowOpThreshold is negative (%v)", cfg.SlowOpThreshold)
@@ -549,6 +609,7 @@ func openVFS(vfs storage.VFS, cfg Config) (*DB, error) {
 		AutoCompact:        cfg.AutoCompact,
 		CompactThreshold:   cfg.CompactThreshold,
 		Retention:          cfg.Retention,
+		Compression:        cfg.Compression,
 		Metrics:            reg,
 		MetricsSampleEvery: cfg.MetricsSampleEvery,
 		Tracer:             cfg.Tracer,
@@ -748,6 +809,21 @@ type RunInfo = lsm.RunInfo
 // Runs returns metadata for every live run — what backlogctl's stats
 // subcommand prints per partition.
 func (db *DB) Runs() []RunInfo { return db.eng.RunInfos() }
+
+// CompressionEstimate reports the projected effect of the format-v2
+// column-delta encoding on one table; see EstimateCompression.
+type CompressionEstimate = core.CompressionEstimate
+
+// EstimateCompression streams all runs of the named table (TableFrom,
+// TableTo, or TableCombined) and computes the leaf-payload size its
+// records would occupy under the format-v2 column-delta encoding, using
+// the same codec the run writer uses. The structural lock is held shared
+// only long enough to pin a view; the scan itself runs lock-free, so
+// updates and checkpoints never stall behind an estimate. Useful for
+// sizing a migration of a v1 database before compacting it.
+func (db *DB) EstimateCompression(table string) (CompressionEstimate, error) {
+	return db.eng.EstimateCompression(table)
+}
 
 // CreateSnapshot retains version v (a CP number) of the given line.
 //

@@ -2,13 +2,14 @@
 //
 // Usage:
 //
-//	backlogctl stats   -dir /path/to/db [-json]
-//	backlogctl lines   -dir /path/to/db
-//	backlogctl query   -dir /path/to/db -block 12345 [-n 16]
-//	backlogctl compact -dir /path/to/db
-//	backlogctl expire  -dir /path/to/db -retention live
-//	backlogctl metrics -dir /path/to/db [-watch [-interval 2s]]
-//	backlogctl metrics -addr localhost:6060 [-watch]
+//	backlogctl stats       -dir /path/to/db [-json]
+//	backlogctl lines       -dir /path/to/db
+//	backlogctl query       -dir /path/to/db -block 12345 [-n 16]
+//	backlogctl compact     -dir /path/to/db
+//	backlogctl compression -dir /path/to/db [-json]
+//	backlogctl expire      -dir /path/to/db -retention live
+//	backlogctl metrics     -dir /path/to/db [-watch [-interval 2s]]
+//	backlogctl metrics     -addr localhost:6060 [-watch]
 package main
 
 import (
@@ -23,20 +24,23 @@ import (
 	"time"
 
 	"github.com/backlogfs/backlog"
+	"github.com/backlogfs/backlog/internal/btree"
 )
 
 func usage() {
 	fmt.Fprintf(os.Stderr, `usage: backlogctl <command> [flags]
 
 commands:
-  stats    print database size, counters, and per-partition run CP windows
-  lines    print snapshot lines and retained versions
-  query    print the owners of a block (or a run of blocks with -n)
-  compact  run database maintenance
-  expire   drop runs below the reclaim horizon (use -retention live)
-  metrics  print metrics in Prometheus text format; -watch refreshes
-           continuously; -addr scrapes a running process's debug listener
-           instead of opening -dir
+  stats        print database size, counters, and per-partition run CP windows
+  lines        print snapshot lines and retained versions
+  query        print the owners of a block (or a run of blocks with -n)
+  compact      run database maintenance
+  compression  print per-table logical vs physical run bytes and compression
+               ratios (actual for v2 runs, projected for v1 runs)
+  expire       drop runs below the reclaim horizon (use -retention live)
+  metrics      print metrics in Prometheus text format; -watch refreshes
+               continuously; -addr scrapes a running process's debug listener
+               instead of opening -dir
 `)
 	os.Exit(2)
 }
@@ -93,6 +97,7 @@ func main() {
 	autoCompact := fs.Bool("autocompact", false, "run background maintenance while the database is open")
 	compactThreshold := fs.Int("compact-threshold", 0, "per-partition run count that triggers background compaction (0 = default)")
 	retention := fs.String("retention", "all", "retention policy: all|live (live enables drop-based expiry)")
+	comp := fs.String("compression", "delta", "run format for newly written runs: delta|none (existing runs always readable)")
 	jsonOut := fs.Bool("json", false, "machine-readable JSON output (stats)")
 	addr := fs.String("addr", "", "scrape a running process's debug listener instead of opening -dir (metrics)")
 	watch := fs.Bool("watch", false, "refresh continuously (metrics)")
@@ -127,13 +132,23 @@ func main() {
 		fmt.Fprintf(os.Stderr, "backlogctl: unknown -retention %q (want all or live)\n", *retention)
 		os.Exit(2)
 	}
+	var cmode backlog.Compression
+	switch *comp {
+	case "delta":
+		cmode = backlog.CompressionDelta
+	case "none":
+		cmode = backlog.CompressionNone
+	default:
+		fmt.Fprintf(os.Stderr, "backlogctl: unknown -compression %q (want delta or none)\n", *comp)
+		os.Exit(2)
+	}
 
 	db, err := backlog.Open(backlog.Config{
 		Dir: *dir, WriteShards: *shards, Durability: dmode,
 		Partitions: *partitions, PartitionSpan: *span,
 		AutoCompact: *autoCompact, CompactThreshold: *compactThreshold,
-		Retention: rmode,
-		Metrics:   cmd == "metrics", DebugAddr: *debugAddr,
+		Retention: rmode, Compression: cmode,
+		Metrics: cmd == "metrics", DebugAddr: *debugAddr,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "backlogctl:", err)
@@ -214,14 +229,15 @@ func main() {
 		if runs := db.Runs(); len(runs) > 0 {
 			fmt.Printf("runs:\n")
 			w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-			fmt.Fprintln(w, "  table\tpart\tlevel\trecords\tbytes\tcp window\toverrides")
+			fmt.Fprintln(w, "  table\tpart\tlevel\tformat\trecords\tlogical\tphysical\tcp window\toverrides")
 			for _, r := range runs {
 				window := "unknown"
 				if r.CPWindowKnown {
 					window = fmt.Sprintf("[%d, %d]", r.MinCP, r.MaxCP)
 				}
-				fmt.Fprintf(w, "  %s\t%d\t%d\t%d\t%d\t%s\t%d\n",
-					r.Table, r.Partition, r.Level, r.Records, r.SizeBytes, window, r.Overrides)
+				fmt.Fprintf(w, "  %s\t%d\t%d\t%s\t%d\t%d\t%d\t%s\t%d\n",
+					r.Table, r.Partition, r.Level, r.Format, r.Records,
+					r.LogicalBytes, r.SizeBytes, window, r.Overrides)
 			}
 			w.Flush()
 		}
@@ -249,6 +265,72 @@ func main() {
 			fmt.Fprintln(os.Stderr, "backlogctl:", err)
 			os.Exit(1)
 		}
+	case "compression":
+		type tableReport struct {
+			Table         string
+			Runs          int
+			V1Runs        int
+			Records       uint64
+			LogicalBytes  int64
+			PhysicalBytes int64
+			// Ratio is logical/physical over the live runs (actual, run
+			// framing included); ProjectedRatio is the pure-payload v2
+			// estimate, filled when v1 runs remain.
+			Ratio          float64
+			ProjectedRatio float64 `json:",omitempty"`
+			ProjectedBytes int64   `json:",omitempty"`
+		}
+		runs := db.Runs()
+		var reports []tableReport
+		for _, table := range []string{backlog.TableFrom, backlog.TableTo, backlog.TableCombined} {
+			rep := tableReport{Table: table}
+			for _, r := range runs {
+				if r.Table != table {
+					continue
+				}
+				rep.Runs++
+				if r.Format == btree.FormatRaw {
+					rep.V1Runs++
+				}
+				rep.Records += r.Records
+				rep.LogicalBytes += r.LogicalBytes
+				rep.PhysicalBytes += r.SizeBytes
+			}
+			if rep.PhysicalBytes > 0 {
+				rep.Ratio = float64(rep.LogicalBytes) / float64(rep.PhysicalBytes)
+			}
+			if rep.V1Runs > 0 {
+				est, err := db.EstimateCompression(table)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "backlogctl:", err)
+					os.Exit(1)
+				}
+				rep.ProjectedRatio = est.Ratio
+				rep.ProjectedBytes = est.CompressedBytes
+			}
+			reports = append(reports, rep)
+		}
+		if *jsonOut {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(reports); err != nil {
+				fmt.Fprintln(os.Stderr, "backlogctl:", err)
+				os.Exit(1)
+			}
+			break
+		}
+		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(w, "table\truns\trecords\tlogical\tphysical\tratio\tnote")
+		for _, rep := range reports {
+			note := ""
+			if rep.V1Runs > 0 {
+				note = fmt.Sprintf("%d v1 run(s); projected v2: %.2fx (%d payload bytes) — compact to apply",
+					rep.V1Runs, rep.ProjectedRatio, rep.ProjectedBytes)
+			}
+			fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\t%.2fx\t%s\n",
+				rep.Table, rep.Runs, rep.Records, rep.LogicalBytes, rep.PhysicalBytes, rep.Ratio, note)
+		}
+		w.Flush()
 	case "compact":
 		before := db.SizeBytes()
 		if err := db.Compact(); err != nil {

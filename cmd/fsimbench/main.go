@@ -24,7 +24,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("experiment", "all", "fig5|fig6|fig7|fig8|fig9|fig10|naive|ingest|wal|interference|cpstall|expire|obs|all")
+	exp := flag.String("experiment", "all", "fig5|fig6|fig7|fig8|fig9|fig10|naive|ingest|wal|interference|cpstall|expire|compress|obs|all")
 	scale := flag.String("scale", "small", "small|full")
 	flag.Parse()
 
@@ -53,6 +53,7 @@ func main() {
 	run("interference", runInterference)
 	run("cpstall", runCPStall)
 	run("expire", runExpire)
+	run("compress", runCompress)
 	run("obs", runObs)
 }
 
@@ -315,6 +316,34 @@ func runExpire(full bool) error {
 		return err
 	}
 	fmt.Printf("compaction-to-expiry I/O ratio: %.0fx\n", res.IORatio)
+	return nil
+}
+
+func runCompress(full bool) error {
+	fmt.Println("Run-format comparison: raw v1 vs column-delta v2 on identical workloads")
+	fmt.Println("(not a paper figure; Section 8 predicts the tables are \"highly compressible,")
+	fmt.Println(" especially if we compress them by columns\" — the figure experiments pin the")
+	fmt.Println(" raw format for byte-identical series)")
+	cfg := experiments.DefaultCompressConfig()
+	if full {
+		cfg.CPs, cfg.OpsPerCP, cfg.Queries = 50, 20000, 8192
+	}
+	res, err := experiments.RunCompress(cfg)
+	if err != nil {
+		return err
+	}
+	w := tw()
+	fmt.Fprintln(w, "format\tfrom bytes\tto bytes\tcombined bytes\ttotal bytes\tcheckpoint write bytes\tcold query µs\twarm query µs")
+	for _, p := range res.Points {
+		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\t%d\t%.1f\t%.1f\n",
+			p.Format, p.TableBytes["from"], p.TableBytes["to"], p.TableBytes["combined"],
+			p.RunBytes, p.CheckpointWriteBytes, p.ColdQueryUS, p.WarmQueryUS)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Printf("combined-table compression: %.2fx; all tables: %.2fx; checkpoint write bytes: %.2fx fewer; warm query slowdown: %.2fx\n",
+		res.CombinedRatio, res.TotalRatio, res.WriteRatio, res.WarmSlowdown)
 	return nil
 }
 

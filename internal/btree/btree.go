@@ -18,6 +18,13 @@
 //
 // The header is written last so that a torn build never yields a readable
 // but incomplete run.
+//
+// Two leaf encodings exist, identified by the header's version field (see
+// Format): v1 stores fixed-stride records verbatim; v2 stores each leaf
+// page as per-column delta + zigzag + LEB128 varints, restarting at every
+// page boundary, with the page's variable record count in the page header.
+// Readers open either format transparently; internal index pages are raw
+// in both.
 package btree
 
 import (
@@ -35,8 +42,7 @@ import (
 const MaxRecordSize = 256
 
 const (
-	magic         = "BKRUN1\x00\x00"
-	formatVersion = 1
+	magic = "BKRUN1\x00\x00"
 
 	pageCountLen = 2 // u16 record/entry count at page start
 	pageCRCLen   = 4 // CRC32C at page end
@@ -52,6 +58,7 @@ var ErrCorrupt = errors.New("btree: corrupt run")
 
 // header mirrors the on-disk header page.
 type header struct {
+	format      Format
 	recordSize  int
 	recordCount uint64
 	leafStart   uint64
@@ -69,11 +76,18 @@ type header struct {
 type Writer struct {
 	f       storage.File
 	recSize int
+	format  Format
 
-	leafBuf   []byte // current leaf page payload
+	leafBuf   []byte // current leaf page payload (encoded in w.format)
 	leafCount int    // records in leafBuf
-	perLeaf   int    // max records per leaf page
+	perLeaf   int    // max records per raw leaf page (unused for delta)
 	nextPage  uint64 // next page number to write (leaves start at 1)
+
+	// Delta-format state: the previous record's column values (reset to
+	// zero at each page boundary) and a scratch buffer for one encoded
+	// record.
+	prevCols []uint64
+	encBuf   []byte
 
 	i1      []indexEntry // separator keys for the leaf level
 	prevKey []byte
@@ -88,19 +102,37 @@ type indexEntry struct {
 	child uint64
 }
 
-// NewWriter returns a Writer that builds a run of recordSize-byte records
-// into f.
+// NewWriter returns a Writer that builds a raw (v1) run of recordSize-byte
+// records into f.
 func NewWriter(f storage.File, recordSize int) (*Writer, error) {
+	return NewWriterFormat(f, recordSize, FormatRaw)
+}
+
+// NewWriterFormat returns a Writer that builds a run in the given leaf
+// format. FormatDelta requires recordSize to be a multiple of 8.
+func NewWriterFormat(f storage.File, recordSize int, format Format) (*Writer, error) {
 	if recordSize <= 0 || recordSize > MaxRecordSize {
 		return nil, fmt.Errorf("btree: invalid record size %d", recordSize)
 	}
-	return &Writer{
+	w := &Writer{
 		f:        f,
 		recSize:  recordSize,
+		format:   format,
 		leafBuf:  make([]byte, 0, pagePayload),
 		perLeaf:  pagePayload / recordSize,
 		nextPage: 1,
-	}, nil
+	}
+	switch format {
+	case FormatRaw:
+	case FormatDelta:
+		if recordSize%8 != 0 {
+			return nil, fmt.Errorf("btree: delta format needs a record size that is a multiple of 8, got %d", recordSize)
+		}
+		w.prevCols = make([]uint64, recordSize/8)
+	default:
+		return nil, fmt.Errorf("btree: unknown run format %d", format)
+	}
+	return w, nil
 }
 
 // Append adds a record. Records must be strictly ascending under
@@ -117,6 +149,29 @@ func (w *Writer) Append(rec []byte) error {
 	}
 	if w.count == 0 {
 		w.minKey = append([]byte(nil), rec...)
+	}
+	if w.format == FormatDelta {
+		enc := appendDeltaRecord(w.encBuf[:0], rec, w.prevCols)
+		if w.leafCount > 0 && len(w.leafBuf)+len(enc) > pagePayload {
+			// Page full: flush and re-encode against the zeroed columns.
+			if err := w.flushLeaf(); err != nil {
+				return err
+			}
+			enc = appendDeltaRecord(w.encBuf[:0], rec, w.prevCols)
+		}
+		w.encBuf = enc
+		if w.leafCount == 0 {
+			// First record of a leaf page becomes its I1 separator key.
+			w.i1 = append(w.i1, indexEntry{key: append([]byte(nil), rec...), child: w.nextPage})
+		}
+		w.leafBuf = append(w.leafBuf, enc...)
+		for c := range w.prevCols {
+			w.prevCols[c] = binary.BigEndian.Uint64(rec[c*8:])
+		}
+		w.leafCount++
+		w.prevKey = append(w.prevKey[:0], rec...)
+		w.count++
+		return nil
 	}
 	if w.leafCount == 0 {
 		// First record of a leaf page becomes its I1 separator key.
@@ -142,6 +197,11 @@ func (w *Writer) flushLeaf() error {
 	w.nextPage++
 	w.leafBuf = w.leafBuf[:0]
 	w.leafCount = 0
+	// Delta encoding restarts at every page boundary so each page decodes
+	// independently.
+	for c := range w.prevCols {
+		w.prevCols[c] = 0
+	}
 	return nil
 }
 
@@ -215,6 +275,7 @@ func (w *Writer) Finish(bloomBytes []byte) error {
 	}
 
 	h := header{
+		format:      w.format,
 		recordSize:  w.recSize,
 		recordCount: w.count,
 		leafStart:   1,
@@ -255,7 +316,7 @@ func writeHeader(f storage.File, h header) error {
 	var page [storage.PageSize]byte
 	copy(page[:8], magic)
 	le := binary.LittleEndian
-	le.PutUint32(page[8:], formatVersion)
+	le.PutUint32(page[8:], uint32(h.format))
 	le.PutUint32(page[12:], uint32(h.recordSize))
 	le.PutUint64(page[16:], h.recordCount)
 	le.PutUint64(page[24:], h.leafStart)
@@ -287,10 +348,12 @@ func readHeader(f storage.File) (header, error) {
 	if string(page[:8]) != magic {
 		return header{}, fmt.Errorf("%w: bad magic", ErrCorrupt)
 	}
-	if v := le.Uint32(page[8:]); v != formatVersion {
-		return header{}, fmt.Errorf("btree: unsupported version %d", v)
+	format := Format(le.Uint32(page[8:]))
+	if !format.valid() {
+		return header{}, fmt.Errorf("btree: unsupported version %d", uint32(format))
 	}
 	h := header{
+		format:      format,
 		recordSize:  int(le.Uint32(page[12:])),
 		recordCount: le.Uint64(page[16:]),
 		leafStart:   le.Uint64(page[24:]),
@@ -302,6 +365,9 @@ func readHeader(f storage.File) (header, error) {
 	}
 	if h.recordSize <= 0 || h.recordSize > MaxRecordSize {
 		return header{}, fmt.Errorf("%w: record size %d", ErrCorrupt, h.recordSize)
+	}
+	if h.format == FormatDelta && h.recordSize%8 != 0 {
+		return header{}, fmt.Errorf("%w: delta run with record size %d", ErrCorrupt, h.recordSize)
 	}
 	h.minKey = append([]byte(nil), page[headerFixedLen:headerFixedLen+h.recordSize]...)
 	h.maxKey = append([]byte(nil), page[headerFixedLen+h.recordSize:headerFixedLen+2*h.recordSize]...)

@@ -387,13 +387,13 @@ func TestCacheReducesReads(t *testing.T) {
 func TestCacheEviction(t *testing.T) {
 	c := NewCache(2)
 	p1 := make([]byte, storage.PageSize)
-	c.put(1, 1, p1)
-	c.put(1, 2, p1)
-	c.put(1, 3, p1) // evicts (1,1)
-	if _, ok := c.get(1, 1); ok {
+	c.put(1, 1, p1, 1)
+	c.put(1, 2, p1, 1)
+	c.put(1, 3, p1, 1) // exceeds the two-page budget, evicts (1,1)
+	if _, _, ok := c.get(1, 1); ok {
 		t.Fatal("evicted page still present")
 	}
-	if _, ok := c.get(1, 3); !ok {
+	if _, _, ok := c.get(1, 3); !ok {
 		t.Fatal("recent page missing")
 	}
 	if c.Len() != 2 {
@@ -401,9 +401,38 @@ func TestCacheEviction(t *testing.T) {
 	}
 	// Zero-capacity cache stores nothing.
 	z := NewCache(0)
-	z.put(1, 1, p1)
+	z.put(1, 1, p1, 1)
 	if z.Len() != 0 {
 		t.Fatal("zero-capacity cache stored a page")
+	}
+}
+
+func TestCacheByteBudget(t *testing.T) {
+	// Entries are charged by size: a budget of two raw pages holds only
+	// one 8x-expanded decoded page alongside nothing else.
+	c := NewCache(2)
+	big := make([]byte, 2*storage.PageSize)
+	small := make([]byte, 100)
+	c.put(1, 1, small, 1)
+	c.put(1, 2, big, 1) // 2*PageSize + 100 > budget: evicts (1,1)
+	if _, _, ok := c.get(1, 1); ok {
+		t.Fatal("small entry survived over-budget insert")
+	}
+	if _, _, ok := c.get(1, 2); !ok {
+		t.Fatal("big entry missing")
+	}
+	if got := c.SizeBytes(); got != int64(len(big)) {
+		t.Fatalf("SizeBytes = %d, want %d", got, len(big))
+	}
+	// An entry larger than the whole budget is kept alone rather than
+	// thrashing: put never evicts the entry just inserted.
+	huge := make([]byte, 3*storage.PageSize)
+	c.put(1, 3, huge, 1)
+	if _, _, ok := c.get(1, 3); !ok {
+		t.Fatal("oversized entry not retained")
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
 	}
 }
 

@@ -8,15 +8,23 @@ import (
 )
 
 // Cache is a shared LRU page cache keyed by (reader identity, page number).
+// It stores verified page payloads past the CRC check — and, for
+// delta-format runs, the DECODED fixed-stride records of a leaf page — so
+// hot queries never re-verify or re-decode. Entries are charged by their
+// byte size against a fixed budget: a decoded v2 leaf can be several times
+// larger than its 4 KB on-disk page, so a cache holds correspondingly
+// fewer of them.
+//
 // The paper's micro-benchmarks use a 32 MB cache in addition to the write
-// stores and Bloom filters (Section 6.1); NewCache(32<<20/storage.PageSize)
-// reproduces that configuration. Clear supports the query experiments,
-// which drop all caches before each run (Section 6.4).
+// stores and Bloom filters (Section 6.1); NewCacheBytes(32<<20) reproduces
+// that configuration. Clear supports the query experiments, which drop all
+// caches before each run (Section 6.4).
 type Cache struct {
-	mu       sync.Mutex
-	capacity int
-	lru      *list.List // of *cacheEntry, front = most recent
-	index    map[cacheKey]*list.Element
+	mu     sync.Mutex
+	budget int64
+	used   int64
+	lru    *list.List // of *cacheEntry, front = most recent
+	index  map[cacheKey]*list.Element
 
 	hits, misses int64
 }
@@ -27,40 +35,43 @@ type cacheKey struct {
 }
 
 type cacheEntry struct {
-	key  cacheKey
-	data []byte
+	key   cacheKey
+	data  []byte
+	count int
 }
 
-// NewCache returns a cache holding up to capacity pages. Capacity <= 0
-// yields a cache that stores nothing (but still counts misses).
+// NewCache returns a cache budgeted at capacity raw 4 KB pages
+// (capacity*storage.PageSize bytes). Capacity <= 0 yields a cache that
+// stores nothing (but still counts misses).
 func NewCache(capacity int) *Cache {
+	return NewCacheBytes(int64(capacity) * storage.PageSize)
+}
+
+// NewCacheBytes returns a cache budgeted at the given total bytes.
+func NewCacheBytes(bytes int64) *Cache {
 	return &Cache{
-		capacity: capacity,
-		lru:      list.New(),
-		index:    make(map[cacheKey]*list.Element),
+		budget: bytes,
+		lru:    list.New(),
+		index:  make(map[cacheKey]*list.Element),
 	}
 }
 
-// NewCacheBytes returns a cache sized to the given total bytes.
-func NewCacheBytes(bytes int64) *Cache {
-	return NewCache(int(bytes / storage.PageSize))
-}
-
-func (c *Cache) get(reader, page uint64) ([]byte, bool) {
+func (c *Cache) get(reader, page uint64) ([]byte, int, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.index[cacheKey{reader, page}]
 	if !ok {
 		c.misses++
-		return nil, false
+		return nil, 0, false
 	}
 	c.lru.MoveToFront(el)
 	c.hits++
-	return el.Value.(*cacheEntry).data, true
+	e := el.Value.(*cacheEntry)
+	return e.data, e.count, true
 }
 
-func (c *Cache) put(reader, page uint64, data []byte) {
-	if c.capacity <= 0 {
+func (c *Cache) put(reader, page uint64, data []byte, count int) {
+	if c.budget <= 0 {
 		return
 	}
 	c.mu.Lock()
@@ -68,15 +79,22 @@ func (c *Cache) put(reader, page uint64, data []byte) {
 	key := cacheKey{reader, page}
 	if el, ok := c.index[key]; ok {
 		c.lru.MoveToFront(el)
-		el.Value.(*cacheEntry).data = data
-		return
+		e := el.Value.(*cacheEntry)
+		c.used += int64(len(data)) - int64(len(e.data))
+		e.data, e.count = data, count
+	} else {
+		el := c.lru.PushFront(&cacheEntry{key: key, data: data, count: count})
+		c.index[key] = el
+		c.used += int64(len(data))
 	}
-	el := c.lru.PushFront(&cacheEntry{key: key, data: data})
-	c.index[key] = el
-	for c.lru.Len() > c.capacity {
+	// Evict from the cold end, but never the entry just touched: a single
+	// oversized entry may transiently exceed the budget by itself.
+	for c.used > c.budget && c.lru.Len() > 1 {
 		last := c.lru.Back()
+		e := last.Value.(*cacheEntry)
 		c.lru.Remove(last)
-		delete(c.index, last.Value.(*cacheEntry).key)
+		delete(c.index, e.key)
+		c.used -= int64(len(e.data))
 	}
 }
 
@@ -86,6 +104,7 @@ func (c *Cache) Clear() {
 	defer c.mu.Unlock()
 	c.lru.Init()
 	c.index = make(map[cacheKey]*list.Element)
+	c.used = 0
 	c.hits, c.misses = 0, 0
 }
 
@@ -94,6 +113,13 @@ func (c *Cache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.lru.Len()
+}
+
+// SizeBytes returns the bytes currently charged against the budget.
+func (c *Cache) SizeBytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.used
 }
 
 // Stats returns cumulative hit and miss counts.

@@ -7,6 +7,7 @@ import (
 	"hash/crc32"
 	"io"
 	"sync/atomic"
+	"time"
 
 	"github.com/backlogfs/backlog/internal/storage"
 )
@@ -20,6 +21,10 @@ type Reader struct {
 	h     header
 	cache *Cache
 	id    uint64
+
+	// decodeObs, when set, receives the wall time spent expanding each
+	// delta-encoded leaf page (cache misses only).
+	decodeObs func(time.Duration)
 }
 
 // Open validates the run header in f and returns a Reader. The cache may be
@@ -31,6 +36,13 @@ func Open(f storage.File, cache *Cache) (*Reader, error) {
 	}
 	return &Reader{f: f, h: h, cache: cache, id: readerIDs.Add(1)}, nil
 }
+
+// SetDecodeObserver installs a callback receiving the decode latency of
+// every delta leaf-page expansion (observability wiring; may be nil).
+func (r *Reader) SetDecodeObserver(fn func(time.Duration)) { r.decodeObs = fn }
+
+// Format returns the run's leaf encoding (FormatRaw or FormatDelta).
+func (r *Reader) Format() Format { return r.h.format }
 
 // RecordSize returns the fixed record size of the run.
 func (r *Reader) RecordSize() int { return r.h.recordSize }
@@ -67,15 +79,27 @@ func (r *Reader) BloomBytes() ([]byte, error) {
 	return buf, nil
 }
 
-// readPage returns the verified payload of a page along with its entry
-// count. The returned slice must not be modified.
+// readPage returns the verified raw payload of a page along with its entry
+// count, caching the payload. The returned slice must not be modified.
 func (r *Reader) readPage(pageNo uint64) (payload []byte, count int, err error) {
 	if r.cache != nil {
-		if data, ok := r.cache.get(r.id, pageNo); ok {
-			return data[pageCountLen : storage.PageSize-pageCRCLen],
-				int(binary.LittleEndian.Uint16(data[:2])), nil
+		if data, count, ok := r.cache.get(r.id, pageNo); ok {
+			return data, count, nil
 		}
 	}
+	payload, count, err = r.readPageRaw(pageNo)
+	if err != nil {
+		return nil, 0, err
+	}
+	if r.cache != nil {
+		r.cache.put(r.id, pageNo, payload, count)
+	}
+	return payload, count, nil
+}
+
+// readPageRaw reads a page from storage and verifies its CRC, bypassing
+// the cache.
+func (r *Reader) readPageRaw(pageNo uint64) (payload []byte, count int, err error) {
 	page := make([]byte, storage.PageSize)
 	if _, err := r.f.ReadAt(page, int64(pageNo)*storage.PageSize); err != nil && err != io.EOF {
 		return nil, 0, fmt.Errorf("btree: reading page %d: %w", pageNo, err)
@@ -84,11 +108,41 @@ func (r *Reader) readPage(pageNo uint64) (payload []byte, count int, err error) 
 	if binary.LittleEndian.Uint32(page[storage.PageSize-pageCRCLen:]) != crc {
 		return nil, 0, fmt.Errorf("%w: page %d checksum", ErrCorrupt, pageNo)
 	}
-	if r.cache != nil {
-		r.cache.put(r.id, pageNo, page)
-	}
 	return page[pageCountLen : storage.PageSize-pageCRCLen],
 		int(binary.LittleEndian.Uint16(page[:2])), nil
+}
+
+// readLeaf returns a leaf page's records in fixed-stride form. Raw runs
+// serve the verified payload directly; delta runs expand the page once and
+// cache the decoded records, so hot queries never re-decode.
+func (r *Reader) readLeaf(pageNo uint64) (records []byte, count int, err error) {
+	if r.h.format != FormatDelta {
+		return r.readPage(pageNo)
+	}
+	if r.cache != nil {
+		if data, count, ok := r.cache.get(r.id, pageNo); ok {
+			return data, count, nil
+		}
+	}
+	payload, count, err := r.readPageRaw(pageNo)
+	if err != nil {
+		return nil, 0, err
+	}
+	var start time.Time
+	if r.decodeObs != nil {
+		start = time.Now()
+	}
+	records, err = decodeDeltaLeaf(payload, count, r.h.recordSize)
+	if err != nil {
+		return nil, 0, fmt.Errorf("btree: page %d: %w", pageNo, err)
+	}
+	if r.decodeObs != nil {
+		r.decodeObs(time.Since(start))
+	}
+	if r.cache != nil {
+		r.cache.put(r.id, pageNo, records, count)
+	}
+	return records, count, nil
 }
 
 // findLeaf descends from the root to the leaf page that may contain the
@@ -185,7 +239,7 @@ func (it *Iterator) loadPage() error {
 		it.done = true
 		return nil
 	}
-	payload, count, err := it.r.readPage(it.pageNo)
+	payload, count, err := it.r.readLeaf(it.pageNo)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,209 @@
+// Mixed-format tests live in package core_test so they can drive the
+// exported engine API against the internal/naive oracle (which itself
+// imports core). They pin the v1 -> v2 migration story: a database full
+// of raw runs opens under the delta default, answers queries identically,
+// and compaction rewrites it into compressed runs with no migration step.
+package core_test
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"github.com/backlogfs/backlog/internal/btree"
+	"github.com/backlogfs/backlog/internal/core"
+	"github.com/backlogfs/backlog/internal/storage"
+)
+
+// formatCounts tallies live runs by leaf format.
+func formatCounts(eng *core.Engine) map[btree.Format]int {
+	counts := map[btree.Format]int{}
+	for _, ri := range eng.RunInfos() {
+		counts[ri.Format]++
+	}
+	return counts
+}
+
+// queryFingerprint renders every block's full owner list into one
+// deterministic string, so before/after states can be compared
+// byte-for-byte rather than merely "same length".
+func queryFingerprint(t *testing.T, eng *core.Engine, blocks int) string {
+	t.Helper()
+	var sb strings.Builder
+	for b := uint64(0); b < uint64(blocks); b++ {
+		owners, err := eng.Query(b)
+		if err != nil {
+			t.Fatalf("block %d: %v", b, err)
+		}
+		lines := make([]string, 0, len(owners))
+		for _, o := range owners {
+			lines = append(lines, fmt.Sprintf("%d/%+v", b, o))
+		}
+		sort.Strings(lines)
+		for _, l := range lines {
+			sb.WriteString(l)
+			sb.WriteByte('\n')
+		}
+	}
+	return sb.String()
+}
+
+// TestV1DatabaseCompactsIntoV2 builds a database with compression off
+// (raw v1 runs), verifies it against the naive oracle, reopens it under
+// the delta default — no migration step — and compacts it into v2 runs,
+// asserting the query results stay byte-identical throughout.
+func TestV1DatabaseCompactsIntoV2(t *testing.T) {
+	const (
+		workers = 3
+		opsEach = 400
+		blocks  = 160
+		maxCP   = 6
+	)
+	fs := storage.NewMemFS()
+	cat := core.NewMemCatalog()
+	streams := genOps(workers, opsEach, blocks, maxCP)
+
+	eng, err := core.Open(core.Options{
+		VFS:         fs,
+		Catalog:     cat,
+		Compression: core.CompressionNone,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cp := uint64(1); cp <= maxCP; cp++ {
+		for _, stream := range streams {
+			for _, o := range stream {
+				if o.cp != cp {
+					continue
+				}
+				if o.remove {
+					eng.RemoveRef(o.ref, o.cp)
+				} else {
+					eng.AddRef(o.ref, o.cp)
+				}
+			}
+		}
+		if err := eng.Checkpoint(cp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := formatCounts(eng)[btree.FormatDelta]; n != 0 {
+		t.Fatalf("CompressionNone engine wrote %d delta runs", n)
+	}
+	verifyLiveAgainstNaive(t, eng, streams, blocks)
+	before := queryFingerprint(t, eng, blocks)
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen with the default (delta) compression: the v1 runs must open
+	// and answer queries with no migration step.
+	eng, err = core.Open(core.Options{VFS: fs, Catalog: cat})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	if n := formatCounts(eng)[btree.FormatRaw]; n == 0 {
+		t.Fatal("reopened database has no raw runs to migrate")
+	}
+	if got := queryFingerprint(t, eng, blocks); got != before {
+		t.Fatal("reopening under delta default changed query results")
+	}
+
+	// Compaction rewrites every partition; the output runs must be v2.
+	if err := eng.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	counts := formatCounts(eng)
+	if counts[btree.FormatRaw] != 0 {
+		t.Fatalf("raw runs survived compaction: %v", counts)
+	}
+	if counts[btree.FormatDelta] == 0 {
+		t.Fatalf("compaction produced no delta runs: %v", counts)
+	}
+	verifyLiveAgainstNaive(t, eng, streams, blocks)
+	if got := queryFingerprint(t, eng, blocks); got != before {
+		t.Fatal("compacting into v2 changed query results")
+	}
+}
+
+// TestCorruptCompressedRunSurfacesErrCorrupt flips one byte inside a
+// compressed run's first leaf page and asserts queries fail with
+// btree.ErrCorrupt — never silently-wrong records.
+func TestCorruptCompressedRunSurfacesErrCorrupt(t *testing.T) {
+	const blocks = 200
+	fs := storage.NewMemFS()
+	eng, err := core.Open(core.Options{
+		VFS:     fs,
+		Catalog: core.NewMemCatalog(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	for b := uint64(0); b < blocks; b++ {
+		eng.AddRef(core.Ref{Block: b, Inode: 7, Offset: b, Length: 1}, 3)
+	}
+	if err := eng.Checkpoint(3); err != nil {
+		t.Fatal(err)
+	}
+	if n := formatCounts(eng)[btree.FormatDelta]; n == 0 {
+		t.Fatal("no delta runs written")
+	}
+
+	// Flip a payload byte in page 1 (the first leaf) of every run file.
+	names, err := fs.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupted := 0
+	for _, name := range names {
+		if !strings.HasSuffix(name, ".run") {
+			continue
+		}
+		f, err := fs.Open(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, 1)
+		off := int64(storage.PageSize) + 100
+		if _, err := f.ReadAt(buf, off); err != nil {
+			t.Fatal(err)
+		}
+		buf[0] ^= 0x40
+		if _, err := f.WriteAt(buf, off); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+		corrupted++
+	}
+	if corrupted == 0 {
+		t.Fatal("no run files found")
+	}
+	eng.ClearCaches()
+
+	sawCorrupt := false
+	for b := uint64(0); b < blocks; b++ {
+		owners, err := eng.Query(b)
+		if err != nil {
+			if !errors.Is(err, btree.ErrCorrupt) {
+				t.Fatalf("block %d: error %v, want btree.ErrCorrupt", b, err)
+			}
+			sawCorrupt = true
+			continue
+		}
+		// A block the torn page doesn't cover may still answer; what it
+		// answers must be the truth.
+		for _, o := range owners {
+			if o.Inode != 7 || o.Offset != b {
+				t.Fatalf("block %d: silently-wrong owner %+v", b, o)
+			}
+		}
+	}
+	if !sawCorrupt {
+		t.Fatal("no query surfaced ErrCorrupt after corrupting every run")
+	}
+}

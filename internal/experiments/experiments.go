@@ -59,6 +59,11 @@ func NewEnv(cfg EnvConfig) (*Env, error) {
 		// counts (and thus the space and query series) with the machine.
 		// RunIngest is the experiment that exercises sharding.
 		WriteShards: 1,
+		// Pinned off for the same reason WriteShards is pinned to 1: the
+		// figures' space and I/O series assume the paper's raw v1 run
+		// layout, and must stay byte-identical as the delta default
+		// evolves. RunCompress is the experiment that measures compression.
+		Compression: core.CompressionNone,
 	})
 	if err != nil {
 		return nil, err

@@ -31,6 +31,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"github.com/backlogfs/backlog/internal/btree"
 	"github.com/backlogfs/backlog/internal/storage"
@@ -90,6 +91,18 @@ type Options struct {
 	// DisableBloom makes MayContainBlock ignore Bloom filters and rely on
 	// key ranges only (used by the ablation benchmarks).
 	DisableBloom bool
+	// RunFormat selects the leaf encoding for newly built runs
+	// (btree.FormatRaw if zero). Existing runs of either format open
+	// transparently regardless of this setting, and every builder — the
+	// checkpoint flush and both compaction modes go through NewRunBuilder —
+	// writes the configured format, so switching it migrates a database
+	// run by run as compaction rewrites them. FormatDelta requires every
+	// table's RecordSize to be a multiple of 8.
+	RunFormat btree.Format
+	// DecodeObserver, when non-nil, receives the wall time spent expanding
+	// each compressed leaf page on a decoded-cache miss (the engine wires
+	// it to the backlog_page_decode_ns histogram).
+	DecodeObserver func(time.Duration)
 }
 
 // DB is a multi-table LSM store with a single atomic manifest.
@@ -319,10 +332,20 @@ func Open(vfs storage.VFS, opts Options) (*DB, error) {
 	if opts.Partitions > 1 && opts.PartitionSpan == 0 && !opts.HashPartitioning {
 		return nil, errors.New("lsm: PartitionSpan required with multiple range partitions")
 	}
+	if opts.RunFormat == 0 {
+		opts.RunFormat = btree.FormatRaw
+	}
+	if opts.RunFormat != btree.FormatRaw && opts.RunFormat != btree.FormatDelta {
+		return nil, fmt.Errorf("lsm: unknown run format %d", opts.RunFormat)
+	}
 	db := &DB{vfs: vfs, opts: opts, cache: opts.Cache, tables: make(map[string]*Table)}
 	for _, spec := range opts.Tables {
 		if spec.RecordSize <= 8 {
 			return nil, fmt.Errorf("lsm: table %q record size %d too small", spec.Name, spec.RecordSize)
+		}
+		if opts.RunFormat == btree.FormatDelta && spec.RecordSize%8 != 0 {
+			return nil, fmt.Errorf("lsm: table %q record size %d incompatible with delta run format",
+				spec.Name, spec.RecordSize)
 		}
 		if _, dup := db.tables[spec.Name]; dup {
 			return nil, fmt.Errorf("lsm: duplicate table %q", spec.Name)
@@ -442,9 +465,16 @@ type RunInfo struct {
 	Level     int
 	Records   uint64
 	SizeBytes int64
-	MinBlock  uint64
-	MaxBlock  uint64
-	CP        uint64
+	// Format is the run's on-disk leaf encoding (btree.FormatRaw or
+	// btree.FormatDelta), read from the run's own header.
+	Format btree.Format
+	// LogicalBytes is Records x RecordSize — the size the records occupy
+	// once decoded; SizeBytes/LogicalBytes is the physical footprint
+	// including index pages and Bloom filter.
+	LogicalBytes int64
+	MinBlock     uint64
+	MaxBlock     uint64
+	CP           uint64
 	// MinCP and MaxCP bound the consistency points covered by the run's
 	// records; meaningful only when CPWindowKnown.
 	MinCP, MaxCP  uint64
@@ -468,7 +498,9 @@ func (db *DB) RunInfos() []RunInfo {
 				infos = append(infos, RunInfo{
 					Table: name, Partition: p, Name: r.name, Level: r.level,
 					Records: r.records, SizeBytes: r.sizeBytes,
-					MinBlock: r.minBlock, MaxBlock: r.maxBlock, CP: r.cp,
+					Format:       r.format,
+					LogicalBytes: int64(r.records) * int64(t.spec.RecordSize),
+					MinBlock:     r.minBlock, MaxBlock: r.maxBlock, CP: r.cp,
 					MinCP: r.minCP, MaxCP: r.maxCP, Overrides: r.overrides,
 					CPWindowKnown: !r.cpUnknown,
 				})

@@ -18,6 +18,7 @@ type Run struct {
 	maxBlock  uint64
 	cp        uint64
 	sizeBytes int64
+	format    btree.Format
 
 	// minCP and maxCP bound the consistency-point window covered by the
 	// run's records; overrides counts inheritance-override records.
@@ -74,6 +75,12 @@ func (r *Run) Overrides() uint64 { return r.overrides }
 // metadata (false for legacy runs and tables without a Span callback).
 func (r *Run) CPWindowKnown() bool { return !r.cpUnknown }
 
+// Format returns the run's on-disk leaf encoding, read from its header.
+func (r *Run) Format() btree.Format { return r.format }
+
+// SizeBytes returns the run's physical on-disk size.
+func (r *Run) SizeBytes() int64 { return r.sizeBytes }
+
 // DroppableBelow reports whether the run can be dropped whole once no
 // consistency point below cp is reachable: its window must be known, it
 // must contain no override records, and every record's span must end
@@ -96,6 +103,9 @@ func (db *DB) openRun(t *Table, rm runManifest) (*Run, error) {
 		return nil, fmt.Errorf("lsm: run %s record size %d, table %q wants %d",
 			rm.Name, rd.RecordSize(), t.spec.Name, t.spec.RecordSize)
 	}
+	if db.opts.DecodeObserver != nil {
+		rd.SetDecodeObserver(db.opts.DecodeObserver)
+	}
 	return &Run{
 		name:      rm.Name,
 		level:     rm.Level,
@@ -108,6 +118,7 @@ func (db *DB) openRun(t *Table, rm runManifest) (*Run, error) {
 		overrides: rm.Overrides,
 		cpUnknown: rm.CPUnknown,
 		sizeBytes: rd.SizeBytes(),
+		format:    rd.Format(),
 		table:     t,
 		reader:    rd,
 		// refs stays 0 until a version installation picks the run up; a
@@ -207,7 +218,9 @@ func (db *DB) NewRunBuilder(table string, partition, level int, cp uint64) (*Run
 	if err != nil {
 		return nil, err
 	}
-	w, err := btree.NewWriter(f, t.spec.RecordSize)
+	// Every run creation funnels through here — checkpoint shard flushes
+	// and both compaction modes — so the configured format covers them all.
+	w, err := btree.NewWriterFormat(f, t.spec.RecordSize, db.opts.RunFormat)
 	if err != nil {
 		return nil, err
 	}
