@@ -113,14 +113,45 @@
 //     the partition underneath). A run file superseded while a view pins
 //     it is deleted only when the last such view is released. Queries
 //     therefore never stall behind a running compaction.
-//   - With Config.AutoCompact, a background maintenance scheduler watches
-//     per-partition run counts after every Checkpoint and compacts the
-//     worst partition whenever it exceeds Config.CompactThreshold
-//     (default 8), pacing itself between partitions and shutting down
-//     cleanly on Close. DB.MaintenanceStats reports its activity and the
-//     current worst run count. Without AutoCompact, call Compact
-//     explicitly — the paper's cadence experiments (Figures 6, 8–10) do
-//     that to control staleness precisely.
+//   - With Config.AutoCompact, a background maintenance scheduler runs
+//     after every Checkpoint, executing the merges the configured
+//     compaction policy plans, pacing itself between merges
+//     (Config.CompactPacing) and shutting down cleanly on Close.
+//     DB.MaintenanceStats reports its activity, the current worst run
+//     count, and the number of still-pending jobs. Without AutoCompact,
+//     call Compact explicitly — the paper's cadence experiments
+//     (Figures 6, 8–10) do that to control staleness precisely.
+//
+// # Maintenance policies
+//
+// Config.CompactionPolicy selects what the scheduler merges:
+//
+//   - PolicyFull (the default) re-merges the worst partition — the one
+//     with the most runs — down to one Combined and one From run whenever
+//     it exceeds Config.CompactThreshold (default 8). Queries stay
+//     maximally cheap (a steady-state partition holds two runs), but
+//     every pass rewrites all of the partition's live records, so
+//     sustained ingest pays O(runs-ever-written) write amplification.
+//     This is the paper's Section 5.2 maintenance and the pinned
+//     behavior of the deterministic paper-figure experiments.
+//   - PolicyLeveled merges stepped (LogBase-style): once a table
+//     accumulates Config.Fanout runs (default 4) at one level of a
+//     partition, the whole level merges into a single run one level up.
+//     Each record is rewritten once per level — O(log_Fanout(runs))
+//     write amplification instead of O(runs) — at the cost of queries
+//     reading up to Fanout-1 runs per level. Under RetainLive, merges
+//     never cross the retention reclaim horizon, so sealed
+//     consistency-point windows stay individually droppable by expiry.
+//
+// Pick PolicyFull when queries dominate and ingest is bursty (the
+// paper's workloads); pick PolicyLeveled when ingest is sustained and
+// compaction write bandwidth is the bottleneck. Small fanouts (2-4)
+// favor query latency; larger fanouts (8+) favor write amplification.
+// The "levels" fsimbench experiment measures both sides of the trade,
+// and "backlogctl stats" prints the per-level run table plus cumulative
+// compaction write-bytes of a live database. [DB.Maintain] runs one
+// synchronous pass of whatever the configured policy plans; "backlogctl
+// compact -policy leveled" drives it from the CLI.
 //
 // # Retention and expiry
 //
@@ -254,6 +285,9 @@
 //	Durability       — DurabilityCheckpointOnly (the paper's model)
 //	AutoCompact      — false: call Compact explicitly
 //	CompactThreshold — 0: threshold 8 (values below 2 clamp to 2)
+//	CompactionPolicy — PolicyFull: whole-partition worst-first merging
+//	Fanout           — 0: stepped-merge fanout 4 (PolicyLeveled only)
+//	CompactPacing    — 0: 2ms between merges (negative disables pacing)
 //	Retention        — RetainAll: no expiry, the paper's behavior
 //	Compression      — CompressionDelta: format-v2 column-delta runs
 //
@@ -382,8 +416,20 @@ type Config struct {
 	// CompactThreshold is the per-partition run count that triggers
 	// background compaction (default 8; values below 2 are clamped to 2,
 	// the run count of a fully compacted partition). Only used with
-	// AutoCompact.
+	// AutoCompact under PolicyFull.
 	CompactThreshold int
+	// CompactionPolicy selects what background maintenance merges
+	// (default PolicyFull; see the package documentation's Maintenance
+	// policies section).
+	CompactionPolicy CompactionPolicy
+	// Fanout is PolicyLeveled's stepped-merge fanout: the per-table run
+	// count at one level of a partition that triggers merging the level
+	// up (default 4; values below 2 are clamped to 2).
+	Fanout int
+	// CompactPacing is the pause between consecutive background merges of
+	// one maintenance pass (default 2ms; negative disables pacing). Close
+	// interrupts an in-flight pause.
+	CompactPacing time.Duration
 	// Retention selects the snapshot-retention policy (default RetainAll;
 	// see the package documentation's Retention and expiry section).
 	// RetainLive enables drop-based expiry: the background maintainer
@@ -461,6 +507,56 @@ const (
 	CompressionNone = core.CompressionNone
 )
 
+// CompactionPolicy selects what background maintenance merges; see
+// Config.CompactionPolicy and the package documentation's Maintenance
+// policies section.
+type CompactionPolicy int
+
+const (
+	// PolicyFull (the default) re-merges the worst partition to one
+	// Combined and one From run whenever it exceeds CompactThreshold —
+	// the paper's Section 5.2 maintenance.
+	PolicyFull CompactionPolicy = iota
+	// PolicyLeveled merges stepped: Fanout same-level runs merge into one
+	// run a level up, bounding write amplification under sustained
+	// ingest.
+	PolicyLeveled
+)
+
+// String returns the policy name as accepted by ParseCompactionPolicy.
+func (p CompactionPolicy) String() string {
+	switch p {
+	case PolicyFull:
+		return "full"
+	case PolicyLeveled:
+		return "leveled"
+	default:
+		return fmt.Sprintf("CompactionPolicy(%d)", int(p))
+	}
+}
+
+// ParseCompactionPolicy parses a policy name ("full" or "leveled") as
+// used by the -policy CLI flags.
+func ParseCompactionPolicy(s string) (CompactionPolicy, error) {
+	switch s {
+	case "full":
+		return PolicyFull, nil
+	case "leveled":
+		return PolicyLeveled, nil
+	default:
+		return 0, fmt.Errorf("backlog: unknown compaction policy %q (want full or leveled)", s)
+	}
+}
+
+// corePolicy maps the public enum onto the engine's policy
+// implementation; nil selects the engine's default (PolicyFull).
+func (p CompactionPolicy) corePolicy() core.CompactionPolicy {
+	if p == PolicyLeveled {
+		return core.PolicyLeveled{}
+	}
+	return nil
+}
+
 // Table names accepted by EstimateCompression and reported by Runs.
 const (
 	TableFrom     = core.TableFrom
@@ -492,6 +588,17 @@ func (cfg Config) Validate() error {
 	}
 	if cfg.CompactThreshold < 0 {
 		return bad("CompactThreshold is negative (%d)", cfg.CompactThreshold)
+	}
+	switch cfg.CompactionPolicy {
+	case PolicyFull, PolicyLeveled:
+	default:
+		return bad("unknown CompactionPolicy (%d)", cfg.CompactionPolicy)
+	}
+	if cfg.Fanout < 0 {
+		return bad("Fanout is negative (%d)", cfg.Fanout)
+	}
+	if cfg.Fanout == 1 {
+		return bad("Fanout 1 cannot shrink a level (want 0 for the default, or >= 2)")
 	}
 	switch cfg.Durability {
 	case DurabilityCheckpointOnly, DurabilityBuffered, DurabilitySync:
@@ -608,6 +715,9 @@ func openVFS(vfs storage.VFS, cfg Config) (*DB, error) {
 		Durability:         cfg.Durability,
 		AutoCompact:        cfg.AutoCompact,
 		CompactThreshold:   cfg.CompactThreshold,
+		CompactionPolicy:   cfg.CompactionPolicy.corePolicy(),
+		Fanout:             cfg.Fanout,
+		CompactPacing:      cfg.CompactPacing,
 		Retention:          cfg.Retention,
 		Compression:        cfg.Compression,
 		Metrics:            reg,
@@ -740,6 +850,25 @@ func (db *DB) Compact() error {
 		return err
 	}
 	return db.eng.Compact()
+}
+
+// Maintain runs one synchronous maintenance pass honoring the configured
+// CompactionPolicy and retention mode: an expiry sweep under RetainLive,
+// then the merges the policy plans, re-planning until none remain. It is
+// the deterministic counterpart of the background maintainer (and works
+// with AutoCompact off). Unlike Compact — which always merges each
+// partition's runs into one — Maintain under PolicyLeveled performs only
+// the stepped merges that are due, leaving the leveled run structure in
+// place.
+//
+// Like Compact, the catalog is persisted first: the pass purges and drops
+// records based on the reaped topology.
+func (db *DB) Maintain() error {
+	db.cat.ReapZombies()
+	if err := db.saveCatalog(); err != nil {
+		return err
+	}
+	return db.eng.MaintainNow()
 }
 
 // RelocateBlock transplants all back references of oldBlock onto newBlock;

@@ -96,6 +96,8 @@ func main() {
 	durability := fs.String("durability", "checkpoint-only", "durability mode: checkpoint-only|buffered|sync")
 	autoCompact := fs.Bool("autocompact", false, "run background maintenance while the database is open")
 	compactThreshold := fs.Int("compact-threshold", 0, "per-partition run count that triggers background compaction (0 = default)")
+	policy := fs.String("policy", "full", "compaction policy for background maintenance: full|leveled")
+	fanout := fs.Int("fanout", 0, "stepped-merge fanout for -policy leveled (0 = default)")
 	retention := fs.String("retention", "all", "retention policy: all|live (live enables drop-based expiry)")
 	comp := fs.String("compression", "delta", "run format for newly written runs: delta|none (existing runs always readable)")
 	jsonOut := fs.Bool("json", false, "machine-readable JSON output (stats)")
@@ -132,6 +134,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "backlogctl: unknown -retention %q (want all or live)\n", *retention)
 		os.Exit(2)
 	}
+	pmode, err := backlog.ParseCompactionPolicy(*policy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "backlogctl:", err)
+		os.Exit(2)
+	}
 	var cmode backlog.Compression
 	switch *comp {
 	case "delta":
@@ -147,6 +154,7 @@ func main() {
 		Dir: *dir, WriteShards: *shards, Durability: dmode,
 		Partitions: *partitions, PartitionSpan: *span,
 		AutoCompact: *autoCompact, CompactThreshold: *compactThreshold,
+		CompactionPolicy: pmode, Fanout: *fanout,
 		Retention: rmode, Compression: cmode,
 		Metrics: cmd == "metrics", DebugAddr: *debugAddr,
 	})
@@ -214,6 +222,7 @@ func main() {
 				float64(st.CheckpointFlushNanos)/1e6)
 		}
 		fmt.Printf("compactions:       %d\n", st.Compactions)
+		fmt.Printf("compaction bytes:  %d written\n", st.CompactWriteBytes)
 		fmt.Printf("records flushed:   %d\n", st.RecordsFlushed)
 		fmt.Printf("records purged:    %d\n", st.RecordsPurged)
 		if st.Expiries > 0 {
@@ -221,10 +230,47 @@ func main() {
 				st.Expiries, st.RunsExpired, st.RecordsExpired)
 		}
 		ms := db.MaintenanceStats()
-		fmt.Printf("worst partition:   %d runs (threshold %d)\n", ms.MaxRuns, ms.CompactThreshold)
+		fmt.Printf("policy:            %s (threshold %d, fanout %d)\n", ms.Policy, ms.CompactThreshold, ms.Fanout)
+		fmt.Printf("worst partition:   %d runs, %d jobs pending\n", ms.MaxRuns, ms.PendingJobs)
 		if ms.Enabled {
 			fmt.Printf("auto-compactions:  %d (%d conflicts, %d errors)\n",
 				ms.AutoCompactions, ms.Conflicts, ms.Errors)
+		}
+		if runs := db.Runs(); len(runs) > 0 {
+			// Aggregate the per-level shape first — the signal for choosing a
+			// maintenance policy and reading write amplification — then list
+			// the individual runs.
+			type levelAgg struct {
+				runs    int
+				records uint64
+				bytes   int64
+			}
+			levels := map[int]*levelAgg{}
+			maxLevel := 0
+			for _, r := range runs {
+				la := levels[r.Level]
+				if la == nil {
+					la = &levelAgg{}
+					levels[r.Level] = la
+				}
+				la.runs++
+				la.records += r.Records
+				la.bytes += r.SizeBytes
+				if r.Level > maxLevel {
+					maxLevel = r.Level
+				}
+			}
+			fmt.Printf("levels:\n")
+			w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+			fmt.Fprintln(w, "  level\truns\trecords\tphysical")
+			for l := 0; l <= maxLevel; l++ {
+				la := levels[l]
+				if la == nil {
+					continue
+				}
+				fmt.Fprintf(w, "  %d\t%d\t%d\t%d\n", l, la.runs, la.records, la.bytes)
+			}
+			w.Flush()
 		}
 		if runs := db.Runs(); len(runs) > 0 {
 			fmt.Printf("runs:\n")
@@ -333,11 +379,19 @@ func main() {
 		w.Flush()
 	case "compact":
 		before := db.SizeBytes()
-		if err := db.Compact(); err != nil {
+		// -policy leveled runs a policy-planned maintenance pass (only the
+		// stepped merges that are due); the default remains the classic
+		// merge-each-partition-to-one compaction.
+		if pmode == backlog.PolicyLeveled {
+			if err := db.Maintain(); err != nil {
+				fmt.Fprintln(os.Stderr, "backlogctl:", err)
+				os.Exit(1)
+			}
+		} else if err := db.Compact(); err != nil {
 			fmt.Fprintln(os.Stderr, "backlogctl:", err)
 			os.Exit(1)
 		}
-		fmt.Printf("compacted: %d -> %d bytes\n", before, db.SizeBytes())
+		fmt.Printf("compacted (%s): %d -> %d bytes\n", pmode, before, db.SizeBytes())
 	case "expire":
 		before := db.SizeBytes()
 		est, err := db.Expire()

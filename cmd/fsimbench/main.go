@@ -24,7 +24,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("experiment", "all", "fig5|fig6|fig7|fig8|fig9|fig10|naive|ingest|wal|interference|cpstall|expire|compress|obs|all")
+	exp := flag.String("experiment", "all", "fig5|fig6|fig7|fig8|fig9|fig10|naive|ingest|wal|interference|cpstall|expire|compress|obs|levels|all")
 	scale := flag.String("scale", "small", "small|full")
 	flag.Parse()
 
@@ -55,6 +55,7 @@ func main() {
 	run("expire", runExpire)
 	run("compress", runCompress)
 	run("obs", runObs)
+	run("levels", runLevels)
 }
 
 func tw() *tabwriter.Writer {
@@ -364,6 +365,33 @@ func runObs(full bool) error {
 	fmt.Fprintln(w, "configuration\tops\tops/sec\toverhead\ttrace events")
 	for _, p := range pts {
 		fmt.Fprintf(w, "%s\t%d\t%.0f\t%.1f%%\t%d\n", p.Name, p.Ops, p.OpsPerSec, p.OverheadPct, p.TraceEvents)
+	}
+	return w.Flush()
+}
+
+func runLevels(full bool) error {
+	fmt.Println("Maintenance policies: compaction write bytes and query latency, full vs stepped-merge")
+	fmt.Println("(not a paper figure; PolicyFull is the paper's merge-to-one maintenance, PolicyLeveled")
+	fmt.Println(" merges Fanout runs of a level into one run of the next — strictly less merge I/O")
+	fmt.Println(" under sustained ingest, at the price of a deeper run set for queries to visit)")
+	cfg := experiments.DefaultLevelsConfig()
+	if full {
+		cfg.CPs, cfg.OpsPerCP, cfg.Queries = 256, 8000, 8192
+	}
+	res, err := experiments.RunLevels(cfg)
+	if err != nil {
+		return err
+	}
+	w := tw()
+	fmt.Fprintln(w, "policy\tfanout\tcompact MB\twrite amp\tbytes vs full\truns\tmax level\tmaintain ms\tquery mean µs\tp99 µs\tp99 vs full")
+	for _, p := range res.Points {
+		fan := "-"
+		if p.Fanout > 0 {
+			fan = fmt.Sprintf("%d", p.Fanout)
+		}
+		fmt.Fprintf(w, "%s\t%s\t%.1f\t%.2f\t%.2fx fewer\t%d\t%d\t%.0f\t%.1f\t%.1f\t%.2fx\n",
+			p.Policy, fan, float64(p.CompactWriteBytes)/1e6, p.WriteAmp, p.BytesVsFull,
+			p.Runs, p.MaxLevel, p.MaintainMS, p.QueryMeanUS, p.QueryP99US, p.P99VsFull)
 	}
 	return w.Flush()
 }

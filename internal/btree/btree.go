@@ -94,7 +94,8 @@ type Writer struct {
 	count   uint64
 	minKey  []byte
 
-	finished bool
+	finished  bool
+	sizeBytes int64
 }
 
 type indexEntry struct {
@@ -290,11 +291,16 @@ func (w *Writer) Finish(bloomBytes []byte) error {
 	if err := writeHeader(w.f, h); err != nil {
 		return err
 	}
+	w.sizeBytes = int64(bloomOff) + int64(len(bloomBytes))
 	return w.f.Sync()
 }
 
 // Count returns the number of records appended so far.
 func (w *Writer) Count() uint64 { return w.count }
+
+// SizeBytes returns the finished run's physical size (header, data and
+// index pages, and Bloom filter). Valid only after Finish.
+func (w *Writer) SizeBytes() int64 { return w.sizeBytes }
 
 func writePage(f storage.File, pageNo uint64, count uint16, payload []byte) error {
 	if len(payload) > pagePayload {

@@ -391,7 +391,334 @@ func (e *Engine) compactAttempt(p int, exclusive, tiered bool) (compacted, insta
 		return false, true, err
 	}
 	e.stats.recordsPurged.Add(purged)
+	e.stats.compactWriteBytes.Add(addedBytes(added))
 	return true, true, nil
+}
+
+// addedBytes sums the physical size of freshly installed compaction
+// outputs — the numerator of measured write amplification.
+func addedBytes(added []lsm.RunRef) uint64 {
+	var n int64
+	for _, r := range added {
+		n += r.SizeBytes()
+	}
+	return uint64(n)
+}
+
+// viewHasRuns reports whether every run in inputs is present in the
+// view's pinned list for (table, partition) — the read-safety check a
+// job executor performs after re-pinning: membership keeps the run file
+// alive for the duration of the view.
+func viewHasRuns(v *lsm.View, table string, p int, inputs []*lsm.Run) bool {
+	live := v.Runs(table, p)
+	for _, in := range inputs {
+		found := false
+		for _, r := range live {
+			if r == in {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// compactJob executes one leveled merge planned by a CompactionPolicy.
+// It returns installed=false when the job is stale (an input run was
+// consumed by a checkpoint, expiry, or another merge since planning) or
+// deferred (dirty deletion vector); the scheduler then re-plans instead
+// of retrying the same job.
+func (e *Engine) compactJob(job CompactionJob) (bool, error) {
+	if o := e.obs; o != nil {
+		start := o.opStart(obs.OpCompact, job.Partition, 0, 0)
+		installed, err := e.compactJobAttempt(job)
+		o.opEnd(obs.OpCompact, job.Partition, 0, 0, start, o.compact, err)
+		return installed, err
+	}
+	return e.compactJobAttempt(job)
+}
+
+func (e *Engine) compactJobAttempt(job CompactionJob) (installed bool, err error) {
+	p := job.Partition
+	e.mu.RLock()
+	// Dirty deletion vectors defer job merges for the same reason they
+	// defer full ones (see compactAttempt): purging records hidden by
+	// unpersisted entries would make their destruction durable before the
+	// re-keyed replacements are.
+	if e.dvDirty() {
+		e.mu.RUnlock()
+		return false, nil
+	}
+	v := e.db.AcquireView()
+	e.mu.RUnlock()
+	locked := false
+	defer func() {
+		if locked {
+			e.mu.Unlock()
+		}
+		v.Release()
+	}()
+
+	// The job was planned against an earlier, already-released view; its
+	// run pointers are only safe to read while live in this fresh one.
+	if !viewHasRuns(v, TableFrom, p, job.From) ||
+		!viewHasRuns(v, TableTo, p, job.To) ||
+		!viewHasRuns(v, TableCombined, p, job.Combined) {
+		return false, nil
+	}
+
+	fromIt, err := v.MergedIterOf(TableFrom, job.From)
+	if err != nil {
+		return false, err
+	}
+	toIt, err := v.MergedIterOf(TableTo, job.To)
+	if err != nil {
+		return false, err
+	}
+	combIt, err := v.MergedIterOf(TableCombined, job.Combined)
+	if err != nil {
+		return false, err
+	}
+	fs := &recStream{it: fromIt}
+	ts := &recStream{it: toIt}
+	cs := &recStream{it: combIt}
+	for _, s := range []*recStream{fs, ts, cs} {
+		if err := s.advance(); err != nil {
+			return false, err
+		}
+	}
+
+	newFrom, err := e.db.NewRunBuilder(TableFrom, p, job.OutputLevel, v.CP())
+	if err != nil {
+		return false, err
+	}
+	newTo, err := e.db.NewRunBuilder(TableTo, p, job.OutputLevel, v.CP())
+	if err != nil {
+		newFrom.Abort()
+		return false, err
+	}
+	newComb, err := e.db.NewRunBuilder(TableCombined, p, job.OutputLevel, v.CP())
+	if err != nil {
+		newFrom.Abort()
+		newTo.Abort()
+		return false, err
+	}
+	// As in tiered full compaction, surviving override records go to a
+	// run of their own so the regular Combined output stays sealed. A
+	// leveled merge never synthesizes overrides, so the builder finishes
+	// empty (and writes no run) unless an input carried them.
+	var newOver *lsm.RunBuilder
+	if e.expiryEnabled() {
+		newOver, err = e.db.NewRunBuilder(TableCombined, p, job.OutputLevel, v.CP())
+		if err != nil {
+			newFrom.Abort()
+			newTo.Abort()
+			newComb.Abort()
+			return false, err
+		}
+	}
+	builders := func() []*lsm.RunBuilder {
+		bs := []*lsm.RunBuilder{newFrom, newTo, newComb}
+		if newOver != nil {
+			bs = append(bs, newOver)
+		}
+		return bs
+	}()
+	abort := func(err error) (bool, error) {
+		for _, b := range builders {
+			b.Abort()
+		}
+		return false, err
+	}
+
+	var purged uint64
+	for {
+		g, ok, err := nextGroup(fs, ts, cs)
+		if err != nil {
+			return abort(err)
+		}
+		if !ok {
+			break
+		}
+		if err := e.emitLeveledGroup(g, newFrom, newTo, newComb, newOver, &purged); err != nil {
+			return abort(err)
+		}
+	}
+
+	// Finish the run files before taking the lock, as in compactAttempt.
+	var added []lsm.RunRef
+	for i, b := range builders {
+		ref, ok, err := b.Finish()
+		if err != nil {
+			for _, later := range builders[i+1:] {
+				later.Abort()
+			}
+			for _, r := range added {
+				e.db.DiscardRun(r)
+			}
+			return false, err
+		}
+		if ok {
+			added = append(added, ref)
+		}
+	}
+
+	e.mu.Lock()
+	locked = true
+	if !(v.UnchangedRuns(TableFrom, p, job.From) &&
+		v.UnchangedRuns(TableTo, p, job.To) &&
+		v.UnchangedRuns(TableCombined, p, job.Combined)) {
+		// An input run or a deletion vector moved under the merge; the
+		// built runs describe a stale state. Unlike a full compaction,
+		// runs added outside the input set (a checkpoint's level-0 flush)
+		// do not invalidate the job.
+		for _, r := range added {
+			e.db.DiscardRun(r)
+		}
+		e.stats.compactConflicts.Add(1)
+		return false, nil
+	}
+
+	edit := e.db.NewEdit()
+	for _, ref := range added {
+		edit.AddRun(ref)
+	}
+	for _, r := range job.From {
+		edit.DropRun(TableFrom, r.Name())
+	}
+	for _, r := range job.To {
+		edit.DropRun(TableTo, r.Name())
+	}
+	for _, r := range job.Combined {
+		edit.DropRun(TableCombined, r.Name())
+	}
+	// Deletion-vector entries whose records lived in the input runs were
+	// consumed by the merge (the outputs are DV-filtered); entries that
+	// may target a run outside the job must survive. dvGen was validated
+	// above, so every entry targets a run the view knows about.
+	fromTbl := e.db.Table(TableFrom)
+	toTbl := e.db.Table(TableTo)
+	combTbl := e.db.Table(TableCombined)
+	keepOutside := func(table string, inputs []*lsm.Run) func(uint64) bool {
+		var others []*lsm.Run
+		for _, r := range v.Runs(table, p) {
+			in := false
+			for _, i := range inputs {
+				if r == i {
+					in = true
+					break
+				}
+			}
+			if !in {
+				others = append(others, r)
+			}
+		}
+		if len(others) == 0 {
+			return nil
+		}
+		return func(block uint64) bool {
+			for _, r := range others {
+				if block >= r.MinBlock() && block <= r.MaxBlock() {
+					return true
+				}
+			}
+			return false
+		}
+	}
+	clearedFrom := fromTbl.ClearDVPartitionKeep(p, keepOutside(TableFrom, job.From))
+	clearedTo := toTbl.ClearDVPartitionKeep(p, keepOutside(TableTo, job.To))
+	clearedComb := combTbl.ClearDVPartitionKeep(p, keepOutside(TableCombined, job.Combined))
+	edit.FlushDV(TableFrom).FlushDV(TableTo).FlushDV(TableCombined)
+	if err := edit.Commit(); err != nil {
+		fromTbl.RestoreDV(clearedFrom)
+		toTbl.RestoreDV(clearedTo)
+		combTbl.RestoreDV(clearedComb)
+		return false, err
+	}
+	e.stats.recordsPurged.Add(purged)
+	e.stats.compactWriteBytes.Add(addedBytes(added))
+	return true, nil
+}
+
+// emitLeveledGroup writes one identity group of a leveled merge. Unlike
+// emitGroup it sees only the records held by the job's input runs, so it
+// joins a From with a To only when both ends are present — exactly the
+// pairs the global join would form, because a level merge always inputs
+// every run of its level and levels partition flush history into
+// contiguous, monotonically ordered segments — and carries unmatched
+// records verbatim to the output level. Synthesizing the inherited-
+// ownership interval the full join derives for an unmatched To, or
+// purging an unmatched From, would corrupt the eventual join with the
+// counterpart record still climbing the levels in another run.
+func (e *Engine) emitLeveledGroup(g groupRecs, newFrom, newTo, newComb, newOver *lsm.RunBuilder, purged *uint64) error {
+	line := g.id.Line
+	froms, tos := g.froms, g.tos
+	sort.Slice(froms, func(i, j int) bool { return froms[i] < froms[j] })
+	sort.Slice(tos, func(i, j int) bool { return tos[i] < tos[j] })
+
+	// Greedy pairing with joinGroup's rule — each To, ascending, takes
+	// the earliest unused From <= it. Since Tos are processed in order,
+	// the earliest unused From is always froms[fi].
+	var complete []interval
+	var loneTos []uint64
+	fi := 0
+	for _, t := range tos {
+		if fi < len(froms) && froms[fi] <= t {
+			f := froms[fi]
+			fi++
+			if f == t {
+				// An add and remove at one CP cancel, as in joinGroup.
+				continue
+			}
+			complete = append(complete, interval{from: f, to: t})
+		} else {
+			loneTos = append(loneTos, t)
+		}
+	}
+	loneFroms := froms[fi:]
+
+	// Completed pairs and pre-joined Combined records are globally
+	// correct, so the full purge policy applies to them.
+	complete = dedupeIntervals(append(complete, g.combineds...))
+	for _, iv := range complete {
+		if !e.keepInterval(line, iv.from, iv.to) {
+			*purged++
+			continue
+		}
+		rec := EncodeCombined(CombinedRec{
+			Ref:  Ref{Block: g.id.Block, Inode: g.id.Inode, Offset: g.id.Offset, Line: line, Length: g.id.Length},
+			From: iv.from, To: iv.to,
+		})
+		dst := newComb
+		if newOver != nil && iv.from == 0 {
+			dst = newOver
+		}
+		if err := dst.Add(rec); err != nil {
+			return err
+		}
+	}
+	for _, f := range loneFroms {
+		rec := EncodeFrom(FromRec{
+			Ref:  Ref{Block: g.id.Block, Inode: g.id.Inode, Offset: g.id.Offset, Line: line, Length: g.id.Length},
+			From: f,
+		})
+		if err := newFrom.Add(rec); err != nil {
+			return err
+		}
+	}
+	for _, t := range loneTos {
+		rec := EncodeTo(ToRec{
+			Ref: Ref{Block: g.id.Block, Inode: g.id.Inode, Offset: g.id.Offset, Line: line, Length: g.id.Length},
+			To:  t,
+		})
+		if err := newTo.Add(rec); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // emitGroup joins one identity group, applies the purge policy, and writes

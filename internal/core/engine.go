@@ -86,8 +86,24 @@ type Options struct {
 	// the partition (DefaultCompactThreshold if zero; values below 2 are
 	// clamped to 2, the run count of a fully compacted partition). It
 	// also bounds how stale queries can get between maintenance passes —
-	// the run count is what query cost scales with (Section 6.4).
+	// the run count is what query cost scales with (Section 6.4). Only
+	// PolicyFull (the default CompactionPolicy) uses it.
 	CompactThreshold int
+	// CompactionPolicy plans the maintainer's merges. Nil selects
+	// PolicyFull — whole-partition worst-first merging, the paper's
+	// Section 5.2 maintenance. PolicyLeveled trades a few extra runs per
+	// partition for stepped merging that bounds write amplification to
+	// one rewrite per level; see the policy types for the full contract.
+	CompactionPolicy CompactionPolicy
+	// Fanout is PolicyLeveled's stepped-merge fanout: the per-table run
+	// count at one level of a partition that triggers merging the level
+	// up (DefaultFanout if zero; values below 2 are clamped).
+	Fanout int
+	// CompactPacing is the delay the maintainer inserts between
+	// consecutive merges of one pass so background maintenance does not
+	// monopolize I/O bandwidth. Zero keeps the default 2ms; negative
+	// disables pacing. Close interrupts an in-flight pause.
+	CompactPacing time.Duration
 
 	// Metrics, when non-nil, registers the engine's metrics with the
 	// registry: CounterFunc mirrors of every Stats counter, gauges over
@@ -153,12 +169,16 @@ type Stats struct {
 	RecordsPurged  uint64 // records dropped by compaction
 	Queries        uint64
 	Relocations    uint64
-	Expiries       uint64 // Expire passes that dropped at least one run
-	RunsExpired    uint64 // runs dropped whole by expiry (never read)
-	RecordsExpired uint64 // records inside runs dropped by expiry
-	WALAppends     uint64 // records appended to the write-ahead log
-	WALBatches     uint64 // WAL group-commit flushes (one WriteAt+Sync each)
-	WALReplayed    uint64 // records replayed from the WAL at Open
+	// CompactWriteBytes is the physical bytes written by installed
+	// compactions (full and leveled) — the numerator of measured write
+	// amplification. Checkpoint flushes are not included.
+	CompactWriteBytes uint64
+	Expiries          uint64 // Expire passes that dropped at least one run
+	RunsExpired       uint64 // runs dropped whole by expiry (never read)
+	RecordsExpired    uint64 // records inside runs dropped by expiry
+	WALAppends        uint64 // records appended to the write-ahead log
+	WALBatches        uint64 // WAL group-commit flushes (one WriteAt+Sync each)
+	WALReplayed       uint64 // records replayed from the WAL at Open
 
 	// Checkpoint stall accounting. A checkpoint holds the structural lock
 	// exclusively only while freezing the write stores (SwapNanos) and
@@ -179,25 +199,26 @@ type Stats struct {
 // counters is the internal atomic mirror of Stats; shard-parallel AddRef
 // and RemoveRef bump these without taking any engine-wide lock.
 type counters struct {
-	refsAdded        atomic.Uint64
-	refsRemoved      atomic.Uint64
-	prunedAdds       atomic.Uint64
-	prunedRemoves    atomic.Uint64
-	checkpoints      atomic.Uint64
-	compactions      atomic.Uint64
-	compactConflicts atomic.Uint64
-	autoCompactions  atomic.Uint64
-	maintErrors      atomic.Uint64
-	recordsFlushed   atomic.Uint64
-	recordsPurged    atomic.Uint64
-	queries          atomic.Uint64
-	relocations      atomic.Uint64
-	expiries         atomic.Uint64
-	runsExpired      atomic.Uint64
-	recordsExpired   atomic.Uint64
-	cpSwapNanos      atomic.Uint64
-	cpFlushNanos     atomic.Uint64
-	cpInstallNanos   atomic.Uint64
+	refsAdded         atomic.Uint64
+	refsRemoved       atomic.Uint64
+	prunedAdds        atomic.Uint64
+	prunedRemoves     atomic.Uint64
+	checkpoints       atomic.Uint64
+	compactions       atomic.Uint64
+	compactConflicts  atomic.Uint64
+	autoCompactions   atomic.Uint64
+	maintErrors       atomic.Uint64
+	recordsFlushed    atomic.Uint64
+	recordsPurged     atomic.Uint64
+	compactWriteBytes atomic.Uint64
+	queries           atomic.Uint64
+	relocations       atomic.Uint64
+	expiries          atomic.Uint64
+	runsExpired       atomic.Uint64
+	recordsExpired    atomic.Uint64
+	cpSwapNanos       atomic.Uint64
+	cpFlushNanos      atomic.Uint64
+	cpInstallNanos    atomic.Uint64
 }
 
 // writeShard is one hash partition of the write store: a lock plus the
@@ -526,10 +547,12 @@ func (e *Engine) Stats() Stats {
 		RecordsPurged:  e.stats.recordsPurged.Load(),
 		Queries:        e.stats.queries.Load(),
 		Relocations:    e.stats.relocations.Load(),
-		Expiries:       e.stats.expiries.Load(),
-		RunsExpired:    e.stats.runsExpired.Load(),
-		RecordsExpired: e.stats.recordsExpired.Load(),
-		WALReplayed:    e.walReplayed,
+
+		CompactWriteBytes: e.stats.compactWriteBytes.Load(),
+		Expiries:          e.stats.expiries.Load(),
+		RunsExpired:       e.stats.runsExpired.Load(),
+		RecordsExpired:    e.stats.recordsExpired.Load(),
+		WALReplayed:       e.walReplayed,
 
 		CheckpointSwapNanos:    e.stats.cpSwapNanos.Load(),
 		CheckpointFlushNanos:   e.stats.cpFlushNanos.Load(),

@@ -1,0 +1,311 @@
+// Leveled-maintenance concurrency tests: a -race hammer that runs
+// stepped-merge compaction and drop-based expiry against the full
+// concurrent workload, verified against the naive oracle, plus a
+// recording-policy test that the planner never names a merge input the
+// retention horizon has already passed. Package core_test for the same
+// reason as maintain_test.go: the naive oracle imports core.
+package core_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/backlogfs/backlog/internal/core"
+	"github.com/backlogfs/backlog/internal/lsm"
+	"github.com/backlogfs/backlog/internal/storage"
+)
+
+// waitLeveledDrained polls until the active policy plans no further jobs.
+// Under PolicyLeveled this — not MaxRuns — is the idle signal: a drained
+// partition legitimately keeps one run per level.
+func waitLeveledDrained(t *testing.T, eng *core.Engine) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		ms := eng.MaintenanceStats()
+		if ms.PendingJobs == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("leveled maintainer did not drain: %+v", ms)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestLeveledHammerAgainstNaiveOracle is the stepped-merge counterpart of
+// TestMaintenanceHammerAgainstNaiveOracle, with retention in the mix:
+// AddRef/RemoveRef/Query/Checkpoint race background leveled compaction
+// while a snapshot goroutine creates and deletes snapshots, so expiry
+// sweeps run concurrently too and the reclaim horizon keeps moving under
+// the planner. Run under -race; afterwards every block's live reference
+// set must match the naive oracle (expiry only ever drops completed
+// history, never live references).
+func TestLeveledHammerAgainstNaiveOracle(t *testing.T) {
+	const (
+		workers = 6
+		opsEach = 1000
+		blocks  = 384
+		maxCP   = 12
+		snapWin = 4
+	)
+	cat := core.NewMemCatalog()
+	eng, err := core.Open(core.Options{
+		VFS:              storage.NewMemFS(),
+		Catalog:          cat,
+		Partitions:       8,
+		HashPartitioning: true,
+		WriteShards:      workers,
+		AutoCompact:      true,
+		Retention:        core.RetainLive,
+		CompactionPolicy: core.PolicyLeveled{},
+		Fanout:           3,
+		CompactPacing:    -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	streams := genOps(workers, opsEach, blocks, maxCP)
+
+	stop := make(chan struct{})
+	errc := make(chan error, 4)
+	var aux sync.WaitGroup
+
+	// Checkpointer: every checkpoint kicks a maintenance pass (expiry,
+	// then leveled merges). A sliding snapshot window retains recent
+	// history and keeps deleting the oldest snapshot, so the reclaim
+	// horizon advances while merges are being planned and installed.
+	var cpMu sync.Mutex
+	lastCP := uint64(maxCP + 1)
+	aux.Add(1)
+	go func() {
+		defer aux.Done()
+		for cp := uint64(maxCP + 2); ; cp++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := cat.CreateSnapshot(0, cp); err != nil {
+				errc <- fmt.Errorf("snapshot %d: %w", cp, err)
+				return
+			}
+			if err := eng.Checkpoint(cp); err != nil {
+				errc <- fmt.Errorf("checkpoint %d: %w", cp, err)
+				return
+			}
+			if cp >= uint64(maxCP+2+snapWin) {
+				if err := cat.DeleteSnapshot(0, cp-snapWin); err != nil {
+					errc <- fmt.Errorf("delete snapshot %d: %w", cp-snapWin, err)
+					return
+				}
+			}
+			cpMu.Lock()
+			lastCP = cp
+			cpMu.Unlock()
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	// Query hammer, racing ingest, expiry, and compaction installs.
+	aux.Add(1)
+	go func() {
+		defer aux.Done()
+		var b uint64
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := eng.Query(b % blocks); err != nil {
+				errc <- fmt.Errorf("concurrent query: %w", err)
+				return
+			}
+			b++
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(stream []oracleOp) {
+			defer wg.Done()
+			for _, o := range stream {
+				if o.remove {
+					eng.RemoveRef(o.ref, o.cp)
+				} else {
+					eng.AddRef(o.ref, o.cp)
+				}
+			}
+		}(streams[w])
+	}
+	wg.Wait()
+	close(stop)
+	aux.Wait()
+	select {
+	case err := <-errc:
+		t.Fatal(err)
+	default:
+	}
+
+	cpMu.Lock()
+	final := lastCP + 1
+	cpMu.Unlock()
+	if err := eng.Checkpoint(final); err != nil {
+		t.Fatal(err)
+	}
+	waitLeveledDrained(t, eng)
+
+	ms := eng.MaintenanceStats()
+	if !ms.Enabled {
+		t.Fatal("maintainer not enabled")
+	}
+	if ms.Policy != "leveled" || ms.Fanout != 3 {
+		t.Fatalf("policy/fanout = %s/%d, want leveled/3", ms.Policy, ms.Fanout)
+	}
+	if ms.AutoCompactions == 0 {
+		t.Fatalf("background maintainer never merged: %+v", ms)
+	}
+	verifyLiveAgainstNaive(t, eng, streams, blocks)
+}
+
+// recordingPolicy wraps a CompactionPolicy and audits every plan: it
+// counts violations (a planned Combined input the horizon has already
+// passed) and remembers whether any plan ever ran while the pinned view
+// actually contained such a droppable run — so a clean result means the
+// exclusion was exercised, not vacuous.
+type recordingPolicy struct {
+	inner core.CompactionPolicy
+
+	mu           sync.Mutex
+	plans        int
+	sawDroppable bool
+	violations   int
+}
+
+func (p *recordingPolicy) Name() string { return p.inner.Name() }
+
+func (p *recordingPolicy) Plan(v *lsm.View, ctx core.PlanContext) []core.CompactionJob {
+	jobs := p.inner.Plan(v, ctx)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.plans++
+	if ctx.Tiered && ctx.Horizon > 0 {
+		for part := 0; part < ctx.Partitions; part++ {
+			for _, r := range v.Runs(core.TableCombined, part) {
+				if r.DroppableBelow(ctx.Horizon) {
+					p.sawDroppable = true
+				}
+			}
+		}
+		for _, job := range jobs {
+			for _, r := range job.Combined {
+				if r.DroppableBelow(ctx.Horizon) {
+					p.violations++
+				}
+			}
+		}
+	}
+	return jobs
+}
+
+// TestLeveledRetainLiveNeverPlansExpiredRuns: under RetainLive, stepped
+// merging must leave runs below the reclaim horizon to expiry — merging
+// one would rewrite records expiry could reclaim for free (and the merge
+// output's wider CP window would then pin the survivors). The recording
+// policy audits every plan the engine makes, including one taken after
+// the horizon moved but before any expiry sweep ran, when droppable runs
+// are provably still in the view.
+func TestLeveledRetainLiveNeverPlansExpiredRuns(t *testing.T) {
+	rec := &recordingPolicy{inner: core.PolicyLeveled{}}
+	cat := core.NewMemCatalog()
+	eng, err := core.Open(core.Options{
+		VFS:              storage.NewMemFS(),
+		Catalog:          cat,
+		Retention:        core.RetainLive,
+		CompactionPolicy: rec,
+		Fanout:           2,
+		CompactPacing:    -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	// Two epochs of add/checkpoint/remove/checkpoint with snapshots
+	// retaining the windows; the maintenance pass merges the level-0 runs
+	// and seals the completed pairs into a Combined run.
+	cp := uint64(0)
+	epoch := func(block uint64) {
+		cp++
+		if err := cat.CreateSnapshot(0, cp); err != nil {
+			t.Fatal(err)
+		}
+		eng.AddRef(fref(block, block, 0, 0), cp)
+		fCheckpoint(t, eng, cp)
+		cp++
+		eng.RemoveRef(fref(block, block, 0, 0), cp)
+		fCheckpoint(t, eng, cp)
+		if err := eng.MaintainNow(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	epoch(1)
+	epoch(3)
+
+	sealed := 0
+	for _, ri := range eng.RunInfos() {
+		if ri.Table == core.TableCombined && ri.Level >= 1 && ri.CPWindowKnown && ri.Overrides == 0 {
+			sealed++
+		}
+	}
+	if sealed == 0 {
+		t.Fatalf("no sealed run after two epochs: %+v", eng.RunInfos())
+	}
+
+	// Move the horizon past everything sealed so far: one fresh snapshot
+	// above the sealed windows, all older ones deleted. No checkpoint has
+	// run since, so no expiry sweep has either — the droppable run is
+	// still live in the manifest.
+	cp++
+	if err := cat.CreateSnapshot(0, cp); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []uint64{1, 3} {
+		if err := cat.DeleteSnapshot(0, id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// MaintenanceStats plans (without expiring) to report PendingJobs:
+	// this plan must see the droppable run and must not touch it.
+	if n := eng.MaintenanceStats().PendingJobs; n != 0 {
+		t.Fatalf("planned %d jobs over expiry-ready runs, want 0", n)
+	}
+	rec.mu.Lock()
+	saw, plans := rec.sawDroppable, rec.plans
+	rec.mu.Unlock()
+	if plans == 0 {
+		t.Fatal("recording policy never planned")
+	}
+	if !saw {
+		t.Fatal("no plan ever saw a droppable run; the exclusion was not exercised")
+	}
+
+	// The next maintenance pass reclaims the run by manifest edit.
+	if err := eng.MaintainNow(); err != nil {
+		t.Fatal(err)
+	}
+	if st := eng.Stats(); st.RunsExpired == 0 {
+		t.Fatalf("expiry reclaimed nothing: %+v", st)
+	}
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	if rec.violations != 0 {
+		t.Fatalf("%d planned merge inputs were below the reclaim horizon", rec.violations)
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"time"
 )
 
@@ -10,38 +11,51 @@ import (
 const DefaultCompactThreshold = 8
 
 // maintainPace is the delay between consecutive background compactions of
-// one drain pass. It keeps the maintainer from monopolizing I/O bandwidth
-// and run-builder CPU when many partitions are over threshold at once —
-// the "background, partition by partition" pacing of Section 5.3 —
-// while still letting a drain finish promptly.
+// one maintenance pass when Options.CompactPacing is zero. It keeps the
+// maintainer from monopolizing I/O bandwidth and run-builder CPU when
+// many jobs are pending at once — the "background, partition by
+// partition" pacing of Section 5.3 — while still letting a pass finish
+// promptly.
 const maintainPace = 2 * time.Millisecond
 
 // MaintenanceStats reports the background maintenance scheduler's
-// activity and the current state of the signal it watches.
+// activity and the current state of the signals it watches.
 type MaintenanceStats struct {
 	// Enabled reports whether the engine runs a background maintainer.
 	Enabled bool
-	// CompactThreshold is the effective per-partition run-count threshold.
+	// Policy names the active compaction policy ("full" or "leveled").
+	Policy string
+	// CompactThreshold is the effective per-partition run-count threshold
+	// (PolicyFull's trigger).
 	CompactThreshold int
-	// AutoCompactions counts partitions compacted by the background
-	// maintainer.
+	// Fanout is the effective stepped-merge fanout (PolicyLeveled's
+	// trigger).
+	Fanout int
+	// AutoCompactions counts merges installed by maintenance passes
+	// (background or MaintainNow).
 	AutoCompactions uint64
 	// Conflicts counts optimistic compaction attempts (background or
-	// foreground) that found the partition changed under their merge and
-	// retried against a fresh view.
+	// foreground) that found their inputs changed under the merge and
+	// were retried or re-planned against a fresh view.
 	Conflicts uint64
 	// Errors counts background compaction passes abandoned on error.
 	Errors uint64
 	// MaxRuns is the current worst per-partition run count.
 	MaxRuns int
+	// PendingJobs is the number of jobs the active policy would plan
+	// right now — zero means maintenance is caught up. Under PolicyLeveled
+	// this, not MaxRuns, is the idle signal: a drained partition keeps one
+	// run per level, which can legitimately exceed the full-policy
+	// threshold.
+	PendingJobs int
 }
 
 // maintainer is the background maintenance scheduler: a single goroutine
-// that, whenever kicked (after every checkpoint), repeatedly compacts the
-// partition with the most runs until no partition exceeds the threshold.
-// Because compaction merges against a pinned view outside the structural
-// lock, the maintainer's work does not stall updates or queries — it
-// replaces the stop-the-world full-pass maintenance the paper's prototype
+// that, whenever kicked (after every checkpoint), executes the jobs the
+// configured CompactionPolicy plans until the plan drains. Because
+// compaction merges against a pinned view outside the structural lock,
+// the maintainer's work does not stall updates or queries — it replaces
+// the stop-the-world full-pass maintenance the paper's prototype
 // performed between benchmark phases.
 type maintainer struct {
 	e    *Engine
@@ -72,7 +86,8 @@ func (m *maintainer) kickNow() {
 
 // close stops the scheduler and waits for an in-flight pass to finish.
 // Callers must not hold the structural lock: a running compaction needs
-// it briefly to install or discard its result.
+// it briefly to install or discard its result. A pass pacing between
+// jobs wakes immediately instead of sleeping out its delay.
 func (m *maintainer) close() {
 	close(m.stop)
 	<-m.done
@@ -86,68 +101,167 @@ func (m *maintainer) loop() {
 			return
 		case <-m.kick:
 		}
-		m.drain()
+		m.e.maintainPass(m.stop, m.e.opts.AutoCompact)
 	}
 }
 
-// drain runs one maintenance pass. Under RetainLive it starts with an
-// expiry sweep — the cheapest reclamation available, a pure manifest edit
-// — then compacts worst-first until every partition is at or below the
-// threshold, pacing between partitions and aborting promptly on stop.
-// Tiered mode counts only compactable (non-sealed) runs against the
-// threshold and finishes with a second expiry sweep, since the compactions
-// may have sealed windows the horizon has already passed.
-func (m *maintainer) drain() {
-	e := m.e
+// MaintainNow runs one synchronous maintenance pass on the caller's
+// goroutine: an expiry sweep under RetainLive, then the compactions the
+// configured policy plans, re-planning until the plan drains, then a
+// final expiry sweep. It is the deterministic counterpart of the
+// background maintainer for tests and experiments, and runs regardless
+// of Options.AutoCompact.
+func (e *Engine) MaintainNow() error {
+	return e.maintainPass(nil, true)
+}
+
+// maintainPass is one maintenance pass. Under RetainLive it starts with
+// an expiry sweep — the cheapest reclamation available, a pure manifest
+// edit — and, when it compacted anything, ends with another, since the
+// merges may have sealed windows the horizon has already passed. A nil
+// stop channel never aborts the pass (the synchronous caller).
+func (e *Engine) maintainPass(stop <-chan struct{}, compact bool) error {
+	var errs []error
 	tiered := e.expiryEnabled()
 	if tiered {
 		if _, err := e.Expire(); err != nil {
 			e.stats.maintErrors.Add(1)
+			errs = append(errs, err)
 		}
 	}
-	if !e.opts.AutoCompact {
-		return
-	}
-	threshold := e.compactThreshold()
-	for {
-		select {
-		case <-m.stop:
-			return
-		default:
-		}
-		var p, runs int
-		if tiered {
-			p, runs = e.worstCompactable()
-		} else {
-			p, runs = e.worstPartition()
-		}
-		if runs <= threshold {
-			break
-		}
-		compacted, err := e.compactPartitionMode(p, tiered)
+	if compact {
+		aborted, err := e.drainCompactions(stop)
 		if err != nil {
 			// Abandon the pass; the next checkpoint kicks a retry.
-			e.stats.maintErrors.Add(1)
-			return
+			return errors.Join(append(errs, err)...)
 		}
-		if !compacted {
-			// Over threshold but nothing mergeable (cannot normally
-			// happen; guards against spinning).
-			return
-		}
-		e.stats.autoCompactions.Add(1)
-		e.stats.compactions.Add(1)
-		select {
-		case <-m.stop:
-			return
-		case <-time.After(maintainPace):
+		if tiered && !aborted {
+			if _, err := e.Expire(); err != nil {
+				e.stats.maintErrors.Add(1)
+				errs = append(errs, err)
+			}
 		}
 	}
-	if tiered {
-		if _, err := e.Expire(); err != nil {
-			e.stats.maintErrors.Add(1)
+	return errors.Join(errs...)
+}
+
+// drainCompactions executes policy-planned jobs until the plan is empty
+// or a full round of jobs makes no progress (every job stale or deferred
+// — a dirty deletion vector, or inputs consumed by concurrent work; the
+// next kick re-plans from fresh state). Every installed merge strictly
+// shrinks the total run count, so the loop terminates.
+func (e *Engine) drainCompactions(stop <-chan struct{}) (aborted bool, err error) {
+	pol := e.policy()
+	tiered := e.expiryEnabled()
+	pace := e.compactPace()
+	for {
+		jobs := e.planJobs(pol)
+		if len(jobs) == 0 {
+			return false, nil
+		}
+		progress := false
+		for _, job := range jobs {
+			select {
+			case <-stop:
+				return true, nil
+			default:
+			}
+			var installed bool
+			var err error
+			if job.Full {
+				installed, err = e.compactPartitionMode(job.Partition, tiered)
+			} else {
+				installed, err = e.compactJob(job)
+			}
+			if err != nil {
+				e.stats.maintErrors.Add(1)
+				return false, err
+			}
+			if !installed {
+				continue
+			}
+			progress = true
+			e.stats.autoCompactions.Add(1)
+			e.stats.compactions.Add(1)
+			if pace > 0 {
+				// A nil stop channel (MaintainNow) never fires; the
+				// timer alone paces the pass.
+				select {
+				case <-stop:
+					return true, nil
+				case <-time.After(pace):
+				}
+			}
+		}
+		if !progress {
+			return false, nil
 		}
 	}
+}
+
+// planJobs pins a view and asks the policy for work. A dirty deletion
+// vector defers all planning — compaction is deferred anyway (see
+// compactAttempt), and the next checkpoint both persists the vector and
+// kicks the maintainer. The returned jobs hold run pointers from a view
+// released before execution; executors re-validate them against a fresh
+// view before reading.
+func (e *Engine) planJobs(pol CompactionPolicy) []CompactionJob {
+	ctx := PlanContext{
+		Partitions: e.db.Partitions(),
+		Threshold:  e.compactThreshold(),
+		Fanout:     e.fanout(),
+		Tiered:     e.expiryEnabled(),
+	}
+	if ctx.Tiered {
+		// ReclaimHorizon reads the catalog, which synchronizes itself;
+		// taking it before the structural lock keeps lock order flat.
+		ctx.Horizon = e.ReclaimHorizon()
+	}
+	e.mu.RLock()
+	if e.dvDirty() {
+		e.mu.RUnlock()
+		return nil
+	}
+	v := e.db.AcquireView()
+	e.mu.RUnlock()
+	defer v.Release()
+	return pol.Plan(v, ctx)
+}
+
+// policy returns the configured compaction policy, defaulting to
+// PolicyFull — the paper's whole-partition maintenance.
+func (e *Engine) policy() CompactionPolicy {
+	if e.opts.CompactionPolicy != nil {
+		return e.opts.CompactionPolicy
+	}
+	return PolicyFull{}
+}
+
+// fanout returns the effective stepped-merge fanout. Below 2 a merge
+// could not shrink a level; such values are clamped.
+func (e *Engine) fanout() int {
+	f := e.opts.Fanout
+	if f <= 0 {
+		f = DefaultFanout
+	}
+	if f < 2 {
+		f = 2
+	}
+	return f
+}
+
+// compactPace returns the effective inter-job pacing delay: zero
+// Options.CompactPacing keeps the historical 2ms, negative disables
+// pacing entirely.
+func (e *Engine) compactPace() time.Duration {
+	p := e.opts.CompactPacing
+	if p == 0 {
+		return maintainPace
+	}
+	if p < 0 {
+		return 0
+	}
+	return p
 }
 
 // compactThreshold returns the effective maintenance threshold. A fully
@@ -206,10 +320,11 @@ func (e *Engine) worstCompactable() (int, int) {
 }
 
 // MaintenanceStats returns a snapshot of the background maintainer's
-// counters and the current worst per-partition run count — the signal the
-// maintainer actually watches, so under RetainLive sealed runs awaiting
-// expiry are excluded. Safe to call concurrently; meaningful
-// (Enabled=false, zero counters) without AutoCompact too.
+// counters plus the two signals policies watch: the worst per-partition
+// run count (sealed runs excluded under RetainLive) and the number of
+// jobs the active policy would plan right now. Safe to call
+// concurrently; meaningful (Enabled=false, zero counters) without
+// AutoCompact too.
 func (e *Engine) MaintenanceStats() MaintenanceStats {
 	var max int
 	if e.expiryEnabled() {
@@ -217,12 +332,16 @@ func (e *Engine) MaintenanceStats() MaintenanceStats {
 	} else {
 		_, max = e.worstPartition()
 	}
+	pol := e.policy()
 	return MaintenanceStats{
 		Enabled:          e.maint != nil,
+		Policy:           pol.Name(),
 		CompactThreshold: e.compactThreshold(),
+		Fanout:           e.fanout(),
 		AutoCompactions:  e.stats.autoCompactions.Load(),
 		Conflicts:        e.stats.compactConflicts.Load(),
 		Errors:           e.stats.maintErrors.Load(),
 		MaxRuns:          max,
+		PendingJobs:      len(e.planJobs(pol)),
 	}
 }

@@ -200,6 +200,8 @@ func (e *Engine) registerMetrics(r *obs.Registry) {
 	r.CounterFunc("backlog_maintenance_errors_total", "Background maintenance passes abandoned on error", e.stats.maintErrors.Load)
 	r.CounterFunc("backlog_records_flushed_total", "Records written to Level-0 runs", e.stats.recordsFlushed.Load)
 	r.CounterFunc("backlog_records_purged_total", "Records dropped by compaction", e.stats.recordsPurged.Load)
+	r.CounterFunc("backlog_compaction_write_bytes_total", "Physical bytes written by installed compactions",
+		e.stats.compactWriteBytes.Load)
 	r.CounterFunc("backlog_queries_total", "Blocks queried", e.stats.queries.Load)
 	r.CounterFunc("backlog_relocations_total", "RelocateBlock calls", e.stats.relocations.Load)
 	r.CounterFunc("backlog_expiries_total", "Expire passes that dropped at least one run", e.stats.expiries.Load)
@@ -231,6 +233,32 @@ func (e *Engine) registerMetrics(r *obs.Registry) {
 	r.GaugeFunc("backlog_runs_live", "Live read-store runs", func() float64 {
 		return float64(e.RunCount())
 	})
+	// Per-level run counts (summed across partitions and tables) expose
+	// the shape PolicyLeveled maintains; the last bucket lumps every
+	// deeper level so the series stays bounded.
+	const levelGauges = 8
+	levelCount := func(level int) float64 {
+		e.mu.RLock()
+		defer e.mu.RUnlock()
+		var n int
+		for _, part := range e.db.PartitionLevelCounts() {
+			for l, c := range part {
+				if l == level || (level == levelGauges-1 && l > level) {
+					n += c
+				}
+			}
+		}
+		return float64(n)
+	}
+	for level := 0; level < levelGauges; level++ {
+		level := level
+		help := "Live runs at this maintenance level"
+		if level == levelGauges-1 {
+			help = "Live runs at this maintenance level or deeper"
+		}
+		r.GaugeFunc(gaugeName("backlog_runs_level", "level", level), help,
+			func() float64 { return levelCount(level) })
+	}
 	r.GaugeFunc("backlog_db_bytes", "On-disk size of the database", func() float64 {
 		return float64(e.SizeBytes())
 	})

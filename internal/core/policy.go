@@ -1,0 +1,239 @@
+package core
+
+import (
+	"sort"
+
+	"github.com/backlogfs/backlog/internal/lsm"
+)
+
+// DefaultFanout is the stepped-merge fanout PolicyLeveled uses when
+// Options.Fanout is zero: once a table accumulates this many runs at one
+// level of a partition, the level merges into a single run one level up.
+const DefaultFanout = 4
+
+// CompactionJob is one unit of maintenance work a CompactionPolicy asks
+// the scheduler to perform.
+//
+// Two shapes exist. A Full job (Full == true, run lists empty) is a
+// whole-partition merge-to-one executed by the classic compaction path —
+// the paper's Section 5.2 maintenance. A leveled job names its input runs
+// explicitly per table and the level its outputs are stamped with; the
+// scheduler merges exactly those runs and installs the outputs, leaving
+// every other run of the partition untouched.
+type CompactionJob struct {
+	Partition int
+	// Full marks a whole-partition worst-first merge; OutputLevel and the
+	// input lists are ignored.
+	Full bool
+	// OutputLevel is the level stamped on the merge outputs (one above
+	// the inputs for a stepped merge).
+	OutputLevel int
+	// From, To, and Combined are the input runs per table. The pointers
+	// identify runs in the view the plan was made against; the executor
+	// re-validates them against a fresh view before reading.
+	From, To, Combined []*lsm.Run
+}
+
+// PlanContext carries the engine configuration a policy plans against.
+type PlanContext struct {
+	// Partitions is the number of block-range partitions.
+	Partitions int
+	// Threshold is the effective per-partition run-count threshold
+	// (PolicyFull's trigger).
+	Threshold int
+	// Fanout is the effective stepped-merge fanout (PolicyLeveled's
+	// trigger), already defaulted and clamped to >= 2.
+	Fanout int
+	// Tiered reports drop-based expiry (Options.Retention == RetainLive):
+	// sealed Combined windows must stay individually droppable, so
+	// policies must not plan merges that would re-open them.
+	Tiered bool
+	// Horizon is the reclaim horizon when Tiered (0 otherwise): no
+	// consistency point below it is reachable from the snapshot catalog.
+	// Combined runs droppable below the horizon are about to be reclaimed
+	// whole by expiry and must never be merge inputs.
+	Horizon uint64
+}
+
+// CompactionPolicy plans maintenance work from a pinned LSM view. Plan
+// must be a pure function of the view and context — it is called with no
+// structural lock held and its jobs are validated (and dropped if stale)
+// by the executor, so a policy never needs to worry about races with
+// checkpoints or queries. Returned jobs are executed in order; the
+// scheduler re-plans after draining a batch, so a policy may emit only
+// the most urgent work per call.
+type CompactionPolicy interface {
+	// Name identifies the policy in MaintenanceStats and tooling.
+	Name() string
+	Plan(v *lsm.View, ctx PlanContext) []CompactionJob
+}
+
+// PolicyFull is the compatibility default: merge the worst partition —
+// the one with the most runs — down to at most one Combined and one From
+// run, repeating (via re-planning) until no partition exceeds the
+// threshold. This is the paper's Section 5.2 maintenance driven
+// worst-first, exactly the behavior the background maintainer has always
+// had, so paper-figure experiments pinned to it stay byte-identical.
+type PolicyFull struct{}
+
+// Name implements CompactionPolicy.
+func (PolicyFull) Name() string { return "full" }
+
+// Plan emits at most one whole-partition job: the partition with the most
+// compactable runs, when over threshold. Under tiered retention sealed
+// Combined runs are excluded from the count — a full merge leaves them in
+// place for expiry, so counting them would keep the scheduler spinning on
+// a partition it cannot shrink.
+func (PolicyFull) Plan(v *lsm.View, ctx PlanContext) []CompactionJob {
+	worst, max := 0, 0
+	for p := 0; p < ctx.Partitions; p++ {
+		n := 0
+		for _, table := range []string{TableFrom, TableTo, TableCombined} {
+			for _, r := range v.Runs(table, p) {
+				if ctx.Tiered && table == TableCombined &&
+					r.Level() >= 1 && r.CPWindowKnown() && r.Overrides() == 0 {
+					continue
+				}
+				n++
+			}
+		}
+		if n > max {
+			worst, max = p, n
+		}
+	}
+	if max <= ctx.Threshold {
+		return nil
+	}
+	return []CompactionJob{{Partition: worst, Full: true}}
+}
+
+// PolicyLeveled is stepped-merge maintenance (LogBase-style): when a
+// table accumulates Fanout runs at level L of a partition, all level-L
+// runs of the partition merge into one level-L+1 run per table. Each
+// record is rewritten once per level instead of once per maintenance
+// pass, so sustained ingest pays O(log_Fanout(runs)) write amplification
+// instead of PolicyFull's O(runs) — at the cost of queries reading a few
+// more runs between merges.
+//
+// Unlike a full merge, a leveled merge sees only a slice of each
+// identity's records, so it joins From/To pairs only when both ends are
+// inside the slice and carries unmatched records verbatim to the output
+// level (never synthesizing the inherited-ownership records the full
+// join derives for unmatched Tos, and never purging a From whose To may
+// live elsewhere). Records therefore meet and join as they climb levels
+// together.
+//
+// Under tiered retention, Combined runs already droppable below the
+// reclaim horizon are never chosen as inputs: expiry is about to reclaim
+// them for free, and merging one would fold its sealed window into a
+// younger output that could then never be dropped.
+type PolicyLeveled struct{}
+
+// Name implements CompactionPolicy.
+func (PolicyLeveled) Name() string { return "leveled" }
+
+// Plan emits one job per (partition, level) whose run count triggers the
+// fanout, shallowest level first so freshly promoted runs can cascade
+// upward within one maintenance pass.
+func (PolicyLeveled) Plan(v *lsm.View, ctx PlanContext) []CompactionJob {
+	fanout := ctx.Fanout
+	if fanout <= 0 {
+		fanout = DefaultFanout
+	}
+	if fanout < 2 {
+		fanout = 2
+	}
+	var jobs []CompactionJob
+	for p := 0; p < ctx.Partitions; p++ {
+		jobs = append(jobs, planPartitionLevels(v, ctx, p, fanout)...)
+	}
+	sort.SliceStable(jobs, func(i, j int) bool {
+		if jobs[i].OutputLevel != jobs[j].OutputLevel {
+			return jobs[i].OutputLevel < jobs[j].OutputLevel
+		}
+		return jobs[i].Partition < jobs[j].Partition
+	})
+	return jobs
+}
+
+// planPartitionLevels groups one partition's runs by level and emits a
+// job for every level where some table reached the fanout.
+func planPartitionLevels(v *lsm.View, ctx PlanContext, p, fanout int) []CompactionJob {
+	type levelRuns struct {
+		from, to, combined []*lsm.Run
+	}
+	byLevel := map[int]*levelRuns{}
+	at := func(level int) *levelRuns {
+		lr := byLevel[level]
+		if lr == nil {
+			lr = &levelRuns{}
+			byLevel[level] = lr
+		}
+		return lr
+	}
+	for _, r := range v.Runs(TableFrom, p) {
+		lr := at(r.Level())
+		lr.from = append(lr.from, r)
+	}
+	for _, r := range v.Runs(TableTo, p) {
+		lr := at(r.Level())
+		lr.to = append(lr.to, r)
+	}
+	for _, r := range v.Runs(TableCombined, p) {
+		if ctx.Tiered && ctx.Horizon > 0 && r.DroppableBelow(ctx.Horizon) {
+			// Expiry will drop this run whole; merging it would destroy
+			// the disjoint window that makes that possible.
+			continue
+		}
+		lr := at(r.Level())
+		lr.combined = append(lr.combined, r)
+	}
+
+	var jobs []CompactionJob
+	for level, lr := range byLevel {
+		if len(lr.from) < fanout && len(lr.to) < fanout && len(lr.combined) < fanout {
+			continue
+		}
+		total := len(lr.from) + len(lr.to) + len(lr.combined)
+		if total <= maxJobOutputs(ctx, lr.from, lr.to, lr.combined) {
+			// The merge cannot shrink the run count — re-merging would
+			// just climb levels forever; leave the level until more runs
+			// arrive.
+			continue
+		}
+		jobs = append(jobs, CompactionJob{
+			Partition:   p,
+			OutputLevel: level + 1,
+			From:        lr.from,
+			To:          lr.to,
+			Combined:    lr.combined,
+		})
+	}
+	return jobs
+}
+
+// maxJobOutputs bounds how many runs a leveled merge of the given inputs
+// can produce: at most one From, one To, and one Combined output, plus a
+// separate override run under tiered retention when an input actually
+// carries override records (the merge never synthesizes them).
+func maxJobOutputs(ctx PlanContext, from, to, combined []*lsm.Run) int {
+	n := 0
+	if len(from) > 0 {
+		n++
+	}
+	if len(to) > 0 {
+		n++
+	}
+	if len(combined) > 0 || (len(from) > 0 && len(to) > 0) {
+		n++
+	}
+	if ctx.Tiered {
+		for _, r := range combined {
+			if r.Overrides() > 0 {
+				n++
+				break
+			}
+		}
+	}
+	return n
+}

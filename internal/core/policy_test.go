@@ -1,0 +1,303 @@
+package core
+
+import "testing"
+
+// Unit tests for the compaction-policy layer: the triggers, the exact
+// run sets jobs name, the horizon rule, and job ordering — all against
+// views pinned from real engines, with the trigger knobs passed
+// explicitly through PlanContext.
+
+// planOn pins a view and runs pol.Plan under a caller-built context,
+// mirroring Engine.planJobs with the knobs explicit.
+func planOn(e *Engine, pol CompactionPolicy, ctx PlanContext) []CompactionJob {
+	e.mu.RLock()
+	v := e.db.AcquireView()
+	e.mu.RUnlock()
+	defer v.Release()
+	return pol.Plan(v, ctx)
+}
+
+func baseCtx(e *Engine) PlanContext {
+	return PlanContext{
+		Partitions: e.db.Partitions(),
+		Threshold:  DefaultCompactThreshold,
+		Fanout:     DefaultFanout,
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	if got := (PolicyFull{}).Name(); got != "full" {
+		t.Errorf("PolicyFull.Name() = %q", got)
+	}
+	if got := (PolicyLeveled{}).Name(); got != "leveled" {
+		t.Errorf("PolicyLeveled.Name() = %q", got)
+	}
+}
+
+// TestPolicyFullThresholdGate: no job at exactly Threshold runs, one
+// Full job for the partition one run past it.
+func TestPolicyFullThresholdGate(t *testing.T) {
+	env := newTestEnv(t, Options{})
+	defer env.eng.Close()
+	for cp := uint64(1); cp <= DefaultCompactThreshold; cp++ {
+		env.eng.AddRef(ref(cp, 2, 0, 0), cp)
+		mustCheckpoint(t, env.eng, cp)
+	}
+	ctx := baseCtx(env.eng)
+	if jobs := planOn(env.eng, PolicyFull{}, ctx); len(jobs) != 0 {
+		t.Fatalf("at threshold: planned %d jobs, want 0", len(jobs))
+	}
+	env.eng.AddRef(ref(99, 2, 0, 0), DefaultCompactThreshold+1)
+	mustCheckpoint(t, env.eng, DefaultCompactThreshold+1)
+	jobs := planOn(env.eng, PolicyFull{}, ctx)
+	if len(jobs) != 1 {
+		t.Fatalf("past threshold: planned %d jobs, want 1", len(jobs))
+	}
+	if !jobs[0].Full || jobs[0].Partition != 0 {
+		t.Fatalf("job = %+v, want a Full job for partition 0", jobs[0])
+	}
+}
+
+// TestPolicyFullWorstFirst: with several partitions over threshold, the
+// plan names the partition with the most runs.
+func TestPolicyFullWorstFirst(t *testing.T) {
+	env := newTestEnv(t, Options{Partitions: 4, HashPartitioning: true})
+	defer env.eng.Close()
+	for cp := uint64(1); cp <= 12; cp++ {
+		env.eng.AddRef(ref(cp, 2, 0, 0), cp)
+		mustCheckpoint(t, env.eng, cp)
+	}
+	counts := map[int]int{}
+	for _, ri := range env.eng.RunInfos() {
+		counts[ri.Partition]++
+	}
+	worst, max := 0, 0
+	for p := 0; p < 4; p++ {
+		if counts[p] > max {
+			worst, max = p, counts[p]
+		}
+	}
+	ctx := baseCtx(env.eng)
+	ctx.Threshold = 1
+	jobs := planOn(env.eng, PolicyFull{}, ctx)
+	if len(jobs) != 1 || jobs[0].Partition != worst {
+		t.Fatalf("jobs = %+v, want one Full job for worst partition %d (counts %v)", jobs, worst, counts)
+	}
+}
+
+// TestPolicyLeveledFanoutTrigger: a level is merged only once one of its
+// tables reaches Fanout runs, and the job then names every run of the
+// level, targeting the next level.
+func TestPolicyLeveledFanoutTrigger(t *testing.T) {
+	env := newTestEnv(t, Options{})
+	defer env.eng.Close()
+	for cp := uint64(1); cp <= DefaultFanout-1; cp++ {
+		env.eng.AddRef(ref(cp, 2, 0, 0), cp)
+		mustCheckpoint(t, env.eng, cp)
+	}
+	ctx := baseCtx(env.eng)
+	if jobs := planOn(env.eng, PolicyLeveled{}, ctx); len(jobs) != 0 {
+		t.Fatalf("below fanout: planned %d jobs, want 0", len(jobs))
+	}
+	env.eng.AddRef(ref(99, 2, 0, 0), DefaultFanout)
+	mustCheckpoint(t, env.eng, DefaultFanout)
+	jobs := planOn(env.eng, PolicyLeveled{}, ctx)
+	if len(jobs) != 1 {
+		t.Fatalf("at fanout: planned %d jobs, want 1", len(jobs))
+	}
+	job := jobs[0]
+	if job.Full || job.Partition != 0 || job.OutputLevel != 1 {
+		t.Fatalf("job = %+v, want a non-Full partition-0 job targeting level 1", job)
+	}
+	if len(job.From) != DefaultFanout || len(job.To) != 0 || len(job.Combined) != 0 {
+		t.Fatalf("job inputs = %d From, %d To, %d Combined, want %d/0/0",
+			len(job.From), len(job.To), len(job.Combined), DefaultFanout)
+	}
+	ctx.Fanout = DefaultFanout + 4
+	if jobs := planOn(env.eng, PolicyLeveled{}, ctx); len(jobs) != 0 {
+		t.Fatalf("higher fanout still planned %d jobs", len(jobs))
+	}
+}
+
+// TestPolicyLeveledTakesWholeLevel: one table reaching Fanout pulls the
+// sibling tables' runs at that level into the same job — a level merge
+// must see every run of the level so record pairing stays local.
+func TestPolicyLeveledTakesWholeLevel(t *testing.T) {
+	env := newTestEnv(t, Options{})
+	defer env.eng.Close()
+	for cp := uint64(1); cp <= DefaultFanout; cp++ {
+		env.eng.AddRef(ref(cp, 2, 0, 0), cp)
+		if cp > 1 {
+			env.eng.RemoveRef(ref(cp-1, 2, 0, 0), cp)
+		}
+		mustCheckpoint(t, env.eng, cp)
+	}
+	jobs := planOn(env.eng, PolicyLeveled{}, baseCtx(env.eng))
+	if len(jobs) != 1 {
+		t.Fatalf("planned %d jobs, want 1", len(jobs))
+	}
+	job := jobs[0]
+	if len(job.From) != DefaultFanout || len(job.To) != DefaultFanout-1 {
+		t.Fatalf("job inputs = %d From, %d To, want %d From and %d To",
+			len(job.From), len(job.To), DefaultFanout, DefaultFanout-1)
+	}
+}
+
+// TestPolicyLeveledSteadyState: merged levels do not re-trigger. Two
+// level-0 runs merge into one level-1 run; re-planning then finds
+// nothing until level 1 itself accumulates Fanout runs, at which point
+// the merge targets level 2.
+func TestPolicyLeveledSteadyState(t *testing.T) {
+	env := newTestEnv(t, Options{
+		CompactionPolicy: PolicyLeveled{},
+		Fanout:           2,
+		CompactPacing:    -1,
+	})
+	defer env.eng.Close()
+	ingest := func(cp uint64) {
+		env.eng.AddRef(ref(cp, 2, 0, 0), cp)
+		mustCheckpoint(t, env.eng, cp)
+		if err := env.eng.MaintainNow(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ingest(1)
+	ingest(2)
+	ctx := baseCtx(env.eng)
+	ctx.Fanout = 2
+	if jobs := planOn(env.eng, PolicyLeveled{}, ctx); len(jobs) != 0 {
+		t.Fatalf("drained engine still plans %d jobs", len(jobs))
+	}
+	maxLevel := 0
+	for _, ri := range env.eng.RunInfos() {
+		if ri.Level > maxLevel {
+			maxLevel = ri.Level
+		}
+	}
+	if maxLevel != 1 || env.eng.RunCount() != 1 {
+		t.Fatalf("after one stepped merge: %d runs, max level %d, want 1 run at level 1",
+			env.eng.RunCount(), maxLevel)
+	}
+	ingest(3)
+	ingest(4)
+	maxLevel = 0
+	for _, ri := range env.eng.RunInfos() {
+		if ri.Level > maxLevel {
+			maxLevel = ri.Level
+		}
+	}
+	if maxLevel != 2 || env.eng.RunCount() != 1 {
+		t.Fatalf("after cascading merges: %d runs, max level %d, want 1 run at level 2",
+			env.eng.RunCount(), maxLevel)
+	}
+}
+
+// TestPolicyLeveledJobOrdering: jobs come out sorted by output level,
+// then partition, so the drain loop shrinks lower levels first.
+func TestPolicyLeveledJobOrdering(t *testing.T) {
+	env := newTestEnv(t, Options{Partitions: 2, HashPartitioning: true})
+	defer env.eng.Close()
+	for cp := uint64(1); cp <= DefaultFanout; cp++ {
+		for b := uint64(0); b < 8; b++ {
+			env.eng.AddRef(ref(b, 2+cp, b, 0), cp)
+		}
+		mustCheckpoint(t, env.eng, cp)
+	}
+	jobs := planOn(env.eng, PolicyLeveled{}, baseCtx(env.eng))
+	if len(jobs) != 2 {
+		t.Fatalf("planned %d jobs, want one per partition", len(jobs))
+	}
+	if jobs[0].Partition != 0 || jobs[1].Partition != 1 {
+		t.Fatalf("job partitions = %d, %d, want ascending 0, 1", jobs[0].Partition, jobs[1].Partition)
+	}
+	for _, job := range jobs {
+		if job.OutputLevel != 1 {
+			t.Fatalf("job = %+v, want OutputLevel 1", job)
+		}
+	}
+}
+
+// sealedPair builds two sealed level-1 Combined runs in partition 0 with
+// CP windows [1,2] and [3,4] (the expire_test sealedEnv shape): each
+// epoch adds a reference, checkpoints, removes it, checkpoints, and runs
+// a tiered compaction that pairs the two records into a sealed run.
+func sealedPair(t *testing.T) *testEnv {
+	t.Helper()
+	env := newTestEnv(t, Options{})
+	epoch := func(cp, block uint64) {
+		// A snapshot at cp retains the [cp, cp+1) interval; without it the
+		// tiered merge would purge the pair instead of sealing it.
+		if err := env.cat.CreateSnapshot(0, cp); err != nil {
+			t.Fatal(err)
+		}
+		env.eng.AddRef(ref(block, block, 0, 0), cp)
+		mustCheckpoint(t, env.eng, cp)
+		env.eng.RemoveRef(ref(block, block, 0, 0), cp+1)
+		mustCheckpoint(t, env.eng, cp+1)
+		if err := env.eng.CompactTiered(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	epoch(1, 1)
+	epoch(3, 3)
+	sealed := 0
+	for _, ri := range env.eng.RunInfos() {
+		if ri.Table == TableCombined && ri.Level >= 1 && ri.CPWindowKnown && ri.Overrides == 0 {
+			sealed++
+		}
+	}
+	if sealed != 2 {
+		t.Fatalf("built %d sealed runs, want 2: %+v", sealed, env.eng.RunInfos())
+	}
+	return env
+}
+
+// TestPolicyLeveledHorizonExclusion: runs the retention horizon has
+// passed are never chosen as merge inputs — expiry will drop them whole,
+// and merging them would rewrite records only to discard them later.
+func TestPolicyLeveledHorizonExclusion(t *testing.T) {
+	env := sealedPair(t)
+	defer env.eng.Close()
+	ctx := PlanContext{Partitions: env.eng.db.Partitions(), Fanout: 2, Tiered: true}
+
+	// Horizon below both windows: both runs are merge candidates.
+	ctx.Horizon = 1
+	jobs := planOn(env.eng, PolicyLeveled{}, ctx)
+	if len(jobs) != 1 || len(jobs[0].Combined) != 2 {
+		t.Fatalf("horizon 1: jobs = %+v, want one job over both sealed runs", jobs)
+	}
+	for _, r := range jobs[0].Combined {
+		if r.DroppableBelow(ctx.Horizon) {
+			t.Fatal("planned a merge input the horizon has already passed")
+		}
+	}
+
+	// Horizon past the first window: that run leaves the plan, and the
+	// survivor alone cannot reach the fanout trigger.
+	ctx.Horizon = 3
+	if jobs := planOn(env.eng, PolicyLeveled{}, ctx); len(jobs) != 0 {
+		t.Fatalf("horizon 3: jobs = %+v, want none (one run is expiry's)", jobs)
+	}
+
+	// Horizon past both: nothing left to plan.
+	ctx.Horizon = 5
+	if jobs := planOn(env.eng, PolicyLeveled{}, ctx); len(jobs) != 0 {
+		t.Fatalf("horizon 5: jobs = %+v, want none", jobs)
+	}
+}
+
+// TestPolicyFullTieredExcludesSealed: under tiered maintenance the full
+// policy's run counting skips sealed runs, so a partition that is
+// nothing but expiry-awaiting history never re-triggers.
+func TestPolicyFullTieredExcludesSealed(t *testing.T) {
+	env := sealedPair(t)
+	defer env.eng.Close()
+	ctx := PlanContext{Partitions: env.eng.db.Partitions(), Threshold: 1, Tiered: true}
+	if jobs := planOn(env.eng, PolicyFull{}, ctx); len(jobs) != 0 {
+		t.Fatalf("tiered: jobs = %+v, want none (all runs sealed)", jobs)
+	}
+	ctx.Tiered = false
+	if jobs := planOn(env.eng, PolicyFull{}, ctx); len(jobs) != 1 {
+		t.Fatalf("untiered: planned %d jobs, want 1", len(jobs))
+	}
+}

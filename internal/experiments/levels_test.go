@@ -1,0 +1,44 @@
+package experiments
+
+import "testing"
+
+// TestLevelsLeveledWritesLess runs the leveled-maintenance sweep at a
+// reduced query count and asserts the experiment's headline: under
+// sustained ingest with maintenance after every checkpoint, stepped
+// merging at the default fanout writes at least half as many compaction
+// bytes as the paper's merge-to-one policy, and actually builds a
+// multi-level run set. Query latency is reported but not asserted — it
+// is too noisy on shared CI machines.
+func TestLevelsLeveledWritesLess(t *testing.T) {
+	cfg := DefaultLevelsConfig()
+	cfg.Queries = 200
+	cfg.Fanouts = []int{4}
+	res, err := RunLevels(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("got %d points, want 2", len(res.Points))
+	}
+	full, lev := res.Points[0], res.Points[1]
+	if full.Policy != "full" || lev.Policy != "leveled" {
+		t.Fatalf("unexpected point order: %q, %q", full.Policy, lev.Policy)
+	}
+	if full.CompactWriteBytes == 0 || lev.CompactWriteBytes == 0 {
+		t.Fatalf("compaction bytes not recorded: full %d, leveled %d",
+			full.CompactWriteBytes, lev.CompactWriteBytes)
+	}
+	if full.CompactWriteBytes < 2*lev.CompactWriteBytes {
+		t.Fatalf("leveled fanout-4 wrote %d compaction bytes vs full's %d; want >= 2x fewer",
+			lev.CompactWriteBytes, full.CompactWriteBytes)
+	}
+	if lev.MaxLevel < 2 {
+		t.Errorf("stepped merges stopped at level %d, want >= 2", lev.MaxLevel)
+	}
+	if full.MaxLevel != 1 {
+		t.Errorf("full policy reached level %d, want 1", full.MaxLevel)
+	}
+	if lev.BytesVsFull < 2 {
+		t.Errorf("BytesVsFull = %.2f, want >= 2", lev.BytesVsFull)
+	}
+}

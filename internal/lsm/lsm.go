@@ -457,6 +457,25 @@ func (db *DB) PartitionRunCounts() []int {
 	return counts
 }
 
+// PartitionLevelCounts returns, for every partition, the number of live
+// runs at each level summed across all tables (index [partition][level]).
+// Each row is sized to the deepest level present in its partition. The
+// caller must hold the structural lock (shared suffices).
+func (db *DB) PartitionLevelCounts() [][]int {
+	counts := make([][]int, db.opts.Partitions)
+	for _, t := range db.tables {
+		for p, part := range t.runs {
+			for _, r := range part {
+				for len(counts[p]) <= r.level {
+					counts[p] = append(counts[p], 0)
+				}
+				counts[p][r.level]++
+			}
+		}
+	}
+	return counts
+}
+
 // RunInfo describes one live run for observability (backlogctl stats).
 type RunInfo struct {
 	Table     string

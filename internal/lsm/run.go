@@ -46,7 +46,9 @@ type Run struct {
 // Name returns the run's file name.
 func (r *Run) Name() string { return r.name }
 
-// Level returns 0 for per-CP runs and 1 for compacted runs.
+// Level returns the run's maintenance level: 0 for per-CP flushes and
+// >= 1 for compacted runs (a stepped merge of level-L runs produces a
+// level-L+1 run; a full partition merge produces level 1).
 func (r *Run) Level() int { return r.level }
 
 // Records returns the number of records in the run.
@@ -203,8 +205,10 @@ type RunBuilder struct {
 }
 
 // NewRunBuilder starts a new run for (table, partition). Level 0 marks a
-// per-CP flush; level 1 a compacted run. The run file is created
-// immediately but becomes visible only when its RunRef is committed.
+// per-CP flush; levels >= 1 compacted runs (compaction stamps its outputs
+// one level above its inputs, or 1 for a full-partition merge). The run
+// file is created immediately but becomes visible only when its RunRef is
+// committed.
 func (db *DB) NewRunBuilder(table string, partition, level int, cp uint64) (*RunBuilder, error) {
 	t := db.tables[table]
 	if t == nil {
@@ -284,7 +288,15 @@ type RunRef struct {
 	table     string
 	partition int
 	rm        runManifest
+	sizeBytes int64
 }
+
+// SizeBytes returns the finished run's physical on-disk size; compaction
+// sums it into the engine's write-amplification accounting.
+func (ref RunRef) SizeBytes() int64 { return ref.sizeBytes }
+
+// Records returns the number of records in the finished run.
+func (ref RunRef) Records() uint64 { return ref.rm.Records }
 
 // Finish completes the run file (bloom + header + sync) and returns its
 // reference. Empty builders return a zero RunRef with ok=false and remove
@@ -326,6 +338,7 @@ func (b *RunBuilder) Finish() (ref RunRef, ok bool, err error) {
 		table:     b.table.spec.Name,
 		partition: b.partition,
 		rm:        rm,
+		sizeBytes: b.writer.SizeBytes(),
 	}, true, nil
 }
 

@@ -228,3 +228,31 @@ func (v *View) Unchanged(table string, partition int) bool {
 	// generations mean no mutation since the snapshot.
 	return tv.dvGen == tv.t.dvGen
 }
+
+// UnchangedRuns reports whether every run in inputs is still live in
+// (table, partition) and the table's deletion vector is unmodified since
+// the snapshot — the validation a job-scoped compaction performs before
+// installing its result. Unlike Unchanged it tolerates runs added or
+// dropped outside the input set: a checkpoint flush appending a level-0
+// run does not invalidate a leveled merge of older runs. The caller must
+// hold the structural lock exclusively.
+func (v *View) UnchangedRuns(table string, partition int, inputs []*Run) bool {
+	tv := v.ver.tables[table]
+	if tv.dvGen != tv.t.dvGen {
+		return false
+	}
+	live := tv.t.runs[partition]
+	for _, in := range inputs {
+		found := false
+		for _, r := range live {
+			if r == in {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
