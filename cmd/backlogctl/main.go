@@ -10,6 +10,8 @@
 //	backlogctl expire      -dir /path/to/db -retention live
 //	backlogctl metrics     -dir /path/to/db [-watch [-interval 2s]]
 //	backlogctl metrics     -addr localhost:6060 [-watch]
+//	backlogctl iostat      -dir /path/to/db [-json]
+//	backlogctl iostat      -addr localhost:6060 [-watch [-interval 2s]] [-json]
 package main
 
 import (
@@ -41,6 +43,10 @@ commands:
   metrics      print metrics in Prometheus text format; -watch refreshes
                continuously; -addr scrapes a running process's debug listener
                instead of opening -dir
+  iostat       print purpose-tagged I/O accounting: per-source device bytes
+               and ops plus the write-amplification monitor; -addr scrapes a
+               running process's /debug/io (with -watch to refresh), -dir
+               opens the directory and reports the open's own recovery I/O
 `)
 	os.Exit(2)
 }
@@ -81,6 +87,75 @@ func scrapeMetrics(addr string, watch bool, interval time.Duration) error {
 	}
 }
 
+// scrapeIostat fetches /debug/io from a running process's debug listener
+// and renders the live process's I/O attribution report.
+func scrapeIostat(addr string, watch, jsonOut bool, interval time.Duration) error {
+	url := addr
+	if !strings.Contains(url, "://") {
+		url = "http://" + addr
+	}
+	url = strings.TrimSuffix(url, "/") + "/debug/io"
+	for {
+		resp, err := http.Get(url)
+		if err != nil {
+			return err
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("%s: %s", url, resp.Status)
+		}
+		if watch {
+			fmt.Printf("%s# %s @ %s\n", clearScreen, url, time.Now().Format(time.RFC3339))
+		}
+		if jsonOut {
+			os.Stdout.Write(body)
+		} else {
+			var rep backlog.IOReport
+			if err := json.Unmarshal(body, &rep); err != nil {
+				return fmt.Errorf("%s: %w", url, err)
+			}
+			printIOReport(rep)
+		}
+		if !watch {
+			return nil
+		}
+		time.Sleep(interval)
+	}
+}
+
+// printIOReport renders an attribution report as the iostat table:
+// per-source device traffic, totals, and the write-amplification monitor.
+func printIOReport(rep backlog.IOReport) {
+	if !rep.Attribution {
+		fmt.Println("i/o attribution disabled (Config.DisableIOAttribution)")
+		return
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "source\tread bytes\tread ops\twrite bytes\twrite ops\tsyncs\tcreates\tremoves")
+	for _, s := range rep.Sources {
+		if s.ReadBytes == 0 && s.ReadOps == 0 && s.WriteBytes == 0 && s.WriteOps == 0 &&
+			s.Syncs == 0 && s.Creates == 0 && s.Removes == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\t%d\t%d\t%d\n",
+			s.Source, s.ReadBytes, s.ReadOps, s.WriteBytes, s.WriteOps,
+			s.Syncs, s.Creates, s.Removes)
+	}
+	fmt.Fprintf(w, "total\t%d\t\t%d\t\t\t\t\n", rep.TotalReadBytes, rep.TotalWriteBytes)
+	w.Flush()
+	fmt.Printf("user bytes in:     %d\n", rep.UserBytes)
+	fmt.Printf("write amp:         %.2f cumulative", rep.WriteAmp)
+	if rep.WindowSeconds > 0 {
+		fmt.Printf(", %.2f over last %.0fs (%d user / %d device bytes)",
+			rep.WindowWriteAmp, rep.WindowSeconds, rep.WindowUserBytes, rep.WindowWriteBytes)
+	}
+	fmt.Println()
+}
+
 func main() {
 	if len(os.Args) < 2 {
 		usage()
@@ -110,6 +185,13 @@ func main() {
 	}
 	if cmd == "metrics" && *addr != "" {
 		if err := scrapeMetrics(*addr, *watch, *interval); err != nil {
+			fmt.Fprintln(os.Stderr, "backlogctl:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if cmd == "iostat" && *addr != "" {
+		if err := scrapeIostat(*addr, *watch, *jsonOut, *interval); err != nil {
 			fmt.Fprintln(os.Stderr, "backlogctl:", err)
 			os.Exit(1)
 		}
@@ -156,7 +238,7 @@ func main() {
 		AutoCompact: *autoCompact, CompactThreshold: *compactThreshold,
 		CompactionPolicy: pmode, Fanout: *fanout,
 		Retention: rmode, Compression: cmode,
-		Metrics: cmd == "metrics", DebugAddr: *debugAddr,
+		Metrics: cmd == "metrics" || cmd == "stats", DebugAddr: *debugAddr,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "backlogctl:", err)
@@ -174,23 +256,83 @@ func main() {
 				fmt.Fprintln(os.Stderr, "backlogctl:", err)
 				os.Exit(1)
 			}
+			if slow := db.SlowOps(); len(slow) > 0 {
+				// Appended as exposition-format comments so the output stays a
+				// valid Prometheus scrape.
+				fmt.Println("# slow ops (oldest first): kind dur read-bytes write-bytes")
+				for _, ev := range slow {
+					fmt.Printf("# slowop: %s %s read=%d written=%d\n",
+						ev.Kind, ev.Dur, ev.ReadBytes, ev.WriteBytes)
+				}
+			}
 			if !*watch {
 				break
 			}
 			time.Sleep(*interval)
 		}
-	case "stats":
+	case "iostat":
 		if *jsonOut {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(db.IOReport()); err != nil {
+				fmt.Fprintln(os.Stderr, "backlogctl:", err)
+				os.Exit(1)
+			}
+			break
+		}
+		// A fresh open sees only its own I/O, i.e. the cost of recovering
+		// this directory (manifest + catalog reads, WAL replay); use -addr
+		// to observe a live process's steady-state traffic.
+		printIOReport(db.IOReport())
+	case "stats":
+		// Per-level shape of the run set — the signal for choosing a
+		// maintenance policy and reading write amplification — shared by the
+		// JSON and text renderings.
+		type levelAgg struct {
+			Level   int
+			Runs    int
+			Records uint64
+			Bytes   int64
+		}
+		aggregate := func(runs []backlog.RunInfo) []levelAgg {
+			byLevel := map[int]*levelAgg{}
+			maxLevel := 0
+			for _, r := range runs {
+				la := byLevel[r.Level]
+				if la == nil {
+					la = &levelAgg{Level: r.Level}
+					byLevel[r.Level] = la
+				}
+				la.Runs++
+				la.Records += r.Records
+				la.Bytes += r.SizeBytes
+				if r.Level > maxLevel {
+					maxLevel = r.Level
+				}
+			}
+			var out []levelAgg
+			for l := 0; l <= maxLevel; l++ {
+				if la := byLevel[l]; la != nil {
+					out = append(out, *la)
+				}
+			}
+			return out
+		}
+		if *jsonOut {
+			st := db.Stats()
 			out := struct {
-				CP          uint64
-				SizeBytes   int64
-				WriteShards int
-				Durability  string
-				Stats       backlog.Stats
-				Maintenance backlog.MaintenanceStats
-				Runs        []backlog.RunInfo
+				CP                   uint64
+				SizeBytes            int64
+				WriteShards          int
+				Durability           string
+				CompactionWriteBytes uint64
+				Stats                backlog.Stats
+				Maintenance          backlog.MaintenanceStats
+				Levels               []levelAgg
+				Runs                 []backlog.RunInfo
 			}{db.CP(), db.SizeBytes(), db.WriteShards(), db.Durability().String(),
-				db.Stats(), db.MaintenanceStats(), db.Runs()}
+				st.CompactWriteBytes, st, db.MaintenanceStats(),
+				aggregate(db.Runs()), db.Runs()}
 			enc := json.NewEncoder(os.Stdout)
 			enc.SetIndent("", "  ")
 			if err := enc.Encode(out); err != nil {
@@ -213,13 +355,19 @@ func main() {
 		if st.Checkpoints > 0 {
 			// The stall a checkpoint imposes on updates/queries is only its
 			// two exclusive-lock critical sections; the flush between them
-			// holds no structural lock.
+			// holds no structural lock. Read from the per-phase latency
+			// histograms — the successors of the deprecated
+			// Stats.Checkpoint*Nanos sums.
+			ms := db.Metrics()
+			freeze, _ := ms.Histogram("backlog_checkpoint_freeze_ns")
+			install, _ := ms.Histogram("backlog_checkpoint_install_ns")
+			flush, _ := ms.Histogram("backlog_checkpoint_flush_ns")
 			fmt.Printf("checkpoint stall:  %.0f µs exclusive-lock total (%.1f µs/cp: swap %.1f + install %.1f), %.1f ms flush lock-free\n",
-				float64(st.CheckpointSwapNanos+st.CheckpointInstallNanos)/1e3,
-				float64(st.CheckpointSwapNanos+st.CheckpointInstallNanos)/1e3/float64(st.Checkpoints),
-				float64(st.CheckpointSwapNanos)/1e3/float64(st.Checkpoints),
-				float64(st.CheckpointInstallNanos)/1e3/float64(st.Checkpoints),
-				float64(st.CheckpointFlushNanos)/1e6)
+				float64(freeze.Sum+install.Sum)/1e3,
+				float64(freeze.Sum+install.Sum)/1e3/float64(st.Checkpoints),
+				float64(freeze.Sum)/1e3/float64(st.Checkpoints),
+				float64(install.Sum)/1e3/float64(st.Checkpoints),
+				float64(flush.Sum)/1e6)
 		}
 		fmt.Printf("compactions:       %d\n", st.Compactions)
 		fmt.Printf("compaction bytes:  %d written\n", st.CompactWriteBytes)
@@ -237,53 +385,24 @@ func main() {
 				ms.AutoCompactions, ms.Conflicts, ms.Errors)
 		}
 		if runs := db.Runs(); len(runs) > 0 {
-			// Aggregate the per-level shape first — the signal for choosing a
-			// maintenance policy and reading write amplification — then list
-			// the individual runs.
-			type levelAgg struct {
-				runs    int
-				records uint64
-				bytes   int64
-			}
-			levels := map[int]*levelAgg{}
-			maxLevel := 0
-			for _, r := range runs {
-				la := levels[r.Level]
-				if la == nil {
-					la = &levelAgg{}
-					levels[r.Level] = la
-				}
-				la.runs++
-				la.records += r.Records
-				la.bytes += r.SizeBytes
-				if r.Level > maxLevel {
-					maxLevel = r.Level
-				}
-			}
 			fmt.Printf("levels:\n")
 			w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 			fmt.Fprintln(w, "  level\truns\trecords\tphysical")
-			for l := 0; l <= maxLevel; l++ {
-				la := levels[l]
-				if la == nil {
-					continue
-				}
-				fmt.Fprintf(w, "  %d\t%d\t%d\t%d\n", l, la.runs, la.records, la.bytes)
+			for _, la := range aggregate(runs) {
+				fmt.Fprintf(w, "  %d\t%d\t%d\t%d\n", la.Level, la.Runs, la.Records, la.Bytes)
 			}
 			w.Flush()
-		}
-		if runs := db.Runs(); len(runs) > 0 {
 			fmt.Printf("runs:\n")
-			w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-			fmt.Fprintln(w, "  table\tpart\tlevel\tformat\trecords\tlogical\tphysical\tcp window\toverrides")
+			w = tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+			fmt.Fprintln(w, "  table\tpart\tlevel\tformat\trecords\tlogical\tphysical\theat\tlast cp\tcp window\toverrides")
 			for _, r := range runs {
 				window := "unknown"
 				if r.CPWindowKnown {
 					window = fmt.Sprintf("[%d, %d]", r.MinCP, r.MaxCP)
 				}
-				fmt.Fprintf(w, "  %s\t%d\t%d\t%s\t%d\t%d\t%d\t%s\t%d\n",
+				fmt.Fprintf(w, "  %s\t%d\t%d\t%s\t%d\t%d\t%d\t%d\t%d\t%s\t%d\n",
 					r.Table, r.Partition, r.Level, r.Format, r.Records,
-					r.LogicalBytes, r.SizeBytes, window, r.Overrides)
+					r.LogicalBytes, r.SizeBytes, r.HeatBytes, r.LastAccessCP, window, r.Overrides)
 			}
 			w.Flush()
 		}

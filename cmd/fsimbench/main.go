@@ -24,7 +24,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("experiment", "all", "fig5|fig6|fig7|fig8|fig9|fig10|naive|ingest|wal|interference|cpstall|expire|compress|obs|levels|all")
+	exp := flag.String("experiment", "all", "fig5|fig6|fig7|fig8|fig9|fig10|naive|ingest|wal|interference|cpstall|expire|compress|obs|iostat|levels|all")
 	scale := flag.String("scale", "small", "small|full")
 	flag.Parse()
 
@@ -55,6 +55,7 @@ func main() {
 	run("expire", runExpire)
 	run("compress", runCompress)
 	run("obs", runObs)
+	run("iostat", runIostat)
 	run("levels", runLevels)
 }
 
@@ -367,6 +368,50 @@ func runObs(full bool) error {
 		fmt.Fprintf(w, "%s\t%d\t%.0f\t%.1f%%\t%d\n", p.Name, p.Ops, p.OpsPerSec, p.OverheadPct, p.TraceEvents)
 	}
 	return w.Flush()
+}
+
+func runIostat(full bool) error {
+	fmt.Println("I/O attribution overhead: mixed update/query throughput with attribution off and on")
+	fmt.Println("(not a paper figure; attribution is ON by default, so its budget is <=2% — a few")
+	fmt.Println(" atomic adds per I/O, clock reads only once a metrics registry is attached. The")
+	fmt.Println(" run also audits the accounting: per-source bytes must sum to the totals and the")
+	fmt.Println(" hot paths must leak no unattributed i/o)")
+	cfg := experiments.DefaultIostatConfig()
+	if full {
+		cfg.Ops = 4_000_000
+		cfg.Rounds = 11
+	}
+	pts, err := experiments.RunIostat(cfg)
+	if err != nil {
+		return err
+	}
+	w := tw()
+	fmt.Fprintln(w, "configuration\tops\tops/sec\toverhead\tdevice write bytes\twrite amp")
+	for _, p := range pts {
+		wb, wa := "-", "-"
+		if p.Report.Attribution {
+			wb = fmt.Sprintf("%d", p.Report.TotalWriteBytes)
+			wa = fmt.Sprintf("%.2f", p.Report.WriteAmp)
+		}
+		fmt.Fprintf(w, "%s\t%d\t%.0f\t%.1f%%\t%s\t%s\n", p.Name, p.Ops, p.OpsPerSec, p.OverheadPct, wb, wa)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	for _, p := range pts {
+		if p.Name != "attributed" {
+			continue
+		}
+		fmt.Println("attributed device traffic by purpose (final round):")
+		for _, s := range p.Report.Sources {
+			if s.ReadBytes == 0 && s.WriteBytes == 0 && s.Syncs == 0 && s.Creates == 0 {
+				continue
+			}
+			fmt.Printf("  %-10s %12d read  %12d written  (%d syncs, %d creates)\n",
+				s.Source, s.ReadBytes, s.WriteBytes, s.Syncs, s.Creates)
+		}
+	}
+	return nil
 }
 
 func runLevels(full bool) error {

@@ -41,6 +41,18 @@ func Open(f storage.File, cache *Cache) (*Reader, error) {
 // every delta leaf-page expansion (observability wiring; may be nil).
 func (r *Reader) SetDecodeObserver(fn func(time.Duration)) { r.decodeObs = fn }
 
+// WithFile returns a shallow copy of the Reader that issues its page reads
+// through f but shares the original's header, cache identity, and decode
+// observer. The caller must ensure f addresses the same bytes as the
+// original file (e.g. a purpose-tagged handle over it): cached pages are
+// keyed by the shared reader id, so the copies fill and hit one cache
+// entry set between them.
+func (r *Reader) WithFile(f storage.File) *Reader {
+	c := *r
+	c.f = f
+	return &c
+}
+
 // Format returns the run's leaf encoding (FormatRaw or FormatDelta).
 func (r *Reader) Format() Format { return r.h.format }
 

@@ -7,6 +7,7 @@ import (
 
 	"github.com/backlogfs/backlog/internal/lsm"
 	"github.com/backlogfs/backlog/internal/obs"
+	"github.com/backlogfs/backlog/internal/storage"
 )
 
 // compactRetries is how many optimistic lock-free merge attempts
@@ -245,11 +246,11 @@ func (e *Engine) compactAttempt(p int, exclusive, tiered bool) (compacted, insta
 		return false, true, err
 	}
 
-	newFrom, err := e.db.NewRunBuilder(TableFrom, p, 1, v.CP())
+	newFrom, err := e.db.NewRunBuilder(TableFrom, p, 1, v.CP(), storage.SrcCompaction)
 	if err != nil {
 		return false, true, err
 	}
-	newComb, err := e.db.NewRunBuilder(TableCombined, p, 1, v.CP())
+	newComb, err := e.db.NewRunBuilder(TableCombined, p, 1, v.CP(), storage.SrcCompaction)
 	if err != nil {
 		newFrom.Abort()
 		return false, true, err
@@ -261,7 +262,7 @@ func (e *Engine) compactAttempt(p int, exclusive, tiered bool) (compacted, insta
 	// purges overrides once their line is fully gone.
 	var newOver *lsm.RunBuilder
 	if tiered {
-		newOver, err = e.db.NewRunBuilder(TableCombined, p, 1, v.CP())
+		newOver, err = e.db.NewRunBuilder(TableCombined, p, 1, v.CP(), storage.SrcCompaction)
 		if err != nil {
 			newFrom.Abort()
 			newComb.Abort()
@@ -347,7 +348,7 @@ func (e *Engine) compactAttempt(p int, exclusive, tiered bool) (compacted, insta
 	// Install. The view's run lists equal the live ones (validated above,
 	// or the lock was held throughout), so dropping the view's runs drops
 	// exactly the partition's live runs.
-	edit := e.db.NewEdit()
+	edit := e.db.NewEdit().SetSource(storage.SrcCompaction)
 	for _, ref := range added {
 		edit.AddRun(ref)
 	}
@@ -491,16 +492,16 @@ func (e *Engine) compactJobAttempt(job CompactionJob) (installed bool, err error
 		}
 	}
 
-	newFrom, err := e.db.NewRunBuilder(TableFrom, p, job.OutputLevel, v.CP())
+	newFrom, err := e.db.NewRunBuilder(TableFrom, p, job.OutputLevel, v.CP(), storage.SrcCompaction)
 	if err != nil {
 		return false, err
 	}
-	newTo, err := e.db.NewRunBuilder(TableTo, p, job.OutputLevel, v.CP())
+	newTo, err := e.db.NewRunBuilder(TableTo, p, job.OutputLevel, v.CP(), storage.SrcCompaction)
 	if err != nil {
 		newFrom.Abort()
 		return false, err
 	}
-	newComb, err := e.db.NewRunBuilder(TableCombined, p, job.OutputLevel, v.CP())
+	newComb, err := e.db.NewRunBuilder(TableCombined, p, job.OutputLevel, v.CP(), storage.SrcCompaction)
 	if err != nil {
 		newFrom.Abort()
 		newTo.Abort()
@@ -512,7 +513,7 @@ func (e *Engine) compactJobAttempt(job CompactionJob) (installed bool, err error
 	// empty (and writes no run) unless an input carried them.
 	var newOver *lsm.RunBuilder
 	if e.expiryEnabled() {
-		newOver, err = e.db.NewRunBuilder(TableCombined, p, job.OutputLevel, v.CP())
+		newOver, err = e.db.NewRunBuilder(TableCombined, p, job.OutputLevel, v.CP(), storage.SrcCompaction)
 		if err != nil {
 			newFrom.Abort()
 			newTo.Abort()
@@ -582,7 +583,7 @@ func (e *Engine) compactJobAttempt(job CompactionJob) (installed bool, err error
 		return false, nil
 	}
 
-	edit := e.db.NewEdit()
+	edit := e.db.NewEdit().SetSource(storage.SrcCompaction)
 	for _, ref := range added {
 		edit.AddRun(ref)
 	}

@@ -132,6 +132,20 @@ type Options struct {
 	// real durations. Counters and background-op histograms are always
 	// exact.
 	MetricsSampleEvery int
+	// DisableIOAttribution turns off purpose-tagged I/O accounting. By
+	// default every VFS operation is attributed to the subsystem that
+	// issued it (wal, checkpoint, compaction, query, expiry, recovery,
+	// manifest) at the cost of a few atomic adds per I/O; see
+	// Engine.IOReport and the backlog_io_* metric families. Disabling it
+	// also zeroes per-run heat tracking and the write-amplification
+	// monitor's device-byte feed.
+	DisableIOAttribution bool
+	// WriteAmpWindow is the rolling window of the online write-
+	// amplification monitor (obs.DefaultWriteAmpWindow if zero). The
+	// monitor samples lazily on IOReport/metric scrapes; its resolution
+	// is bounded by that cadence.
+	WriteAmpWindow time.Duration
+
 	// Retention selects the snapshot-retention policy. RetainAll (the
 	// default) changes nothing: records referring only to deleted
 	// snapshots are reclaimed by compaction alone. RetainLive enables
@@ -329,6 +343,12 @@ type Engine struct {
 
 	stats counters
 
+	// ios is the purpose-tagged I/O accountant every VFS operation reports
+	// to (nil when Options.DisableIOAttribution); wamp is the rolling
+	// write-amplification monitor fed from it at IOReport/scrape time.
+	ios  *obs.IOStats
+	wamp *obs.WriteAmp
+
 	// obs is the observability state (nil when Options.Metrics, Tracer,
 	// and SlowOpThreshold are all unset). Instrumented paths gate every
 	// timestamp on this pointer, so disabled observability costs one
@@ -366,6 +386,19 @@ func Open(opts Options) (*Engine, error) {
 	// Observability state is built before the LSM layer so run readers can
 	// report decode latency into the page-decode histogram from the start.
 	eobs := newEngineObs(opts)
+	// I/O attribution wraps the VFS before anything opens a file, so even
+	// recovery I/O is accounted. Register must precede Attributed: the
+	// wrapper snapshots WantsLatency (set by Register) at wrap time.
+	vfs := opts.VFS
+	var ios *obs.IOStats
+	if !opts.DisableIOAttribution {
+		ios = obs.NewIOStats()
+		ios.Register(opts.Metrics)
+		vfs = storage.Attributed(opts.VFS, ios).Tagged(storage.SrcUnknown)
+	}
+	if eobs != nil {
+		eobs.ios = ios
+	}
 	lopts := lsm.Options{
 		Tables: []lsm.TableSpec{
 			{Name: TableFrom, RecordSize: FromRecSize, BloomMaxBytes: bfFromTo, Span: spanFrom},
@@ -383,7 +416,7 @@ func Open(opts Options) (*Engine, error) {
 	if eobs != nil {
 		lopts.DecodeObserver = eobs.pageDecode.ObserveDuration
 	}
-	db, err := lsm.Open(opts.VFS, lopts)
+	db, err := lsm.Open(vfs, lopts)
 	if err != nil {
 		return nil, err
 	}
@@ -401,11 +434,13 @@ func Open(opts Options) (*Engine, error) {
 	}
 	e := &Engine{
 		opts:    opts,
-		vfs:     opts.VFS,
+		vfs:     vfs,
 		catalog: opts.Catalog,
 		db:      db,
 		cache:   cache,
 		shards:  shards,
+		ios:     ios,
+		wamp:    obs.NewWriteAmp(opts.WriteAmpWindow),
 	}
 	e.obs = eobs
 	if err := e.openWAL(); err != nil {
@@ -949,7 +984,7 @@ func (e *Engine) checkpoint(cp uint64) error {
 	// the frozen stores.
 	start = time.Now()
 	e.mu.Lock()
-	edit := e.db.NewEdit().SetCP(cp)
+	edit := e.db.NewEdit().SetSource(storage.SrcCheckpoint).SetCP(cp)
 	var flushed uint64
 	for _, res := range results {
 		for _, ref := range res.refs {
@@ -1015,7 +1050,8 @@ func (e *Engine) checkpoint(cp uint64) error {
 			}
 		}
 	} else if e.staleWAL {
-		if err := wal.RemoveAll(e.vfs); err == nil {
+		// Removing stale segments is part of this checkpoint's work.
+		if err := wal.RemoveAll(storage.TagVFS(e.vfs, storage.SrcCheckpoint)); err == nil {
 			e.staleWAL = false
 		}
 		// On failure staleWAL stays set; the next checkpoint retries.
@@ -1113,7 +1149,7 @@ func flushWS[T any](db *lsm.DB, refs *[]lsm.RunRef, table string, cp uint64,
 		p := db.PartitionOf(block)
 		b := builders[p]
 		if b == nil {
-			nb, err := db.NewRunBuilder(table, p, 0, cp)
+			nb, err := db.NewRunBuilder(table, p, 0, cp, storage.SrcCheckpoint)
 			if err != nil {
 				retErr = err
 				return false
@@ -1362,3 +1398,8 @@ func (e *Engine) Catalog() Catalog { return e.catalog }
 
 // DB exposes the underlying LSM store for tests and tooling.
 func (e *Engine) DB() *lsm.DB { return e.db }
+
+// VFS returns the engine's filesystem — the attributed wrapper when I/O
+// attribution is on — so callers layering their own persistence next to
+// the engine (the catalog) can tag their I/O into the same accounting.
+func (e *Engine) VFS() storage.VFS { return e.vfs }

@@ -1,6 +1,9 @@
 package core
 
-import "github.com/backlogfs/backlog/internal/obs"
+import (
+	"github.com/backlogfs/backlog/internal/obs"
+	"github.com/backlogfs/backlog/internal/storage"
+)
 
 // Drop-based snapshot expiry. When every snapshot that could reference a
 // Combined run's records has been deleted, the run as a whole is garbage:
@@ -81,7 +84,7 @@ func (e *Engine) expire() (ExpireStats, error) {
 		return ExpireStats{Deferred: true}, nil
 	}
 	st := ExpireStats{Horizon: e.ReclaimHorizon()}
-	edit := e.db.NewEdit()
+	edit := e.db.NewEdit().SetSource(storage.SrcExpiry)
 	runs, recs := edit.DropRunsBelow(TableCombined, st.Horizon)
 	if runs == 0 {
 		// Nothing to drop; skip the manifest write entirely.

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"github.com/backlogfs/backlog/internal/obs"
+	"github.com/backlogfs/backlog/internal/storage"
 )
 
 // engineObs bundles the engine's observability state: the typed metric
@@ -20,6 +21,12 @@ import (
 type engineObs struct {
 	tracer obs.Tracer
 	slow   *obs.SlowLog
+
+	// ios, when attribution is on, lets traced ops carry per-source I/O
+	// byte deltas (OpEvent.ReadBytes/WriteBytes): opStart snapshots the
+	// op's source counters and opEnd subtracts. Nil with attribution
+	// disabled — ops then report zero bytes.
+	ios *obs.IOStats
 
 	// sampleMask gates the hot-op latency timestamps (AddRef, RemoveRef,
 	// Query): one op in every mask+1 per sample slot is timed, keeping
@@ -160,23 +167,65 @@ func (o *engineObs) sampleHot(block uint64) bool {
 	return o.samples[block%sampleSlots].n.Add(1)&o.sampleMask == 0
 }
 
-// opStart stamps an operation's begin time and emits the start trace
-// event. Hot-path callers gate on sampleHot first, so the timestamp is
-// only taken when some observability surface wants it.
-func (o *engineObs) opStart(kind obs.OpKind, shard int, block, cp uint64) time.Time {
-	start := time.Now()
-	if o.tracer != nil {
-		o.tracer.OpStart(obs.OpEvent{Kind: kind, Shard: shard, Block: block, CP: cp, Start: start})
-	}
-	return start
+// opToken carries an operation's begin state from opStart to opEnd: the
+// timestamp plus a snapshot of the op's source I/O counters, so the end
+// event can report how many device bytes the op's subsystem moved while
+// it ran.
+type opToken struct {
+	start    time.Time
+	ioR, ioW uint64
 }
 
-// opEnd records the operation's latency and emits the end trace event.
-func (o *engineObs) opEnd(kind obs.OpKind, shard int, block, cp uint64, start time.Time, h *obs.Histogram, err error) {
-	d := time.Since(start)
+// opSource maps an op kind to the I/O source its work is attributed to.
+// AddRef/RemoveRef move bytes only through the WAL (write-store inserts
+// are memory); queries and relocations read through the query-tagged run
+// handles.
+func opSource(kind obs.OpKind) storage.Source {
+	switch kind {
+	case obs.OpAddRef, obs.OpRemoveRef:
+		return storage.SrcWAL
+	case obs.OpQuery, obs.OpQueryRange, obs.OpRelocate:
+		return storage.SrcQuery
+	case obs.OpCheckpoint:
+		return storage.SrcCheckpoint
+	case obs.OpCompact:
+		return storage.SrcCompaction
+	case obs.OpExpire:
+		return storage.SrcExpiry
+	}
+	return storage.SrcUnknown
+}
+
+// opStart stamps an operation's begin time (plus its source's I/O counter
+// snapshot) and emits the start trace event. Hot-path callers gate on
+// sampleHot first, so the work here only happens when some observability
+// surface wants it.
+func (o *engineObs) opStart(kind obs.OpKind, shard int, block, cp uint64) opToken {
+	tok := opToken{start: time.Now()}
+	if o.ios != nil {
+		tok.ioR, tok.ioW = o.ios.SourceBytes(opSource(kind))
+	}
+	if o.tracer != nil {
+		o.tracer.OpStart(obs.OpEvent{Kind: kind, Shard: shard, Block: block, CP: cp, Start: tok.start})
+	}
+	return tok
+}
+
+// opEnd records the operation's latency and emits the end trace event,
+// carrying the source's I/O byte deltas since opStart. The deltas are
+// global per source, not per goroutine: concurrent same-source ops each
+// see the sum of what ran during their window — imprecise under overlap,
+// but enough to tell an I/O-bound slow op from a compute-bound one.
+func (o *engineObs) opEnd(kind obs.OpKind, shard int, block, cp uint64, tok opToken, h *obs.Histogram, err error) {
+	d := time.Since(tok.start)
 	h.ObserveDuration(d)
 	if o.tracer != nil {
-		o.tracer.OpEnd(obs.OpEvent{Kind: kind, Shard: shard, Block: block, CP: cp, Start: start, Dur: d, Err: err})
+		ev := obs.OpEvent{Kind: kind, Shard: shard, Block: block, CP: cp, Start: tok.start, Dur: d, Err: err}
+		if o.ios != nil {
+			r, w := o.ios.SourceBytes(opSource(kind))
+			ev.ReadBytes, ev.WriteBytes = r-tok.ioR, w-tok.ioW
+		}
+		o.tracer.OpEnd(ev)
 	}
 }
 
@@ -294,6 +343,36 @@ func (e *Engine) registerMetrics(r *obs.Registry) {
 				}
 				return float64(l) / float64(p)
 			})
+	}
+	// Per-table run heat: device bytes read on behalf of queries from the
+	// table's live runs, summed at scrape time. Zero when I/O attribution
+	// is disabled.
+	for _, table := range []string{TableFrom, TableTo, TableCombined} {
+		table := table
+		r.GaugeFunc(tableGaugeName("backlog_run_heat_bytes", table),
+			"Query-read device bytes accumulated by the table's live runs",
+			func() float64 {
+				e.mu.RLock()
+				defer e.mu.RUnlock()
+				var n int64
+				for _, ri := range e.db.RunInfos() {
+					if ri.Table == table {
+						n += ri.HeatBytes
+					}
+				}
+				return float64(n)
+			})
+	}
+	if e.ios != nil {
+		// The write-amplification gauges sample the monitor at scrape time
+		// (IOReport shares the same monitor), so their window resolution is
+		// the scrape interval.
+		r.GaugeFunc("backlog_write_amp",
+			"Rolling write amplification: device bytes written / user bytes in, over the monitor window",
+			func() float64 { return e.IOReport().WindowWriteAmp })
+		r.GaugeFunc("backlog_write_amp_cumulative",
+			"Cumulative write amplification since Open",
+			func() float64 { return e.IOReport().WriteAmp })
 	}
 	if e.cache != nil {
 		// The shared cache holds verified payloads and decoded v2 leaves;

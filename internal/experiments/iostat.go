@@ -1,0 +1,184 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+
+	"github.com/backlogfs/backlog/internal/core"
+	"github.com/backlogfs/backlog/internal/obs"
+	"github.com/backlogfs/backlog/internal/storage"
+)
+
+// IostatConfig parameterizes the I/O-attribution overhead experiment: the
+// same mixed update/query workload run with attribution disabled, with
+// attribution on (the default configuration — a few atomic adds per I/O,
+// no clock reads), and with a metrics registry attached on top (latency
+// histograms, two clock reads per I/O). It is not a paper figure — it
+// holds the attribution layer to its budget: the default-on configuration
+// must cost at most ~2%, because unlike the rest of the observability
+// surface it is enabled by default.
+type IostatConfig struct {
+	// Ops is the number of AddRef calls per configuration per round.
+	Ops int
+	// OpsPerCP is the checkpoint cadence (default 50k ops).
+	OpsPerCP int
+	// QueryEvery issues one Query per this many updates (default 16), so
+	// the read path's tagging and heat tracking carry load too.
+	QueryEvery int
+	// Goroutines is the number of concurrent workers (default GOMAXPROCS).
+	Goroutines int
+	// Rounds interleaves repeated measurements of every configuration
+	// (default 11); overhead is the median over rounds of the paired
+	// per-round delta against the same round's disabled run (see RunObs).
+	Rounds int
+}
+
+// DefaultIostatConfig returns the small-scale default.
+func DefaultIostatConfig() IostatConfig {
+	return IostatConfig{Ops: 400_000, OpsPerCP: 50_000, QueryEvery: 16, Rounds: 11}
+}
+
+// IostatPoint is one configuration's result.
+type IostatPoint struct {
+	Name      string
+	Ops       int
+	Nanos     int64
+	OpsPerSec float64
+	// OverheadPct is throughput loss relative to the disabled
+	// configuration (positive = slower): the median over rounds of the
+	// paired per-round delta.
+	OverheadPct float64
+	// Report is the final round's attribution report (zero with
+	// Attribution=false in the disabled configuration). Its per-source
+	// byte sums equal its totals exactly — the audit below fails the
+	// experiment otherwise.
+	Report core.IOReport
+}
+
+// RunIostat measures the overhead of purpose-tagged I/O attribution on a
+// mixed update/query workload against an in-memory engine, and audits the
+// accounting: per-source bytes must sum to the totals, and the hot paths
+// must not leak unattributed ("unknown") I/O.
+func RunIostat(cfg IostatConfig) ([]IostatPoint, error) {
+	def := DefaultIostatConfig()
+	if cfg.Ops <= 0 {
+		cfg.Ops = def.Ops
+	}
+	if cfg.OpsPerCP <= 0 {
+		cfg.OpsPerCP = def.OpsPerCP
+	}
+	if cfg.QueryEvery <= 0 {
+		cfg.QueryEvery = def.QueryEvery
+	}
+	if cfg.Goroutines <= 0 {
+		cfg.Goroutines = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Rounds <= 0 {
+		cfg.Rounds = def.Rounds
+	}
+
+	type setup struct {
+		name     string
+		disabled bool
+		metrics  bool
+	}
+	setups := []setup{
+		{"disabled", true, false},
+		{"attributed", false, false},
+		{"attributed+metrics", false, true},
+	}
+	points := make([]IostatPoint, len(setups))
+	roundNanos := make([][]int64, len(setups))
+	for i, s := range setups {
+		points[i] = IostatPoint{Name: s.name}
+		roundNanos[i] = make([]int64, cfg.Rounds)
+	}
+	ocfg := ObsConfig{
+		Ops: cfg.Ops, OpsPerCP: cfg.OpsPerCP,
+		QueryEvery: cfg.QueryEvery, Goroutines: cfg.Goroutines,
+	}
+	for round := 0; round < cfg.Rounds; round++ {
+		for i, s := range setups {
+			runtime.GC()
+			opts := core.Options{
+				VFS:                  storage.NewMemFS(),
+				Catalog:              core.NewMemCatalog(),
+				WriteShards:          cfg.Goroutines,
+				DisableIOAttribution: s.disabled,
+			}
+			if s.metrics {
+				opts.Metrics = obs.NewRegistry()
+			}
+			ops, nanos, rep, err := iostatOnce(opts, ocfg)
+			if err != nil {
+				return nil, fmt.Errorf("%s round %d: %w", s.name, round, err)
+			}
+			if !s.disabled {
+				if err := auditReport(rep); err != nil {
+					return nil, fmt.Errorf("%s round %d: %w", s.name, round, err)
+				}
+			}
+			roundNanos[i][round] = nanos
+			if points[i].Nanos == 0 || nanos < points[i].Nanos {
+				points[i].Ops = ops
+				points[i].Nanos = nanos
+			}
+			points[i].Report = rep
+		}
+	}
+	for i := range points {
+		points[i].OpsPerSec = float64(points[i].Ops) / (float64(points[i].Nanos) / 1e9)
+		deltas := make([]float64, cfg.Rounds)
+		for r := 0; r < cfg.Rounds; r++ {
+			deltas[r] = 100 * (float64(roundNanos[i][r])/float64(roundNanos[0][r]) - 1)
+		}
+		sort.Float64s(deltas)
+		mid := cfg.Rounds / 2
+		if cfg.Rounds%2 == 0 {
+			points[i].OverheadPct = (deltas[mid-1] + deltas[mid]) / 2
+		} else {
+			points[i].OverheadPct = deltas[mid]
+		}
+	}
+	return points, nil
+}
+
+// auditReport checks the attribution invariants on a finished run's
+// report: per-source bytes sum to the totals (the wrapper records the
+// same n the device sees, so this is exact), and the engine's hot paths
+// leak no unattributed I/O.
+func auditReport(rep core.IOReport) error {
+	if !rep.Attribution {
+		return fmt.Errorf("attribution unexpectedly disabled")
+	}
+	var sumR, sumW uint64
+	for _, s := range rep.Sources {
+		sumR += s.ReadBytes
+		sumW += s.WriteBytes
+		if s.Source == storage.SrcUnknown.String() && (s.ReadBytes > 0 || s.WriteBytes > 0) {
+			return fmt.Errorf("unattributed i/o leaked: %d read / %d written bytes tagged %q",
+				s.ReadBytes, s.WriteBytes, s.Source)
+		}
+	}
+	if sumR != rep.TotalReadBytes || sumW != rep.TotalWriteBytes {
+		return fmt.Errorf("per-source bytes do not sum to totals: %d/%d read, %d/%d written",
+			sumR, rep.TotalReadBytes, sumW, rep.TotalWriteBytes)
+	}
+	return nil
+}
+
+// iostatOnce drives one configuration with the obs experiment's workload
+// and returns the attribution report alongside the timing.
+func iostatOnce(opts core.Options, cfg ObsConfig) (int, int64, core.IOReport, error) {
+	eng, err := core.Open(opts)
+	if err != nil {
+		return 0, 0, core.IOReport{}, err
+	}
+	ops, nanos, err := obsDrive(eng, cfg)
+	rep := eng.IOReport()
+	if cerr := eng.Close(); err == nil {
+		err = cerr
+	}
+	return ops, nanos, rep, err
+}

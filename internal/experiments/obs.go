@@ -179,6 +179,13 @@ func obsOnce(opts core.Options, cfg ObsConfig) (int, int64, error) {
 		return 0, 0, err
 	}
 	defer eng.Close()
+	return obsDrive(eng, cfg)
+}
+
+// obsDrive runs the mixed workload against an already-open engine (shared
+// with the iostat experiment, which needs the engine afterwards for its
+// attribution report).
+func obsDrive(eng *core.Engine, cfg ObsConfig) (int, int64, error) {
 	var (
 		wg       sync.WaitGroup
 		counter  atomic.Uint64

@@ -28,6 +28,12 @@ type Edit struct {
 	// removed by the last Commit.
 	gcDV        map[string]bool
 	dvCollected int
+
+	// src is the subsystem committing the edit (checkpoint, compaction,
+	// expiry); it attributes the I/O of installing added runs and of
+	// removing dropped ones. Manifest and deletion-vector persistence is
+	// always attributed to the manifest source regardless of src.
+	src storage.Source
 }
 
 // dvSnap is a deletion-vector snapshot captured before lock-free work
@@ -42,6 +48,13 @@ type dvSnap struct {
 func (db *DB) NewEdit() *Edit {
 	return &Edit{db: db, drop: map[string][]string{}, replaceDV: map[string]bool{},
 		dvAsOf: map[string]dvSnap{}, gcDV: map[string]bool{}}
+}
+
+// SetSource records the subsystem on whose behalf the edit commits; run
+// installs and dropped-run removals are attributed to it.
+func (e *Edit) SetSource(src storage.Source) *Edit {
+	e.src = src
+	return e
 }
 
 // SetCP records the consistency point number this edit commits.
@@ -140,7 +153,7 @@ func (e *Edit) Commit() error {
 	// fail cleans up after a pre-commit-point error.
 	fail := func(err error) error {
 		for _, ref := range e.add {
-			_ = db.vfs.Remove(ref.rm.Name)
+			_ = db.vfsFor(ref.src).Remove(ref.rm.Name)
 		}
 		return err
 	}
@@ -179,6 +192,10 @@ func (e *Edit) Commit() error {
 		for p, runs := range t.runs {
 			for _, r := range runs {
 				if dropSet[name][r.name] {
+					// Stamp the dropper before the version swap: the file
+					// removal may happen much later (a view release), and
+					// must be attributed to the operation that doomed it.
+					r.doomedBy = e.src
 					droppedRuns = append(droppedRuns, r)
 					continue
 				}
@@ -194,7 +211,7 @@ func (e *Edit) Commit() error {
 		if t == nil {
 			return fail(fmt.Errorf("lsm: commit references unknown table %q", ref.table))
 		}
-		r, err := db.openRun(t, ref.rm)
+		r, err := db.openRun(t, ref.rm, ref.src)
 		if err != nil {
 			return fail(err)
 		}
@@ -301,7 +318,7 @@ func (e *Edit) Commit() error {
 	// back, so a Commit can never roll IDs backwards under a concurrent
 	// allocation.
 	next.NextID = db.nextIDSnapshot()
-	if err := writeManifest(db.vfs, next); err != nil {
+	if err := writeManifest(db.vfsFor(storage.SrcManifest), next); err != nil {
 		return fail(err)
 	}
 
@@ -309,6 +326,7 @@ func (e *Edit) Commit() error {
 	// version. The version transition happens under viewMu so it is
 	// atomic with respect to concurrent AcquireView/Release calls.
 	db.m = next
+	db.curCP.Store(next.CP)
 	db.viewMu.Lock()
 	for name, t := range db.tables {
 		t.runs = newRuns[name]
@@ -376,14 +394,14 @@ func (e *Edit) Commit() error {
 	// these errors is what makes the invariant "Commit returned an error
 	// ⟺ the edit did not commit" hold, which the engine's retry and
 	// deletion-vector-restore paths rely on.
-	for _, n := range doomed {
-		_ = db.vfs.Remove(n)
+	for _, r := range doomed {
+		_ = db.vfsFor(r.doomedBy).Remove(r.name)
 	}
 	// Replaced deletion-vector files are read only at Open (versions
 	// snapshot the in-memory maps, not the files), so they are deleted
-	// eagerly.
+	// eagerly, attributed like the writes that superseded them.
 	for _, n := range dvToDelete {
-		_ = db.vfs.Remove(n)
+		_ = db.vfsFor(storage.SrcManifest).Remove(n)
 	}
 	return nil
 }
@@ -568,7 +586,7 @@ func (t *Table) writeDV(name string, dv map[string]struct{}) error {
 		recs = append(recs, r)
 	}
 	sort.Strings(recs)
-	f, err := t.db.vfs.Create(name)
+	f, err := t.db.vfsFor(storage.SrcManifest).Create(name)
 	if err != nil {
 		return err
 	}
@@ -588,7 +606,7 @@ func (t *Table) writeDV(name string, dv map[string]struct{}) error {
 }
 
 func (t *Table) loadDV(name string) error {
-	f, err := t.db.vfs.Open(name)
+	f, err := t.db.vfsFor(storage.SrcRecovery).Open(name)
 	if err != nil {
 		return err
 	}

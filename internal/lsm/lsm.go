@@ -31,6 +31,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/backlogfs/backlog/internal/btree"
@@ -121,6 +122,11 @@ type DB struct {
 	tables map[string]*Table
 	m      manifest
 
+	// curCP mirrors m.CP for lock-free readers: Run.SeekGE stamps each
+	// run's last-access CP from it without taking any lock, while Commit
+	// replaces db.m concurrently. Written at Open and at every Commit.
+	curCP atomic.Uint64
+
 	// idMu guards nextID, the monotonic run/DV file-ID allocator.
 	// Allocation is deliberately outside the manifest struct: builders
 	// (checkpoint shard flushes, optimistic compactions) allocate with no
@@ -183,14 +189,21 @@ func (db *DB) deferRun(name string) {
 	db.deferred[name] = struct{}{}
 }
 
-// undeferAll clears deferred-tracking for files whose last pin just went
-// (they are about to be removed). Caller holds viewMu. Deleting a name
-// that was never deferred (a run doomed without ever outliving its drop)
-// is a no-op.
-func (db *DB) undeferAll(doomed []string) {
-	for _, n := range doomed {
-		delete(db.deferred, n)
+// undeferAll clears deferred-tracking for runs whose last pin just went
+// (they are about to be removed). Caller holds viewMu. Deleting a run
+// that was never deferred (doomed without ever outliving its drop) is a
+// no-op.
+func (db *DB) undeferAll(doomed []*Run) {
+	for _, r := range doomed {
+		delete(db.deferred, r.name)
 	}
+}
+
+// vfsFor returns the DB's VFS re-tagged to attribute I/O to src. With an
+// unattributed VFS (plain MemFS/DirFS) it returns the VFS unchanged, so
+// every internal call site tags unconditionally.
+func (db *DB) vfsFor(src storage.Source) storage.VFS {
+	return storage.TagVFS(db.vfs, src)
 }
 
 // allocID hands out the next file ID.
@@ -362,6 +375,7 @@ func Open(vfs storage.VFS, opts Options) (*DB, error) {
 		return nil, err
 	}
 	db.nextID = db.m.NextID
+	db.curCP.Store(db.m.CP)
 	if err := db.collectOrphans(); err != nil {
 		return nil, err
 	}
@@ -499,6 +513,13 @@ type RunInfo struct {
 	MinCP, MaxCP  uint64
 	Overrides     uint64
 	CPWindowKnown bool
+	// HeatBytes is the cumulative bytes read from the run's file on behalf
+	// of queries (cache misses only — page-cache hits cost no device I/O),
+	// and LastAccessCP the committed CP current at the run's most recent
+	// query seek. Both are zero when I/O attribution is disabled; size-aware
+	// leveling and cold-run placement read them to rank runs by heat.
+	HeatBytes    int64
+	LastAccessCP uint64
 }
 
 // RunInfos lists every live run ordered by (table, partition, age). The
@@ -522,6 +543,8 @@ func (db *DB) RunInfos() []RunInfo {
 					MinBlock:     r.minBlock, MaxBlock: r.maxBlock, CP: r.cp,
 					MinCP: r.minCP, MaxCP: r.maxCP, Overrides: r.overrides,
 					CPWindowKnown: !r.cpUnknown,
+					HeatBytes:     r.heatBytes.Load(),
+					LastAccessCP:  r.lastCP.Load(),
 				})
 			}
 		}
@@ -530,7 +553,7 @@ func (db *DB) RunInfos() []RunInfo {
 }
 
 func (db *DB) loadManifest() error {
-	f, err := db.vfs.Open(manifestName)
+	f, err := db.vfsFor(storage.SrcRecovery).Open(manifestName)
 	if errors.Is(err, storage.ErrNotExist) {
 		db.m = manifest{Version: manifestVersion, NextID: 1, Tables: map[string]tableManifest{}}
 		return nil
@@ -582,7 +605,7 @@ func (db *DB) loadManifest() error {
 		}
 		for p, runs := range tm.Partitions {
 			for _, rm := range runs {
-				r, err := db.openRun(t, rm)
+				r, err := db.openRun(t, rm, storage.SrcRecovery)
 				if err != nil {
 					return err
 				}
@@ -617,6 +640,7 @@ func (db *DB) collectOrphans() error {
 	if err != nil {
 		return err
 	}
+	rvfs := db.vfsFor(storage.SrcRecovery)
 	for _, name := range names {
 		if live[name] {
 			continue
@@ -625,7 +649,7 @@ func (db *DB) collectOrphans() error {
 			name != manifestTmpName {
 			continue // not ours
 		}
-		if err := db.vfs.Remove(name); err != nil && !errors.Is(err, storage.ErrNotExist) {
+		if err := rvfs.Remove(name); err != nil && !errors.Is(err, storage.ErrNotExist) {
 			return err
 		}
 	}

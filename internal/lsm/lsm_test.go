@@ -49,7 +49,7 @@ func flushRecords(t *testing.T, db *DB, table string, cp uint64, recs [][]byte) 
 		b, ok := builders[p]
 		if !ok {
 			var err error
-			b, err = db.NewRunBuilder(table, p, 0, cp)
+			b, err = db.NewRunBuilder(table, p, 0, cp, storage.SrcCheckpoint)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -144,7 +144,7 @@ func TestCrashBeforeCommitRecoversOldState(t *testing.T) {
 	flushRecords(t, db, "from", 1, [][]byte{rec16(1, 10)})
 
 	// Write a run but crash before the manifest commit.
-	b, err := db.NewRunBuilder("from", 0, 0, 2)
+	b, err := db.NewRunBuilder("from", 0, 0, 2, storage.SrcCheckpoint)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -271,7 +271,7 @@ func TestCompactionReplacesRuns(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	nb, err := db.NewRunBuilder("from", 0, 1, db.CP())
+	nb, err := db.NewRunBuilder("from", 0, 1, db.CP(), storage.SrcCompaction)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -389,7 +389,7 @@ func TestBloomPrunesRuns(t *testing.T) {
 func TestEmptyBuilderProducesNoRun(t *testing.T) {
 	fs := storage.NewMemFS()
 	db := openTestDB(t, fs, 1)
-	b, err := db.NewRunBuilder("from", 0, 0, 1)
+	b, err := db.NewRunBuilder("from", 0, 0, 1, storage.SrcCheckpoint)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -409,7 +409,7 @@ func TestEmptyBuilderProducesNoRun(t *testing.T) {
 func TestAbortRemovesFile(t *testing.T) {
 	fs := storage.NewMemFS()
 	db := openTestDB(t, fs, 1)
-	b, err := db.NewRunBuilder("from", 0, 0, 1)
+	b, err := db.NewRunBuilder("from", 0, 0, 1, storage.SrcCheckpoint)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -569,7 +569,7 @@ func BenchmarkFlush32kRecords(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		rb, err := db.NewRunBuilder("from", 0, 0, 1)
+		rb, err := db.NewRunBuilder("from", 0, 0, 1, storage.SrcCheckpoint)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -599,7 +599,7 @@ func BenchmarkCollectBlockAcrossRuns(b *testing.B) {
 	}
 	// 20 runs of 1000 records each.
 	for cp := uint64(1); cp <= 20; cp++ {
-		rb, err := db.NewRunBuilder("from", 0, 0, cp)
+		rb, err := db.NewRunBuilder("from", 0, 0, cp, storage.SrcCheckpoint)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -3,6 +3,7 @@ package lsm
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"github.com/backlogfs/backlog/internal/bloom"
 	"github.com/backlogfs/backlog/internal/btree"
@@ -37,10 +38,30 @@ type Run struct {
 	// destroyed the run's file is reclaimed.
 	refs int
 
-	mu     sync.Mutex
-	reader *btree.Reader
-	filter *bloom.Filter
-	noBF   bool // run carries no bloom filter
+	// qreader serves query seeks and Bloom loads, creader compaction
+	// scans: shallow copies of one btree.Reader differing only in the
+	// purpose tag of their file handle, so every cache-miss page read is
+	// attributed to the subsystem that caused it. They share one cache
+	// identity — pages either fills are hits for both. With attribution
+	// disabled both wrap the same untagged file.
+	mu      sync.Mutex
+	qreader *btree.Reader
+	creader *btree.Reader
+	filter  *bloom.Filter
+	noBF    bool // run carries no bloom filter
+
+	// heatBytes accumulates device bytes read on behalf of queries (fed by
+	// the query handle's read hook; cache hits add nothing) and lastCP the
+	// committed CP current at the most recent query seek — the per-run
+	// access heat that size-aware leveling and cold-run placement consume.
+	heatBytes atomic.Int64
+	lastCP    atomic.Uint64
+
+	// doomedBy records which subsystem's commit dropped the run, so the
+	// deferred file removal (possibly performed much later, by a view
+	// release) is attributed to the operation that doomed it. Written
+	// before the dropping commit's version swap, read under viewMu.
+	doomedBy storage.Source
 }
 
 // Name returns the run's file name.
@@ -92,8 +113,19 @@ func (r *Run) DroppableBelow(cp uint64) bool {
 	return !r.cpUnknown && r.overrides == 0 && r.maxCP < cp
 }
 
-func (db *DB) openRun(t *Table, rm runManifest) (*Run, error) {
-	f, err := db.vfs.Open(rm.Name)
+// HeatBytes returns the cumulative device bytes read from the run on
+// behalf of queries (zero when I/O attribution is disabled).
+func (r *Run) HeatBytes() int64 { return r.heatBytes.Load() }
+
+// LastAccessCP returns the committed consistency point current at the
+// run's most recent query seek (zero if never queried).
+func (r *Run) LastAccessCP() uint64 { return r.lastCP.Load() }
+
+// openRun opens a run file and its per-purpose readers. The header read
+// performed here is attributed to src: recovery when loading the
+// manifest, the committing operation when installing a fresh run.
+func (db *DB) openRun(t *Table, rm runManifest, src storage.Source) (*Run, error) {
+	f, err := db.vfsFor(src).Open(rm.Name)
 	if err != nil {
 		return nil, fmt.Errorf("lsm: opening run: %w", err)
 	}
@@ -108,7 +140,7 @@ func (db *DB) openRun(t *Table, rm runManifest) (*Run, error) {
 	if db.opts.DecodeObserver != nil {
 		rd.SetDecodeObserver(db.opts.DecodeObserver)
 	}
-	return &Run{
+	r := &Run{
 		name:      rm.Name,
 		level:     rm.Level,
 		records:   rm.Records,
@@ -122,10 +154,14 @@ func (db *DB) openRun(t *Table, rm runManifest) (*Run, error) {
 		sizeBytes: rd.SizeBytes(),
 		format:    rd.Format(),
 		table:     t,
-		reader:    rd,
 		// refs stays 0 until a version installation picks the run up; a
 		// Commit that fails before installing removes the file itself.
-	}, nil
+	}
+	qf := storage.WithReadHook(storage.TagFile(f, storage.SrcQuery),
+		func(n int) { r.heatBytes.Add(int64(n)) })
+	r.qreader = rd.WithFile(qf)
+	r.creader = rd.WithFile(storage.TagFile(f, storage.SrcCompaction))
+	return r, nil
 }
 
 // MayContainBlock consults the run's key range and Bloom filter. A false
@@ -151,7 +187,7 @@ func (r *Run) bloomFilter() (*bloom.Filter, error) {
 	if r.filter != nil || r.noBF {
 		return r.filter, nil
 	}
-	data, err := r.reader.BloomBytes()
+	data, err := r.qreader.BloomBytes()
 	if err != nil {
 		return nil, err
 	}
@@ -168,14 +204,17 @@ func (r *Run) bloomFilter() (*bloom.Filter, error) {
 }
 
 // SeekGE returns an iterator over the run positioned at the first record
-// >= key.
+// >= key. Seeks count as query accesses: the run's last-access CP is
+// stamped and cache-miss reads feed its heat counter.
 func (r *Run) SeekGE(key []byte) (*btree.Iterator, error) {
-	return r.reader.SeekGE(key)
+	r.lastCP.Store(r.table.db.curCP.Load())
+	return r.qreader.SeekGE(key)
 }
 
-// First returns an iterator over the whole run.
+// First returns an iterator over the whole run, reading through the
+// compaction-tagged handle: full scans are merge work, not query heat.
 func (r *Run) First() (*btree.Iterator, error) {
-	return r.reader.First()
+	return r.creader.First()
 }
 
 // RunBuilder accumulates sorted records into a new run file. Builders are
@@ -187,6 +226,7 @@ type RunBuilder struct {
 	partition int
 	level     int
 	cp        uint64
+	src       storage.Source
 
 	name   string
 	file   storage.File
@@ -208,8 +248,10 @@ type RunBuilder struct {
 // per-CP flush; levels >= 1 compacted runs (compaction stamps its outputs
 // one level above its inputs, or 1 for a full-partition merge). The run
 // file is created immediately but becomes visible only when its RunRef is
-// committed.
-func (db *DB) NewRunBuilder(table string, partition, level int, cp uint64) (*RunBuilder, error) {
+// committed. All I/O the builder issues — file creation, page writes, the
+// final sync, and removal on abort — is attributed to src (checkpoint for
+// per-CP flushes, compaction for merges).
+func (db *DB) NewRunBuilder(table string, partition, level int, cp uint64, src storage.Source) (*RunBuilder, error) {
 	t := db.tables[table]
 	if t == nil {
 		return nil, fmt.Errorf("lsm: unknown table %q", table)
@@ -218,7 +260,7 @@ func (db *DB) NewRunBuilder(table string, partition, level int, cp uint64) (*Run
 		return nil, fmt.Errorf("lsm: partition %d out of range", partition)
 	}
 	name := fmt.Sprintf("%s.p%03d.%010d.run", table, partition, db.allocID())
-	f, err := db.vfs.Create(name)
+	f, err := db.vfsFor(src).Create(name)
 	if err != nil {
 		return nil, err
 	}
@@ -238,6 +280,7 @@ func (db *DB) NewRunBuilder(table string, partition, level int, cp uint64) (*Run
 		partition: partition,
 		level:     level,
 		cp:        cp,
+		src:       src,
 		name:      name,
 		file:      f,
 		writer:    w,
@@ -289,6 +332,7 @@ type RunRef struct {
 	partition int
 	rm        runManifest
 	sizeBytes int64
+	src       storage.Source
 }
 
 // SizeBytes returns the finished run's physical on-disk size; compaction
@@ -305,7 +349,7 @@ func (ref RunRef) Records() uint64 { return ref.rm.Records }
 func (b *RunBuilder) Finish() (ref RunRef, ok bool, err error) {
 	if b.writer.Count() == 0 {
 		b.file.Close()
-		if err := b.db.vfs.Remove(b.name); err != nil {
+		if err := b.db.vfsFor(b.src).Remove(b.name); err != nil {
 			return RunRef{}, false, err
 		}
 		return RunRef{}, false, nil
@@ -339,13 +383,14 @@ func (b *RunBuilder) Finish() (ref RunRef, ok bool, err error) {
 		partition: b.partition,
 		rm:        rm,
 		sizeBytes: b.writer.SizeBytes(),
+		src:       b.src,
 	}, true, nil
 }
 
 // Abort removes a builder's file without committing it.
 func (b *RunBuilder) Abort() {
 	b.file.Close()
-	_ = b.db.vfs.Remove(b.name)
+	_ = b.db.vfsFor(b.src).Remove(b.name)
 }
 
 // DiscardRun removes the file behind a finished run that was never handed
@@ -357,5 +402,5 @@ func (db *DB) DiscardRun(ref RunRef) {
 	if ref.rm.Name == "" {
 		return
 	}
-	_ = db.vfs.Remove(ref.rm.Name)
+	_ = db.vfsFor(ref.src).Remove(ref.rm.Name)
 }

@@ -47,9 +47,11 @@ func (db *DB) newVersion() *version {
 
 // unref drops one reference to the version; at zero the version is
 // destroyed and every run only it referenced becomes reclaimable. The
-// caller holds db.viewMu; the returned file names must be removed after
-// the lock is dropped (file I/O stays out of the critical section).
-func (ver *version) unref() (doomed []string) {
+// caller holds db.viewMu; the returned runs' files must be removed after
+// the lock is dropped (file I/O stays out of the critical section) —
+// returning runs rather than names lets the removal be attributed to the
+// operation that doomed each run.
+func (ver *version) unref() (doomed []*Run) {
 	ver.refs--
 	if ver.refs > 0 {
 		return nil
@@ -59,7 +61,7 @@ func (ver *version) unref() (doomed []string) {
 			for _, r := range part {
 				r.refs--
 				if r.refs == 0 {
-					doomed = append(doomed, r.name)
+					doomed = append(doomed, r)
 				}
 			}
 		}
@@ -98,7 +100,7 @@ type View struct {
 // views keep their snapshot.
 func (db *DB) AcquireView() *View {
 	db.viewMu.Lock()
-	var doomed []string
+	var doomed []*Run
 	if db.verStale {
 		next := db.newVersion()
 		doomed = db.cur.unref()
@@ -110,8 +112,8 @@ func (db *DB) AcquireView() *View {
 	db.views++
 	v := &View{db: db, ver: db.cur}
 	db.viewMu.Unlock()
-	for _, n := range doomed {
-		_ = db.vfs.Remove(n)
+	for _, r := range doomed {
+		_ = db.vfsFor(r.doomedBy).Remove(r.name)
 	}
 	return v
 }
@@ -124,7 +126,7 @@ func (v *View) Release() {
 		return
 	}
 	v.db.viewMu.Lock()
-	var doomed []string
+	var doomed []*Run
 	if !v.released {
 		v.released = true
 		v.db.views--
@@ -132,8 +134,8 @@ func (v *View) Release() {
 		v.db.undeferAll(doomed)
 	}
 	v.db.viewMu.Unlock()
-	for _, name := range doomed {
-		_ = v.db.vfs.Remove(name)
+	for _, r := range doomed {
+		_ = v.db.vfsFor(r.doomedBy).Remove(r.name)
 	}
 }
 

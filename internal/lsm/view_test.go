@@ -43,7 +43,7 @@ func compactInto(t *testing.T, db *DB) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := db.NewRunBuilder("from", 0, 1, db.CP())
+	b, err := db.NewRunBuilder("from", 0, 1, db.CP(), storage.SrcCompaction)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -20,16 +20,26 @@ import (
 //	                cmdline and abridged runtime.MemStats
 //	/debug/slowops  the slow-op ring buffer as JSON (if a SlowLog is wired)
 //	/debug/pprof/   net/http/pprof (profile, heap, trace, ...)
+//
+// Callers may mount additional pages (the engine adds /debug/io) via the
+// variadic Page arguments to Serve.
 type DebugServer struct {
 	ln   net.Listener
 	srv  *http.Server
 	done chan struct{}
 }
 
+// Page is an extra handler mounted on the debug server at Path.
+type Page struct {
+	Path    string
+	Handler http.HandlerFunc
+}
+
 // Serve starts a debug server on addr (host:port; an empty port picks a
 // free one — see Addr). reg supplies /metrics and /debug/vars; slow (may
-// be nil) supplies /debug/slowops. The server runs until Close.
-func Serve(addr string, reg *Registry, slow *SlowLog) (*DebugServer, error) {
+// be nil) supplies /debug/slowops; pages are mounted verbatim. The server
+// runs until Close.
+func Serve(addr string, reg *Registry, slow *SlowLog, pages ...Page) (*DebugServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: debug listener on %s: %w", addr, err)
@@ -63,13 +73,15 @@ func Serve(addr string, reg *Registry, slow *SlowLog) (*DebugServer, error) {
 			w.Header().Set("Content-Type", "application/json; charset=utf-8")
 			events := slow.Snapshot()
 			type slowOp struct {
-				Kind  string    `json:"kind"`
-				Shard int       `json:"shard"`
-				CP    uint64    `json:"cp"`
-				Block uint64    `json:"block"`
-				Start time.Time `json:"start"`
-				DurNS int64     `json:"dur_ns"`
-				Err   string    `json:"err,omitempty"`
+				Kind       string    `json:"kind"`
+				Shard      int       `json:"shard"`
+				CP         uint64    `json:"cp"`
+				Block      uint64    `json:"block"`
+				Start      time.Time `json:"start"`
+				DurNS      int64     `json:"dur_ns"`
+				ReadBytes  uint64    `json:"read_bytes,omitempty"`
+				WriteBytes uint64    `json:"write_bytes,omitempty"`
+				Err        string    `json:"err,omitempty"`
 			}
 			out := struct {
 				ThresholdNS int64    `json:"threshold_ns"`
@@ -78,7 +90,8 @@ func Serve(addr string, reg *Registry, slow *SlowLog) (*DebugServer, error) {
 			}{ThresholdNS: int64(slow.Threshold()), Total: slow.Total()}
 			for _, ev := range events {
 				op := slowOp{Kind: ev.Kind.String(), Shard: ev.Shard, CP: ev.CP,
-					Block: ev.Block, Start: ev.Start, DurNS: int64(ev.Dur)}
+					Block: ev.Block, Start: ev.Start, DurNS: int64(ev.Dur),
+					ReadBytes: ev.ReadBytes, WriteBytes: ev.WriteBytes}
 				if ev.Err != nil {
 					op.Err = ev.Err.Error()
 				}
@@ -89,6 +102,11 @@ func Serve(addr string, reg *Registry, slow *SlowLog) (*DebugServer, error) {
 	}
 	// net/http/pprof registers on http.DefaultServeMux at import; this
 	// server uses its own mux, so the handlers are mounted explicitly.
+	for _, p := range pages {
+		if p.Path != "" && p.Handler != nil {
+			mux.HandleFunc(p.Path, p.Handler)
+		}
+	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

@@ -49,9 +49,15 @@ func WritePrometheus(w io.Writer, s Snapshot) error {
 		}
 	}
 	for _, h := range s.Histograms {
-		base, _, err := header(h.Name, h.Help, "histogram")
+		base, labels, err := header(h.Name, h.Help, "histogram")
 		if err != nil {
 			return err
+		}
+		// A labeled histogram ("{src=\"wal\"}") merges its label set with
+		// the per-bucket le label: base_bucket{src="wal",le="..."}.
+		inner := strings.TrimSuffix(strings.TrimPrefix(labels, "{"), "}")
+		if inner != "" {
+			inner += ","
 		}
 		var cum uint64
 		for _, b := range h.Buckets {
@@ -60,14 +66,14 @@ func WritePrometheus(w io.Writer, s Snapshot) error {
 			if b.UpperBound != math.MaxUint64 {
 				le = fmt.Sprintf("%d", b.UpperBound)
 			}
-			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", base, le, cum); err != nil {
+			if _, err := fmt.Fprintf(w, "%s_bucket{%sle=\"%s\"} %d\n", base, inner, le, cum); err != nil {
 				return err
 			}
 		}
-		if _, err := fmt.Fprintf(w, "%s_sum %d\n", base, h.Sum); err != nil {
+		if _, err := fmt.Fprintf(w, "%s_sum%s %d\n", base, labels, h.Sum); err != nil {
 			return err
 		}
-		if _, err := fmt.Fprintf(w, "%s_count %d\n", base, h.Count); err != nil {
+		if _, err := fmt.Fprintf(w, "%s_count%s %d\n", base, labels, h.Count); err != nil {
 			return err
 		}
 	}
@@ -81,6 +87,36 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		return nil
 	}
 	return WritePrometheus(w, r.Snapshot())
+}
+
+// MetricName builds a labeled metric name ("base{k1=\"v1\",k2=\"v2\"}")
+// from alternating key/value pairs, escaping label values per the
+// Prometheus exposition format. Metrics with the same base but distinct
+// label sets form one family sharing a HELP/TYPE header.
+func MetricName(base string, labelPairs ...string) string {
+	if len(labelPairs) == 0 {
+		return base
+	}
+	var b strings.Builder
+	b.WriteString(base)
+	b.WriteByte('{')
+	for i := 0; i+1 < len(labelPairs); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(labelPairs[i])
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(labelPairs[i+1]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabelValue(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
 }
 
 // splitLabels splits "name{labels}" into "name" and "{labels}"; a plain

@@ -56,6 +56,15 @@ type OpEvent struct {
 	Start time.Time
 	Dur   time.Duration
 	Err   error
+
+	// ReadBytes and WriteBytes are the device bytes the op's subsystem
+	// moved while the op ran (end events only; zero without I/O
+	// attribution). They are per-source global deltas, not per-goroutine
+	// ones: concurrent ops of the same source each see the sum of what ran
+	// during their window, which is still enough to tell an I/O-bound slow
+	// op from a compute-bound one.
+	ReadBytes  uint64
+	WriteBytes uint64
 }
 
 // Tracer receives operation start/end events from an instrumented engine.

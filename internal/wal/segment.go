@@ -114,7 +114,7 @@ type tear struct {
 // expected state after a crash mid-append); damage anywhere else is an
 // error.
 func Recover(vfs storage.VFS) (Recovered, error) {
-	rec, _, _, err := recoverLog(vfs)
+	rec, _, _, err := recoverLog(storage.TagVFS(vfs, storage.SrcRecovery))
 	return rec, err
 }
 

@@ -170,7 +170,10 @@ func Open(vfs storage.VFS, opts Options) (*Log, Recovered, error) {
 	if opts.SegmentBytes <= 0 {
 		opts.SegmentBytes = DefaultSegmentBytes
 	}
-	rec, tr, segs, err := recoverLog(vfs)
+	// The recovery scan (and tear sealing) is startup I/O; appends from
+	// here on are WAL I/O. Both taggings are no-ops on unattributed VFSs.
+	rvfs := storage.TagVFS(vfs, storage.SrcRecovery)
+	rec, tr, segs, err := recoverLog(rvfs)
 	if err != nil {
 		return nil, rec, err
 	}
@@ -178,12 +181,12 @@ func Open(vfs storage.VFS, opts Options) (*Log, Recovered, error) {
 		// Seal the torn tail before this segment stops being the final
 		// one: once newer segments exist, a raw tear would read as
 		// corruption and fail every future recovery.
-		if err := sealTear(vfs, tr); err != nil {
+		if err := sealTear(rvfs, tr); err != nil {
 			return nil, rec, err
 		}
 	}
 	l := &Log{
-		vfs:        vfs,
+		vfs:        storage.TagVFS(vfs, storage.SrcWAL),
 		syncEach:   opts.Durability == Sync,
 		segBytes:   opts.SegmentBytes,
 		appendHist: opts.AppendHist,
